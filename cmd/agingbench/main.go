@@ -1,0 +1,220 @@
+// Command agingbench regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed and prints the measured values
+// next to the numbers the paper reports:
+//
+//	Figure 1  – non-linear OS-level memory under a constant-rate leak
+//	Figure 2  – OS vs JVM perspective of a periodic acquire/release pattern
+//	Table 3   – experiment 4.1, deterministic aging (LinReg vs M5P)
+//	Figure 3  – experiment 4.2, dynamic and variable aging
+//	Table 4/Figure 4 – experiment 4.3, aging hidden in a periodic pattern
+//	Figure 5  – experiment 4.4, aging caused by two resources
+//
+// Run all of them (a few minutes of CPU) or a single one:
+//
+//	agingbench -experiment all
+//	agingbench -experiment 4.2 -seed 7
+//
+// Figure data can be dumped as CSV for plotting with -figures-dir.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"agingpred/internal/evalx"
+	"agingpred/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agingbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agingbench", flag.ContinueOnError)
+	var (
+		which      = fs.String("experiment", "all", "which experiment to run: all, fig1, fig2, 4.1, 4.2, 4.3 or 4.4")
+		seed       = fs.Uint64("seed", 1, "random seed for the whole benchmark campaign")
+		figuresDir = fs.String("figures-dir", "", "if set, write the figure series (CSV, one file per figure) into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Seed: *seed}
+
+	runAll := *which == "all"
+	start := time.Now()
+	if runAll || *which == "fig1" {
+		if err := runFigure1(opts, *figuresDir); err != nil {
+			return err
+		}
+	}
+	if runAll || *which == "fig2" {
+		if err := runFigure2(opts, *figuresDir); err != nil {
+			return err
+		}
+	}
+	if runAll || *which == "4.1" {
+		if err := runExp41(opts); err != nil {
+			return err
+		}
+	}
+	if runAll || *which == "4.2" {
+		if err := runExp42(opts, *figuresDir); err != nil {
+			return err
+		}
+	}
+	if runAll || *which == "4.3" {
+		if err := runExp43(opts, *figuresDir); err != nil {
+			return err
+		}
+	}
+	if runAll || *which == "4.4" {
+		if err := runExp44(opts, *figuresDir); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\ntotal wall-clock time: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFigure1(opts experiments.Options, dir string) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Figure1(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	if dir != "" {
+		rows := [][]string{{"time_sec", "os_memory_mb", "jvm_heap_used_mb", "old_committed_mb"}}
+		for _, p := range res.Points {
+			rows = append(rows, []string{f(p.TimeSec), f(p.OSMemoryMB), f(p.JVMHeapUsedMB), f(p.OldCommittedMB)})
+		}
+		return writeCSV(filepath.Join(dir, "figure1.csv"), rows)
+	}
+	return nil
+}
+
+func runFigure2(opts experiments.Options, dir string) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Figure2(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	if dir != "" {
+		rows := [][]string{{"time_sec", "os_memory_mb", "jvm_heap_used_mb"}}
+		for _, p := range res.Points {
+			rows = append(rows, []string{f(p.TimeSec), f(p.OSMemoryMB), f(p.JVMHeapUsedMB)})
+		}
+		return writeCSV(filepath.Join(dir, "figure2.csv"), rows)
+	}
+	return nil
+}
+
+func runExp41(opts experiments.Options) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Experiment41(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Println("  paper reports (Table 3):")
+	paper := experiments.PaperTable3()
+	for _, key := range []string{"75EBs", "150EBs"} {
+		fmt.Printf("    %s:\n", key)
+		for _, v := range paper[key] {
+			fmt.Printf("      %-9s Lin. Reg %-16s M5P %s\n", v.Metric,
+				evalx.FormatDuration(v.LinReg), evalx.FormatDuration(v.M5P))
+		}
+	}
+	return nil
+}
+
+func runExp42(opts experiments.Options, dir string) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Experiment42(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Printf("  paper reports: %s\n", experiments.PaperExperiment42())
+	if dir != "" {
+		return writeTrace(filepath.Join(dir, "figure3.csv"), res.Trace)
+	}
+	return nil
+}
+
+func runExp43(opts experiments.Options, dir string) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Experiment43(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Println("  paper reports (Table 4):")
+	for _, v := range experiments.PaperTable4() {
+		fmt.Printf("      %-9s Lin. Reg %-16s M5P %s\n", v.Metric,
+			evalx.FormatDuration(v.LinReg), evalx.FormatDuration(v.M5P))
+	}
+	if dir != "" {
+		return writeTrace(filepath.Join(dir, "figure4.csv"), res.Trace)
+	}
+	return nil
+}
+
+func runExp44(opts experiments.Options, dir string) error {
+	fmt.Println("==================================================================")
+	res, err := experiments.Experiment44(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	fmt.Printf("  paper reports: %s\n", experiments.PaperExperiment44())
+	if dir != "" {
+		return writeTrace(filepath.Join(dir, "figure5.csv"), res.Trace)
+	}
+	return nil
+}
+
+func writeTrace(path string, points []experiments.TracePoint) error {
+	rows := [][]string{{"time_sec", "predicted_ttf_sec", "reference_ttf_sec", "tomcat_memory_mb", "heap_used_mb", "num_threads"}}
+	for _, p := range points {
+		rows = append(rows, []string{
+			f(p.TimeSec), f(p.PredictedTTFSec), f(p.ReferenceTTFSec),
+			f(p.TomcatMemoryMB), f(p.HeapUsedMB), f(p.NumThreads),
+		})
+	}
+	return writeCSV(path, rows)
+}
+
+func writeCSV(path string, rows [][]string) (err error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := file.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	w := csv.NewWriter(file)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	fmt.Printf("  wrote %s (%d rows)\n", path, len(rows)-1)
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

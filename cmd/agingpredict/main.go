@@ -1,0 +1,155 @@
+// Command agingpredict trains a software-aging prediction model from one or
+// more checkpoint datasets produced by cmd/agingsim (or exported from any
+// monitoring system in the same CSV/ARFF schema) and evaluates it on a test
+// dataset, reporting the paper's accuracy metrics: MAE, S-MAE, PRE-MAE and
+// POST-MAE.
+//
+// Typical usage:
+//
+//	agingsim -ebs 50  -leak-n 30 -o train-50.csv
+//	agingsim -ebs 100 -leak-n 30 -o train-100.csv
+//	agingsim -ebs 150 -leak-n 30 -o test-150.csv
+//	agingpredict -train train-50.csv,train-100.csv -test test-150.csv -print-model -root-cause
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/dataset"
+	"agingpred/internal/evalx"
+	"agingpred/internal/features"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agingpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agingpredict", flag.ContinueOnError)
+	var (
+		trainFiles = fs.String("train", "", "comma-separated training dataset files (CSV or ARFF, as written by agingsim)")
+		testFile   = fs.String("test", "", "test dataset file; omit to only train and print the model")
+		modelName  = fs.String("model", "m5p", "model family: m5p, linreg or regtree")
+		minLeaf    = fs.Int("min-leaf", 10, "minimum training instances per model-tree leaf")
+		margin     = fs.Float64("margin", evalx.DefaultSecurityMargin, "S-MAE security margin as a fraction of the true time to failure")
+		postWindow = fs.Duration("post-window", evalx.DefaultPostWindow, "POST-MAE window before the crash")
+		printModel = fs.Bool("print-model", false, "print the learned model (the full M5P tree with its leaf equations)")
+		rootCause  = fs.Bool("root-cause", false, "print root-cause hints extracted from the top of the model tree")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trainFiles == "" {
+		return errors.New("missing -train")
+	}
+
+	train, err := loadDatasets(strings.Split(*trainFiles, ","))
+	if err != nil {
+		return err
+	}
+
+	pred, err := core.NewPredictor(core.Config{
+		Model:            core.ModelKind(*modelName),
+		MinLeafInstances: *minLeaf,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	report, err := pred.TrainDataset(train)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained: %s in %v\n", report, time.Since(start).Round(time.Millisecond))
+
+	if *printModel {
+		fmt.Println()
+		fmt.Println(pred.ModelDescription())
+	}
+	if *rootCause {
+		hints, err := pred.RootCause(3)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "root-cause hints unavailable: %v\n", err)
+		} else {
+			fmt.Println()
+			fmt.Print(core.FormatRootCause(hints))
+		}
+	}
+
+	if *testFile == "" {
+		return nil
+	}
+	test, err := loadDataset(*testFile)
+	if err != nil {
+		return err
+	}
+	rep, err := pred.EvaluateDataset(test, evalx.Options{
+		Margin:     *margin,
+		PostWindow: *postWindow,
+		Model:      *modelName,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(evalx.Table(fmt.Sprintf("evaluation on %s (%d instances)", *testFile, test.Len()), []evalx.Report{rep}))
+	return nil
+}
+
+// loadDatasets reads and concatenates several dataset files with identical
+// schemas.
+func loadDatasets(paths []string) (*dataset.Dataset, error) {
+	var merged *dataset.Dataset
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		ds, err := loadDataset(path)
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = ds
+			merged.Relation = "training"
+			continue
+		}
+		if err := merged.AppendAll(ds); err != nil {
+			return nil, fmt.Errorf("merging %s: %w", path, err)
+		}
+	}
+	if merged == nil || merged.Len() == 0 {
+		return nil, errors.New("no training instances loaded")
+	}
+	return merged, nil
+}
+
+// loadDataset reads one CSV or ARFF dataset, deciding by file extension.
+func loadDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".arff") {
+		return dataset.ReadARFF(f)
+	}
+	ds, err := dataset.ReadCSV(f, path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if ds.Target() != features.Target {
+		fmt.Fprintf(os.Stderr, "warning: %s uses target column %q (expected %q); proceeding anyway\n",
+			path, ds.Target(), features.Target)
+	}
+	return ds, nil
+}

@@ -1,0 +1,154 @@
+// Command agingsim runs one execution of the simulated three-tier testbed
+// (TPC-W workload → Tomcat-like application server → generational JVM heap)
+// with configurable aging-fault injection, and writes the resulting
+// checkpoint dataset — the Table 2 variables plus the time-to-failure label —
+// as CSV or ARFF.
+//
+// Typical usage, reproducing one of the paper's training executions (100
+// emulated browsers, 1 MB memory leak every ~N=30 search-servlet hits, run
+// until the server crashes):
+//
+//	agingsim -ebs 100 -leak-n 30 -o train-100eb.csv
+//
+// A thread-leak execution (every U(0,T) seconds leak U(0,M) threads):
+//
+//	agingsim -ebs 100 -thread-m 30 -thread-t 90 -o threads.csv
+//
+// The resulting files feed cmd/agingpredict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"agingpred/internal/features"
+	"agingpred/internal/injector"
+	"agingpred/internal/testbed"
+	"agingpred/internal/tpcw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agingsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("agingsim", flag.ContinueOnError)
+	var (
+		ebs      = fs.Int("ebs", 100, "number of concurrent emulated browsers (constant for the whole run)")
+		mixName  = fs.String("mix", "shopping", "TPC-W navigation mix: browsing, shopping or ordering")
+		seed     = fs.Uint64("seed", 1, "random seed (same seed + same flags = identical run)")
+		duration = fs.Duration("max-duration", 8*time.Hour, "stop the run after this simulated time even without a crash")
+		interval = fs.Duration("interval", 15*time.Second, "checkpoint (monitoring) interval")
+		leakN    = fs.Int("leak-n", 0, "memory leak rate parameter N (leak 1 MB every ~N search-servlet hits); 0 disables memory injection")
+		leakMB   = fs.Float64("leak-mb", 1, "MB leaked per memory injection")
+		threadM  = fs.Int("thread-m", 0, "thread leak parameter M (leak U(0,M) threads per injection); 0 disables thread injection")
+		threadT  = fs.Int("thread-t", 60, "thread leak parameter T (a new injection every U(0,T) seconds)")
+		varSet   = fs.String("variables", "full", "variable set to export: full, no-heap or heap-focus (Table 2 columns)")
+		window   = fs.Int("window", features.DefaultWindowLength, "sliding-window length, in checkpoints, for the derived speed features")
+		output   = fs.String("o", "-", "output file (\"-\" = stdout)")
+		arff     = fs.Bool("arff", false, "write WEKA ARFF instead of CSV")
+		name     = fs.String("name", "", "run name used as the dataset relation (default derived from the flags)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := tpcw.MixByName(*mixName)
+	if err != nil {
+		return err
+	}
+	set, err := parseVariableSet(*varSet)
+	if err != nil {
+		return err
+	}
+
+	runName := *name
+	if runName == "" {
+		runName = fmt.Sprintf("agingsim-%dEB-N%d-M%d", *ebs, *leakN, *threadM)
+	}
+	cfg := testbed.RunConfig{
+		Name:               runName,
+		Seed:               *seed,
+		EBs:                *ebs,
+		Mix:                mix,
+		LeakAmountMB:       *leakMB,
+		MaxDuration:        *duration,
+		CheckpointInterval: *interval,
+	}
+	cfg.Phases = buildPhases(*leakN, *threadM, *threadT)
+
+	fmt.Fprintf(os.Stderr, "running %s: %d EBs, %s mix, leak N=%d, threads (M=%d, T=%d), up to %v...\n",
+		runName, *ebs, mix.Name, *leakN, *threadM, *threadT, *duration)
+	res, err := testbed.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if res.Crashed {
+		fmt.Fprintf(os.Stderr, "server crashed at %v (%s); %d checkpoints collected\n",
+			res.CrashTime, res.CrashReason, res.Series.Len())
+	} else {
+		fmt.Fprintf(os.Stderr, "server survived %v; %d checkpoints collected (labels set to the 3-hour horizon)\n",
+			*duration, res.Series.Len())
+	}
+
+	extractor := features.NewExtractor(*window)
+	ds, err := extractor.Extract(res.Series, set)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if *output != "-" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		out = f
+	}
+	if *arff {
+		return ds.WriteARFF(out)
+	}
+	return ds.WriteCSV(out)
+}
+
+func parseVariableSet(name string) (features.VariableSet, error) {
+	switch name {
+	case "full", "":
+		return features.FullSet, nil
+	case "no-heap":
+		return features.NoHeapSet, nil
+	case "heap-focus":
+		return features.HeapFocusSet, nil
+	default:
+		return 0, fmt.Errorf("unknown variable set %q (want full, no-heap or heap-focus)", name)
+	}
+}
+
+// buildPhases turns the injection flags into a single-phase schedule. Both
+// faults may be active at once (the two-resource scenario of experiment 4.4).
+func buildPhases(leakN, threadM, threadT int) []injector.Phase {
+	mode := injector.MemoryOff
+	if leakN > 0 {
+		mode = injector.MemoryLeak
+	}
+	if leakN <= 0 && threadM <= 0 {
+		return testbed.NoInjectionPhases()
+	}
+	return []injector.Phase{{
+		Name:       "injection",
+		MemoryMode: mode,
+		MemoryN:    leakN,
+		ThreadM:    threadM,
+		ThreadT:    threadT,
+	}}
+}

@@ -1,0 +1,20 @@
+// Package agingpred is a Go reproduction of "Adaptive on-line software aging
+// prediction based on Machine Learning" (Alonso, Torres, Berral, Gavaldà —
+// IEEE/IFIP DSN 2010).
+//
+// The repository contains, as internal packages, everything the paper's
+// evaluation depends on: an M5P model-tree learner with a linear-regression
+// baseline, the Table 2 derived-feature pipeline (sliding-window consumption
+// speeds), a discrete-event simulation of the paper's three-tier testbed
+// (TPC-W workload, Tomcat-like application server, generational JVM heap,
+// aging-fault injection), the accuracy metrics (MAE, S-MAE, PRE/POST-MAE),
+// software-rejuvenation policies, and an experiment harness that regenerates
+// every table and figure of the paper. See README.md for the layout,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+//
+// The root package intentionally contains no code: the public entry point is
+// internal/core (the Predictor), the runnable entry points are cmd/agingsim,
+// cmd/agingpredict and cmd/agingbench, and the top-level benchmarks in
+// bench_test.go regenerate the paper's results via `go test -bench`.
+package agingpred

@@ -1,0 +1,101 @@
+// Quickstart: train an M5P software-aging predictor on a couple of simulated
+// failure executions and use it on-line against a new execution it has never
+// seen.
+//
+// This is the smallest end-to-end use of the library:
+//
+//  1. run training executions on the simulated TPC-W/Tomcat testbed
+//     (internal/testbed) with a memory-leak fault injected,
+//  2. train a core.Predictor on the monitored checkpoint series,
+//  3. replay a fresh execution checkpoint by checkpoint, printing the
+//     predicted time to failure as it adapts, and
+//  4. report the paper's accuracy metrics (MAE, S-MAE, PRE-MAE, POST-MAE).
+//
+// Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/evalx"
+	"agingpred/internal/monitor"
+	"agingpred/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Training data: three run-to-crash executions at different workloads,
+	// all suffering a 1 MB leak every ~30 search-servlet hits.
+	fmt.Println("simulating training executions (this takes a few seconds)...")
+	var training []*monitor.Series
+	for _, ebs := range []int{50, 100, 200} {
+		res, err := testbed.Run(testbed.RunConfig{
+			Name:        fmt.Sprintf("train-%dEB", ebs),
+			Seed:        uint64(ebs),
+			EBs:         ebs,
+			Phases:      testbed.ConstantLeakPhases(30),
+			MaxDuration: 6 * time.Hour,
+		})
+		if err != nil {
+			log.Fatalf("training run: %v", err)
+		}
+		fmt.Printf("  %-12s crashed after %-12v (%d checkpoints, reason: %s)\n",
+			res.Series.Name, res.CrashTime.Round(time.Second), res.Series.Len(), res.CrashReason)
+		training = append(training, res.Series)
+	}
+
+	// 2. Train the predictor (M5P model tree over the full Table 2 variable
+	// set, 12-checkpoint sliding window — the paper's configuration).
+	predictor, err := core.NewPredictor(core.Config{})
+	if err != nil {
+		log.Fatalf("creating predictor: %v", err)
+	}
+	report, err := predictor.Train(training)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("\ntrained model: %s\n\n", report)
+
+	// 3. A fresh execution at a workload the model never saw (150 EBs).
+	test, err := testbed.Run(testbed.RunConfig{
+		Name:        "live-150EB",
+		Seed:        999,
+		EBs:         150,
+		Phases:      testbed.ConstantLeakPhases(30),
+		MaxDuration: 6 * time.Hour,
+	})
+	if err != nil {
+		log.Fatalf("test run: %v", err)
+	}
+	fmt.Printf("live execution crashed after %v; replaying its checkpoints through the predictor:\n\n",
+		test.CrashTime.Round(time.Second))
+
+	fmt.Printf("%10s %22s %22s\n", "time", "predicted TTF", "true TTF")
+	for i, cp := range test.Series.Checkpoints {
+		pred, err := predictor.Observe(cp)
+		if err != nil {
+			log.Fatalf("observe: %v", err)
+		}
+		// Print once every 5 minutes plus the final few checkpoints.
+		if i%20 == 0 || test.Series.Len()-i <= 3 {
+			fmt.Printf("%10s %22s %22s\n",
+				time.Duration(cp.TimeSec*float64(time.Second)).Round(time.Second),
+				evalx.FormatDuration(pred.TTFSec),
+				evalx.FormatDuration(cp.TTFSec))
+		}
+	}
+
+	// 4. Accuracy summary.
+	rep, err := predictor.Evaluate(test.Series, evalx.Options{Model: "M5P"})
+	if err != nil {
+		log.Fatalf("evaluate: %v", err)
+	}
+	fmt.Println()
+	fmt.Print(evalx.Table("accuracy on the live execution", []evalx.Report{rep}))
+}

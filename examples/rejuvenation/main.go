@@ -1,0 +1,96 @@
+// Rejuvenation: compare time-based and prediction-triggered software
+// rejuvenation on an aging server.
+//
+// The paper's introduction motivates prediction-based (proactive)
+// rejuvenation: restarting the server on a fixed schedule either wastes
+// capacity (restarting far too early) or fails to prevent crashes
+// (restarting too late), while a restart triggered by the predicted time to
+// failure uses almost the whole healthy lifetime of the server and still
+// avoids the crash.
+//
+// This example trains the predictor, replays an aging execution, and
+// evaluates both policies on it.
+//
+// Run it with:
+//
+//	go run ./examples/rejuvenation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/monitor"
+	"agingpred/internal/rejuv"
+	"agingpred/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+	const ebs = 100
+
+	fmt.Println("simulating training executions...")
+	var training []*monitor.Series
+	for _, n := range []int{15, 30, 75} {
+		res, err := testbed.Run(testbed.RunConfig{
+			Name:        fmt.Sprintf("train-N%d", n),
+			Seed:        uint64(400 + n),
+			EBs:         ebs,
+			Phases:      testbed.ConstantLeakPhases(n),
+			MaxDuration: 8 * time.Hour,
+		})
+		if err != nil {
+			log.Fatalf("training run: %v", err)
+		}
+		training = append(training, res.Series)
+	}
+	predictor, err := core.NewPredictor(core.Config{})
+	if err != nil {
+		log.Fatalf("creating predictor: %v", err)
+	}
+	if _, err := predictor.Train(training); err != nil {
+		log.Fatalf("training: %v", err)
+	}
+
+	// The production server ages at a rate the operator did not anticipate.
+	live, err := testbed.Run(testbed.RunConfig{
+		Name:        "production",
+		Seed:        4242,
+		EBs:         ebs,
+		Phases:      testbed.ConstantLeakPhases(20),
+		MaxDuration: 8 * time.Hour,
+	})
+	if err != nil {
+		log.Fatalf("production run: %v", err)
+	}
+	fmt.Printf("unattended, the server crashes after %v (%s)\n\n",
+		live.CrashTime.Round(time.Second), live.CrashReason)
+
+	preds, err := predictor.PredictSeries(live.Series)
+	if err != nil {
+		log.Fatalf("predicting: %v", err)
+	}
+
+	policies := []rejuv.Policy{
+		&rejuv.TimeBased{Period: 30 * time.Minute},
+		&rejuv.TimeBased{Period: 2 * time.Hour},
+		&rejuv.TimeBased{Period: 4 * time.Hour},
+		&rejuv.Predictive{Threshold: 10 * time.Minute, Confirmations: 2},
+		&rejuv.Predictive{Threshold: 20 * time.Minute, Confirmations: 2},
+	}
+	outcomes, err := rejuv.Compare(policies, preds, live.Series.CrashTimeSec)
+	if err != nil {
+		log.Fatalf("comparing policies: %v", err)
+	}
+	fmt.Println("rejuvenation policy comparison on this execution:")
+	for _, o := range outcomes {
+		fmt.Println("  " + o.String())
+	}
+	best, err := rejuv.Best(outcomes)
+	if err != nil {
+		log.Fatalf("best: %v", err)
+	}
+	fmt.Printf("\nbest policy: %s\n", best.Policy)
+}

@@ -1,0 +1,124 @@
+// Webapp-aging: adaptive on-line prediction under dynamic software aging.
+//
+// This example reproduces the shape of the paper's experiment 4.2 as a
+// runnable program: a web application whose memory-leak rate changes every 20
+// minutes (none → N=30 → N=15 → N=75). The predictor was trained only on
+// constant-rate executions, yet its on-line prediction adapts each time the
+// consumption speed changes — when the leak accelerates the predicted time to
+// failure collapses, when it slows down the prediction grows back.
+//
+// Run it with:
+//
+//	go run ./examples/webapp-aging
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/evalx"
+	"agingpred/internal/injector"
+	"agingpred/internal/monitor"
+	"agingpred/internal/testbed"
+)
+
+func main() {
+	log.SetFlags(0)
+	const ebs = 100
+
+	// Training: a calm one-hour run plus three constant-rate leak runs.
+	fmt.Println("simulating training executions...")
+	var training []*monitor.Series
+	calm, err := testbed.Run(testbed.RunConfig{
+		Name:        "train-calm",
+		Seed:        11,
+		EBs:         ebs,
+		Phases:      testbed.NoInjectionPhases(),
+		MaxDuration: time.Hour,
+	})
+	if err != nil {
+		log.Fatalf("training run: %v", err)
+	}
+	training = append(training, calm.Series)
+	for _, n := range []int{15, 30, 75} {
+		res, err := testbed.Run(testbed.RunConfig{
+			Name:        fmt.Sprintf("train-N%d", n),
+			Seed:        uint64(100 + n),
+			EBs:         ebs,
+			Phases:      testbed.ConstantLeakPhases(n),
+			MaxDuration: 8 * time.Hour,
+		})
+		if err != nil {
+			log.Fatalf("training run: %v", err)
+		}
+		training = append(training, res.Series)
+	}
+
+	predictor, err := core.NewPredictor(core.Config{})
+	if err != nil {
+		log.Fatalf("creating predictor: %v", err)
+	}
+	report, err := predictor.Train(training)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("trained model: %s\n\n", report)
+
+	// The dynamic scenario: the aging rate changes every 20 minutes.
+	phases := []injector.Phase{
+		{Name: "no injection", Duration: 20 * time.Minute, MemoryMode: injector.MemoryOff},
+		{Name: "leak N=30", Duration: 20 * time.Minute, MemoryMode: injector.MemoryLeak, MemoryN: 30},
+		{Name: "leak N=15 (faster)", Duration: 20 * time.Minute, MemoryMode: injector.MemoryLeak, MemoryN: 15},
+		{Name: "leak N=75 (slower)", MemoryMode: injector.MemoryLeak, MemoryN: 75},
+	}
+	live, err := testbed.Run(testbed.RunConfig{
+		Name:        "live-dynamic",
+		Seed:        777,
+		EBs:         ebs,
+		Phases:      phases,
+		MaxDuration: 8 * time.Hour,
+	})
+	if err != nil {
+		log.Fatalf("live run: %v", err)
+	}
+	fmt.Printf("dynamic execution crashed after %v (%s)\n\n", live.CrashTime.Round(time.Second), live.CrashReason)
+
+	fmt.Printf("%10s %-22s %22s %18s\n", "time", "phase", "predicted TTF", "Tomcat memory")
+	phaseAt := func(t float64) string {
+		switch {
+		case t < 1200:
+			return phases[0].Name
+		case t < 2400:
+			return phases[1].Name
+		case t < 3600:
+			return phases[2].Name
+		default:
+			return phases[3].Name
+		}
+	}
+	for i, cp := range live.Series.Checkpoints {
+		pred, err := predictor.Observe(cp)
+		if err != nil {
+			log.Fatalf("observe: %v", err)
+		}
+		if i%16 == 0 || live.Series.Len()-i <= 2 {
+			fmt.Printf("%10s %-22s %22s %15.0f MB\n",
+				time.Duration(cp.TimeSec*float64(time.Second)).Round(time.Second),
+				phaseAt(cp.TimeSec),
+				evalx.FormatDuration(pred.TTFSec),
+				cp.TomcatMemUsedMB)
+		}
+	}
+
+	rep, err := predictor.Evaluate(live.Series, evalx.Options{Model: "M5P"})
+	if err != nil {
+		log.Fatalf("evaluate: %v", err)
+	}
+	fmt.Println()
+	fmt.Print(evalx.Table("accuracy vs the actual crash time", []evalx.Report{rep}))
+	fmt.Println("\nNote: during the early phases the model predicts the failure that the *current*")
+	fmt.Println("rate would cause, exactly as the paper describes; the error against the actual")
+	fmt.Println("crash time therefore concentrates in the phases whose rate later changed.")
+}

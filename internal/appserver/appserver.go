@@ -1,0 +1,629 @@
+// Package appserver simulates the application-server tier of the paper's
+// testbed: an Apache Tomcat 5.5 instance serving the TPC-W servlets on top
+// of a JVM with a 1 GB heap, backed by a MySQL database, on a 4-way machine
+// with 2 GB of RAM (Table 1 of the paper).
+//
+// The simulation is deliberately phenomenological: it models the quantities
+// the monitoring subsystem samples every 15 seconds (Table 2) and the three
+// ways the real server dies under software aging — heap exhaustion, thread
+// exhaustion, and running the machine out of memory — rather than parsing
+// HTTP or executing SQL. Requests occupy a worker thread for a
+// load-dependent service time, allocate transient heap, open database
+// connections, and push all the derived metrics (throughput, response time,
+// load, connection counts) that the predictor is trained on.
+package appserver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"agingpred/internal/jvm"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+	"agingpred/internal/tpcw"
+)
+
+// Config describes the simulated server. Zero fields take the defaults that
+// mirror the paper's testbed (Table 1).
+type Config struct {
+	// Heap configures the simulated JVM heap (default: 1 GB max heap).
+	Heap jvm.Config
+	// MaxWorkerThreads is the Tomcat worker pool limit (default 200).
+	MaxWorkerThreads int
+	// BaseThreads is the number of non-worker threads of the process: JVM GC
+	// threads, Tomcat acceptors, timers (default 45).
+	BaseThreads int
+	// MaxProcessThreads is the hard limit of threads the process can create
+	// before thread creation fails and the server crashes (default 1024).
+	MaxProcessThreads int
+	// MaxDBConnections is the MySQL connection pool size (default 100).
+	MaxDBConnections int
+	// MaxQueuedRequests is the accept-queue length; requests beyond it are
+	// rejected (default 500).
+	MaxQueuedRequests int
+	// CPUs is the number of processors of the machine (default 4).
+	CPUs int
+	// BaseServiceTime is the no-contention CPU time of a request
+	// (default 25 ms).
+	BaseServiceTime time.Duration
+	// DBServiceTime is the additional database time of a request; write
+	// interactions pay twice this (default 20 ms).
+	DBServiceTime time.Duration
+	// RequestAllocMB is the mean transient heap allocation per request
+	// (default 0.25 MB).
+	RequestAllocMB float64
+	// SystemMemoryMB is the physical memory of the machine (default 2048,
+	// Table 1: 2 GB RAM).
+	SystemMemoryMB float64
+	// SwapMB is the swap space of the machine (default 2048).
+	SwapMB float64
+	// OtherProcessesMB is the memory used by everything that is not the
+	// application server: OS, monitoring agent, etc. (default 450).
+	OtherProcessesMB float64
+	// BaseProcesses is the number of OS processes on the machine
+	// (default 115).
+	BaseProcesses int
+	// DiskBaseMB is the initial disk usage (default 12000).
+	DiskBaseMB float64
+	// LogBytesPerRequest is how much disk each completed request consumes in
+	// access logs, in MB (default 0.002).
+	LogBytesPerRequest float64
+}
+
+func (c Config) withDefaults() Config {
+	def := Config{
+		Heap:               c.Heap,
+		MaxWorkerThreads:   200,
+		BaseThreads:        45,
+		MaxProcessThreads:  1024,
+		MaxDBConnections:   100,
+		MaxQueuedRequests:  500,
+		CPUs:               4,
+		BaseServiceTime:    25 * time.Millisecond,
+		DBServiceTime:      20 * time.Millisecond,
+		RequestAllocMB:     0.25,
+		SystemMemoryMB:     2048,
+		SwapMB:             2048,
+		OtherProcessesMB:   450,
+		BaseProcesses:      115,
+		DiskBaseMB:         12000,
+		LogBytesPerRequest: 0.002,
+	}
+	if c.MaxWorkerThreads > 0 {
+		def.MaxWorkerThreads = c.MaxWorkerThreads
+	}
+	if c.BaseThreads > 0 {
+		def.BaseThreads = c.BaseThreads
+	}
+	if c.MaxProcessThreads > 0 {
+		def.MaxProcessThreads = c.MaxProcessThreads
+	}
+	if c.MaxDBConnections > 0 {
+		def.MaxDBConnections = c.MaxDBConnections
+	}
+	if c.MaxQueuedRequests > 0 {
+		def.MaxQueuedRequests = c.MaxQueuedRequests
+	}
+	if c.CPUs > 0 {
+		def.CPUs = c.CPUs
+	}
+	if c.BaseServiceTime > 0 {
+		def.BaseServiceTime = c.BaseServiceTime
+	}
+	if c.DBServiceTime > 0 {
+		def.DBServiceTime = c.DBServiceTime
+	}
+	if c.RequestAllocMB > 0 {
+		def.RequestAllocMB = c.RequestAllocMB
+	}
+	if c.SystemMemoryMB > 0 {
+		def.SystemMemoryMB = c.SystemMemoryMB
+	}
+	if c.SwapMB > 0 {
+		def.SwapMB = c.SwapMB
+	}
+	if c.OtherProcessesMB > 0 {
+		def.OtherProcessesMB = c.OtherProcessesMB
+	}
+	if c.BaseProcesses > 0 {
+		def.BaseProcesses = c.BaseProcesses
+	}
+	if c.DiskBaseMB > 0 {
+		def.DiskBaseMB = c.DiskBaseMB
+	}
+	if c.LogBytesPerRequest > 0 {
+		def.LogBytesPerRequest = c.LogBytesPerRequest
+	}
+	return def
+}
+
+// CrashReason identifies why the server failed.
+type CrashReason string
+
+// The three failure modes the testbed can reach, matching the aging-related
+// crashes discussed in the paper.
+const (
+	// CrashOutOfMemory is a java.lang.OutOfMemoryError from heap exhaustion.
+	CrashOutOfMemory CrashReason = "out of memory (Java heap)"
+	// CrashThreadExhaustion is the JVM failing to create a native thread.
+	CrashThreadExhaustion CrashReason = "unable to create new native thread"
+	// CrashSystemMemory is the machine running out of physical memory + swap.
+	CrashSystemMemory CrashReason = "system memory exhausted"
+)
+
+// Server is the simulated application server. It is driven from a single
+// goroutine by the discrete-event scheduler and is not safe for concurrent
+// use.
+type Server struct {
+	cfg   Config
+	sched *simclock.Scheduler
+	src   *rng.Source
+	heap  *jvm.Heap
+
+	// Worker pool and request queue.
+	busyWorkers      int
+	peakWorkers      int
+	queue            []queuedRequest
+	leakedThreads    int
+	activeDBConns    int
+	rejectedRequests uint64
+
+	// Cumulative counters (the monitor derives per-interval rates from
+	// these).
+	completedRequests uint64
+	failedRequests    uint64
+	sumResponseSec    float64
+	searchRequests    uint64
+
+	// Aggregate load tracking: integral of busy workers over time, for a
+	// UNIX-style load average.
+	loadIntegral   float64
+	lastLoadUpdate time.Duration
+
+	diskUsedMB float64
+
+	crashed     bool
+	crashTime   time.Duration
+	crashReason CrashReason
+	onCrash     []func(CrashReason)
+
+	searchHooks []func()
+}
+
+type queuedRequest struct {
+	req  tpcw.Request
+	done func(ok bool)
+}
+
+// New creates a server bound to the scheduler. The random source provides
+// the service-time jitter and must be dedicated to this server.
+func New(cfg Config, sched *simclock.Scheduler, src *rng.Source) (*Server, error) {
+	if sched == nil {
+		return nil, errors.New("appserver: nil scheduler")
+	}
+	if src == nil {
+		return nil, errors.New("appserver: nil random source")
+	}
+	cfg = cfg.withDefaults()
+	heap, err := jvm.NewHeap(cfg.Heap)
+	if err != nil {
+		return nil, fmt.Errorf("appserver: creating heap: %w", err)
+	}
+	s := &Server{
+		cfg:        cfg,
+		sched:      sched,
+		src:        src,
+		heap:       heap,
+		diskUsedMB: cfg.DiskBaseMB,
+	}
+	s.heap.SetLiveThreads(s.totalThreads())
+	return s, nil
+}
+
+// Config returns the effective configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Heap returns the server's simulated JVM heap.
+func (s *Server) Heap() *jvm.Heap { return s.heap }
+
+// OnSearchRequest registers a hook invoked every time the search servlet
+// (TPCW_Search_request_servlet) runs. The memory-leak injector attaches
+// here, exactly as the paper patches that servlet.
+func (s *Server) OnSearchRequest(hook func()) {
+	if hook != nil {
+		s.searchHooks = append(s.searchHooks, hook)
+	}
+}
+
+// OnCrash registers a callback invoked once when the server crashes.
+func (s *Server) OnCrash(fn func(CrashReason)) {
+	if fn != nil {
+		s.onCrash = append(s.onCrash, fn)
+	}
+}
+
+// Crashed reports whether the server has failed.
+func (s *Server) Crashed() bool { return s.crashed }
+
+// CrashTime returns the simulated time of the failure (zero if not crashed).
+func (s *Server) CrashTime() time.Duration { return s.crashTime }
+
+// CrashReason returns why the server failed (empty if not crashed).
+func (s *Server) CrashReason() CrashReason { return s.crashReason }
+
+// Crash forces the server into the failed state. Subsequent requests are
+// rejected. Calling it on an already-crashed server is a no-op.
+func (s *Server) Crash(reason CrashReason) {
+	if s.crashed {
+		return
+	}
+	s.updateLoadIntegral()
+	s.crashed = true
+	s.crashTime = s.sched.Now()
+	s.crashReason = reason
+	// Fail everything still queued.
+	for _, q := range s.queue {
+		q.done(false)
+	}
+	s.queue = nil
+	for _, fn := range s.onCrash {
+		fn(reason)
+	}
+}
+
+// totalThreads returns the current thread count of the process.
+func (s *Server) totalThreads() int {
+	workers := s.peakWorkers
+	if min := 25; workers < min {
+		workers = min // Tomcat pre-spawns a minimum worker pool
+	}
+	return s.cfg.BaseThreads + workers + s.leakedThreads
+}
+
+// Submit implements tpcw.Server: it accepts (or queues, or rejects) one
+// request and eventually calls done.
+func (s *Server) Submit(req tpcw.Request, done func(ok bool)) {
+	if done == nil {
+		done = func(bool) {}
+	}
+	if s.crashed {
+		s.failedRequests++
+		done(false)
+		return
+	}
+	if s.busyWorkers >= s.cfg.MaxWorkerThreads {
+		if len(s.queue) >= s.cfg.MaxQueuedRequests {
+			s.rejectedRequests++
+			s.failedRequests++
+			done(false)
+			return
+		}
+		s.queue = append(s.queue, queuedRequest{req: req, done: done})
+		return
+	}
+	s.startRequest(req, done)
+}
+
+// startRequest occupies a worker and schedules the request completion.
+func (s *Server) startRequest(req tpcw.Request, done func(ok bool)) {
+	s.updateLoadIntegral()
+	s.busyWorkers++
+	if s.busyWorkers > s.peakWorkers {
+		s.peakWorkers = s.totalWorkersAfterGrowth()
+	}
+	s.heap.SetLiveThreads(s.totalThreads())
+	if s.checkThreadLimits() {
+		s.failedRequests++
+		done(false)
+		return
+	}
+
+	if req.Interaction == tpcw.SearchRequest {
+		s.searchRequests++
+		for _, hook := range s.searchHooks {
+			hook()
+			if s.crashed {
+				done(false)
+				return
+			}
+		}
+	}
+
+	// Transient allocation of the request (session data, result sets, JSP
+	// buffers). Size jitters around the configured mean.
+	alloc := s.cfg.RequestAllocMB * s.src.Float64Between(0.5, 1.5)
+	if err := s.heap.Allocate(alloc); err != nil {
+		if errors.Is(err, jvm.ErrOutOfMemory) {
+			s.failedRequests++
+			s.Crash(CrashOutOfMemory)
+			done(false)
+			return
+		}
+		// Any other allocation error is a programming bug in the simulator;
+		// treat the request as failed but keep the server alive.
+		s.failedRequests++
+		s.finishWorker()
+		done(false)
+		return
+	}
+
+	// Database connection usage for the duration of the request.
+	dbConns := 1
+	if req.Interaction.IsWrite() {
+		dbConns = 2
+	}
+	if s.activeDBConns+dbConns > s.cfg.MaxDBConnections {
+		dbConns = s.cfg.MaxDBConnections - s.activeDBConns
+	}
+	s.activeDBConns += dbConns
+
+	service := s.serviceTime(req)
+	issuedAt := req.IssuedAt
+	if _, err := s.sched.After(service, func() {
+		s.completeRequest(issuedAt, dbConns, done)
+	}); err != nil {
+		// Scheduler refused the event: the run is over. Fail the request.
+		s.activeDBConns -= dbConns
+		s.failedRequests++
+		s.finishWorker()
+		done(false)
+	}
+}
+
+// totalWorkersAfterGrowth models Tomcat growing its pool in steps of 4.
+func (s *Server) totalWorkersAfterGrowth() int {
+	grown := ((s.busyWorkers + 3) / 4) * 4
+	if grown > s.cfg.MaxWorkerThreads {
+		grown = s.cfg.MaxWorkerThreads
+	}
+	if grown < s.peakWorkers {
+		grown = s.peakWorkers
+	}
+	return grown
+}
+
+// serviceTime computes the load- and aging-dependent service time of a
+// request.
+func (s *Server) serviceTime(req tpcw.Request) time.Duration {
+	base := s.cfg.BaseServiceTime.Seconds()
+	db := s.cfg.DBServiceTime.Seconds()
+	if req.Interaction.IsWrite() {
+		db *= 2
+	}
+	// CPU contention: processor sharing across the busy workers.
+	contention := 1.0
+	if s.busyWorkers > s.cfg.CPUs {
+		contention = float64(s.busyWorkers) / float64(s.cfg.CPUs)
+	}
+	// GC overhead: as the heap approaches exhaustion collections steal an
+	// increasing share of the CPU (the paper's gradual performance
+	// degradation under aging).
+	gc := s.heap.GCOverhead()
+	slowdown := 1.0 / (1.0 - gc)
+	jitter := s.src.Float64Between(0.7, 1.3)
+	seconds := (base*contention + db) * slowdown * jitter
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// completeRequest releases the worker, updates counters and answers the EB.
+func (s *Server) completeRequest(issuedAt time.Duration, dbConns int, done func(ok bool)) {
+	s.activeDBConns -= dbConns
+	if s.activeDBConns < 0 {
+		s.activeDBConns = 0
+	}
+	if s.crashed {
+		s.failedRequests++
+		s.finishWorker()
+		done(false)
+		return
+	}
+	s.completedRequests++
+	s.sumResponseSec += (s.sched.Now() - issuedAt).Seconds()
+	s.diskUsedMB += s.cfg.LogBytesPerRequest
+	s.finishWorker()
+	done(true)
+
+	// Pull the next queued request, if any.
+	if len(s.queue) > 0 && s.busyWorkers < s.cfg.MaxWorkerThreads {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.startRequest(next.req, next.done)
+	}
+}
+
+func (s *Server) finishWorker() {
+	s.updateLoadIntegral()
+	s.busyWorkers--
+	if s.busyWorkers < 0 {
+		s.busyWorkers = 0
+	}
+	s.heap.SetLiveThreads(s.totalThreads())
+}
+
+// updateLoadIntegral accumulates busyWorkers·dt so the monitor can report a
+// UNIX-like load average per interval.
+func (s *Server) updateLoadIntegral() {
+	now := s.sched.Now()
+	dt := (now - s.lastLoadUpdate).Seconds()
+	if dt > 0 {
+		s.loadIntegral += float64(s.busyWorkers) * dt
+		s.lastLoadUpdate = now
+	}
+}
+
+// checkThreadLimits crashes the server if thread or memory limits are
+// exceeded; it reports whether a crash happened.
+func (s *Server) checkThreadLimits() bool {
+	if s.totalThreads() >= s.cfg.MaxProcessThreads {
+		s.Crash(CrashThreadExhaustion)
+		return true
+	}
+	if s.systemMemUsedMB() >= s.cfg.SystemMemoryMB+s.cfg.SwapMB {
+		s.Crash(CrashSystemMemory)
+		return true
+	}
+	return false
+}
+
+// --- Fault-injection entry points (used by internal/injector) ---
+
+// InjectLeakMB leaks sizeMB of Java heap, as the patched search servlet does.
+// The server crashes with CrashOutOfMemory if the heap is exhausted.
+func (s *Server) InjectLeakMB(sizeMB float64) {
+	if s.crashed {
+		return
+	}
+	if err := s.heap.AllocateLeak(sizeMB); err != nil {
+		s.Crash(CrashOutOfMemory)
+	}
+}
+
+// InjectRetainedMB acquires sizeMB of releasable memory (the acquire phase of
+// the periodic pattern experiments).
+func (s *Server) InjectRetainedMB(sizeMB float64) {
+	if s.crashed {
+		return
+	}
+	if err := s.heap.AllocateRetained(sizeMB); err != nil {
+		s.Crash(CrashOutOfMemory)
+	}
+}
+
+// ReleaseRetainedMB releases previously acquired memory.
+func (s *Server) ReleaseRetainedMB(sizeMB float64) {
+	if s.crashed {
+		return
+	}
+	s.heap.ReleaseRetained(sizeMB)
+}
+
+// LeakThreads creates n threads that never terminate: the thread-leak aging
+// fault. Each leaked thread also pins a small amount of Java heap for its
+// Thread object and stack bookkeeping, which is how the paper's two
+// "unrelated" resources turn out to be coupled (Section 4.4).
+func (s *Server) LeakThreads(n int) {
+	if s.crashed || n <= 0 {
+		return
+	}
+	const threadObjectMB = 0.06 // java.lang.Thread + per-thread buffers
+	for i := 0; i < n; i++ {
+		s.leakedThreads++
+		s.heap.SetLiveThreads(s.totalThreads())
+		if err := s.heap.AllocateLeak(threadObjectMB); err != nil {
+			s.Crash(CrashOutOfMemory)
+			return
+		}
+		if s.checkThreadLimits() {
+			return
+		}
+	}
+}
+
+// LeakedThreads returns how many threads have been leaked so far.
+func (s *Server) LeakedThreads() int { return s.leakedThreads }
+
+// systemMemUsedMB returns the machine-wide used memory.
+func (s *Server) systemMemUsedMB() float64 {
+	return s.cfg.OtherProcessesMB + s.heap.ProcessMemoryMB()
+}
+
+// Snapshot is the raw state of the server at one instant: the direct metrics
+// of Table 2 (the derived SWA/ratio variables are computed downstream by
+// internal/features). Counters are cumulative; the monitor converts them to
+// per-interval rates.
+type Snapshot struct {
+	// TimeSec is the simulated time of the snapshot.
+	TimeSec float64
+
+	// Cumulative counters.
+	CompletedRequests uint64
+	FailedRequests    uint64
+	SumResponseSec    float64
+	SearchRequests    uint64
+	LoadIntegral      float64
+
+	// Instantaneous gauges.
+	ActiveRequests   int
+	QueuedRequests   int
+	NumThreads       int
+	LeakedThreads    int
+	HTTPConnections  int
+	MySQLConnections int
+
+	// Memory, OS perspective.
+	TomcatMemoryMB  float64
+	SystemMemUsedMB float64
+	SwapFreeMB      float64
+	DiskUsedMB      float64
+	NumProcesses    int
+
+	// Memory, JVM perspective.
+	YoungUsedMB    float64
+	YoungMaxMB     float64
+	OldUsedMB      float64
+	OldMaxMB       float64
+	HeapUsedMB     float64
+	OldLeakedMB    float64
+	OldRetainedMB  float64
+	GCOverhead     float64
+	FullGCs        int
+	MinorGCs       int
+	OldResizes     int
+	RejectedGauges uint64
+
+	Crashed bool
+}
+
+// Snapshot captures the current server state.
+func (s *Server) Snapshot() Snapshot {
+	s.updateLoadIntegral()
+	sysUsed := s.systemMemUsedMB()
+	swapUsed := 0.0
+	if sysUsed > s.cfg.SystemMemoryMB {
+		swapUsed = sysUsed - s.cfg.SystemMemoryMB
+	}
+	swapFree := s.cfg.SwapMB - swapUsed
+	if swapFree < 0 {
+		swapFree = 0
+	}
+	heapStats := s.heap.Stats()
+	return Snapshot{
+		TimeSec:           s.sched.Now().Seconds(),
+		CompletedRequests: s.completedRequests,
+		FailedRequests:    s.failedRequests,
+		SumResponseSec:    s.sumResponseSec,
+		SearchRequests:    s.searchRequests,
+		LoadIntegral:      s.loadIntegral,
+		ActiveRequests:    s.busyWorkers,
+		QueuedRequests:    len(s.queue),
+		NumThreads:        s.totalThreads(),
+		LeakedThreads:     s.leakedThreads,
+		HTTPConnections:   s.busyWorkers + len(s.queue),
+		MySQLConnections:  s.activeDBConns,
+		TomcatMemoryMB:    s.heap.ProcessMemoryMB(),
+		SystemMemUsedMB:   math.Min(sysUsed, s.cfg.SystemMemoryMB),
+		SwapFreeMB:        swapFree,
+		// Disk usage carries the access logs plus the temp/spool files other
+		// system activity keeps creating and deleting. The fluctuation
+		// matters: without it the simulated disk usage would be a perfect
+		// linear function of elapsed time, handing the learner a
+		// time-to-failure shortcut that no real system provides.
+		DiskUsedMB:     s.diskUsedMB + s.src.Float64Between(0, 40),
+		NumProcesses:   s.cfg.BaseProcesses + s.src.Intn(5),
+		YoungUsedMB:    s.heap.YoungUsedMB(),
+		YoungMaxMB:     s.heap.YoungMaxMB(),
+		OldUsedMB:      s.heap.OldUsedMB(),
+		OldMaxMB:       s.heap.OldCommittedMB(),
+		HeapUsedMB:     s.heap.HeapUsedMB(),
+		OldLeakedMB:    s.heap.OldLeakedMB(),
+		OldRetainedMB:  s.heap.OldRetainedMB(),
+		GCOverhead:     s.heap.GCOverhead(),
+		FullGCs:        heapStats.FullCollections,
+		MinorGCs:       heapStats.MinorCollections,
+		OldResizes:     heapStats.OldResizes,
+		RejectedGauges: s.rejectedRequests,
+		Crashed:        s.crashed,
+	}
+}

@@ -1,0 +1,345 @@
+package appserver
+
+import (
+	"testing"
+	"time"
+
+	"agingpred/internal/jvm"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+	"agingpred/internal/tpcw"
+)
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *simclock.Scheduler) {
+	t.Helper()
+	sched := simclock.NewScheduler(nil)
+	srv, err := New(cfg, sched, rng.New(1234))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return srv, sched
+}
+
+func submitOK(t testing.TB, srv *Server, sched *simclock.Scheduler, interaction tpcw.Interaction) bool {
+	t.Helper()
+	var result *bool
+	srv.Submit(tpcw.Request{EB: 0, Interaction: interaction, IssuedAt: sched.Now()}, func(ok bool) {
+		result = &ok
+	})
+	sched.RunUntil(sched.Now() + 10*time.Second)
+	if result == nil {
+		t.Fatalf("request did not complete within 10 simulated seconds")
+	}
+	return *result
+}
+
+func TestNewValidation(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	if _, err := New(Config{}, nil, rng.New(1)); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := New(Config{}, sched, nil); err == nil {
+		t.Fatalf("nil rng accepted")
+	}
+	if _, err := New(Config{Heap: jvm.Config{MaxHeapMB: 10, YoungMB: 128, PermMB: 64, InitialOldMB: 256}}, sched, rng.New(1)); err == nil {
+		t.Fatalf("invalid heap config accepted")
+	}
+	srv, err := New(Config{}, sched, rng.New(1))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cfg := srv.Config()
+	if cfg.MaxWorkerThreads != 200 || cfg.CPUs != 4 || cfg.SystemMemoryMB != 2048 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestRequestLifecycle(t *testing.T) {
+	srv, sched := newTestServer(t, Config{})
+	if !submitOK(t, srv, sched, tpcw.Home) {
+		t.Fatalf("request failed on a healthy server")
+	}
+	snap := srv.Snapshot()
+	if snap.CompletedRequests != 1 || snap.FailedRequests != 0 {
+		t.Fatalf("counters after one request: %+v", snap)
+	}
+	if snap.SumResponseSec <= 0 {
+		t.Fatalf("no response time recorded")
+	}
+	if snap.ActiveRequests != 0 {
+		t.Fatalf("worker not released: %d active", snap.ActiveRequests)
+	}
+	if snap.Crashed {
+		t.Fatalf("server crashed after one request")
+	}
+}
+
+func TestSearchRequestHookFires(t *testing.T) {
+	srv, sched := newTestServer(t, Config{})
+	hookCalls := 0
+	srv.OnSearchRequest(func() { hookCalls++ })
+	srv.OnSearchRequest(nil) // must be ignored, not panic
+
+	submitOK(t, srv, sched, tpcw.SearchRequest)
+	submitOK(t, srv, sched, tpcw.Home)
+	submitOK(t, srv, sched, tpcw.SearchRequest)
+
+	if hookCalls != 2 {
+		t.Fatalf("search hook fired %d times, want 2", hookCalls)
+	}
+	if srv.Snapshot().SearchRequests != 2 {
+		t.Fatalf("SearchRequests counter = %d, want 2", srv.Snapshot().SearchRequests)
+	}
+}
+
+func TestWritesTakeLongerOnAverage(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	// Compare mean service times directly (the jitter band is ±30%, so use
+	// many samples).
+	var readSum, writeSum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		readSum += srv.serviceTime(tpcw.Request{Interaction: tpcw.Home}).Seconds()
+		writeSum += srv.serviceTime(tpcw.Request{Interaction: tpcw.BuyConfirm}).Seconds()
+	}
+	if writeSum <= readSum {
+		t.Fatalf("write requests are not slower on average: read %v, write %v", readSum/n, writeSum/n)
+	}
+}
+
+func TestMemoryLeakInjectionCrashesWithOOM(t *testing.T) {
+	srv, sched := newTestServer(t, Config{})
+	crashSeen := false
+	srv.OnCrash(func(r CrashReason) {
+		crashSeen = true
+		if r != CrashOutOfMemory {
+			t.Errorf("crash reason = %q, want OOM", r)
+		}
+	})
+	srv.OnCrash(nil)
+	// Leak 2 GB into a 1 GB heap, 10 MB at a time.
+	for i := 0; i < 200 && !srv.Crashed(); i++ {
+		srv.InjectLeakMB(10)
+	}
+	if !srv.Crashed() || !crashSeen {
+		t.Fatalf("server did not crash after exhausting the heap")
+	}
+	if srv.CrashReason() != CrashOutOfMemory {
+		t.Fatalf("CrashReason = %q", srv.CrashReason())
+	}
+	// Requests after the crash fail immediately.
+	if submitOK(t, srv, sched, tpcw.Home) {
+		t.Fatalf("request succeeded on a crashed server")
+	}
+	// Injecting on a crashed server is a no-op.
+	srv.InjectLeakMB(10)
+	srv.InjectRetainedMB(10)
+	srv.ReleaseRetainedMB(10)
+	srv.LeakThreads(10)
+}
+
+func TestThreadLeakCrashesWithThreadExhaustion(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	srv.OnCrash(func(r CrashReason) {
+		if r != CrashThreadExhaustion && r != CrashOutOfMemory && r != CrashSystemMemory {
+			t.Errorf("unexpected crash reason %q", r)
+		}
+	})
+	for i := 0; i < 500 && !srv.Crashed(); i++ {
+		srv.LeakThreads(5)
+	}
+	if !srv.Crashed() {
+		t.Fatalf("server did not crash after leaking %d threads", srv.LeakedThreads())
+	}
+	if srv.CrashReason() != CrashThreadExhaustion {
+		t.Fatalf("CrashReason = %q, want thread exhaustion", srv.CrashReason())
+	}
+	// The crash must happen around the process thread limit.
+	if srv.Snapshot().NumThreads < srv.Config().MaxProcessThreads-10 {
+		t.Fatalf("crashed with only %d threads (limit %d)", srv.Snapshot().NumThreads, srv.Config().MaxProcessThreads)
+	}
+}
+
+func TestLeakedThreadsConsumeHeap(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	before := srv.Heap().OldLeakedMB()
+	srv.LeakThreads(100)
+	after := srv.Heap().OldLeakedMB()
+	if after <= before {
+		t.Fatalf("leaking threads did not consume heap (the coupling of experiment 4.4)")
+	}
+	if srv.LeakedThreads() != 100 {
+		t.Fatalf("LeakedThreads = %d, want 100", srv.LeakedThreads())
+	}
+	snap := srv.Snapshot()
+	if snap.LeakedThreads != 100 {
+		t.Fatalf("snapshot LeakedThreads = %d", snap.LeakedThreads)
+	}
+	if snap.NumThreads <= srv.Config().BaseThreads+100-1 {
+		t.Fatalf("NumThreads = %d does not include leaked threads", snap.NumThreads)
+	}
+}
+
+func TestRetainedMemoryAcquireRelease(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	srv.InjectRetainedMB(200)
+	if got := srv.Heap().OldRetainedMB(); got != 200 {
+		t.Fatalf("retained = %v, want 200", got)
+	}
+	srv.ReleaseRetainedMB(150)
+	if got := srv.Heap().OldRetainedMB(); got != 50 {
+		t.Fatalf("retained after release = %v, want 50", got)
+	}
+}
+
+func TestQueueingUnderOverload(t *testing.T) {
+	// Tiny worker pool: the 3rd concurrent request must queue, not fail.
+	srv, sched := newTestServer(t, Config{MaxWorkerThreads: 2, MaxQueuedRequests: 10})
+	results := make([]bool, 0, 5)
+	for i := 0; i < 5; i++ {
+		srv.Submit(tpcw.Request{EB: i, Interaction: tpcw.Home, IssuedAt: sched.Now()}, func(ok bool) {
+			results = append(results, ok)
+		})
+	}
+	snap := srv.Snapshot()
+	if snap.ActiveRequests != 2 {
+		t.Fatalf("active = %d, want 2 (pool size)", snap.ActiveRequests)
+	}
+	if snap.QueuedRequests != 3 {
+		t.Fatalf("queued = %d, want 3", snap.QueuedRequests)
+	}
+	sched.RunUntil(30 * time.Second)
+	if len(results) != 5 {
+		t.Fatalf("only %d of 5 requests completed", len(results))
+	}
+	for i, ok := range results {
+		if !ok {
+			t.Fatalf("request %d failed under queuing", i)
+		}
+	}
+	if srv.Snapshot().CompletedRequests != 5 {
+		t.Fatalf("completed = %d, want 5", srv.Snapshot().CompletedRequests)
+	}
+}
+
+func TestQueueOverflowRejects(t *testing.T) {
+	srv, sched := newTestServer(t, Config{MaxWorkerThreads: 1, MaxQueuedRequests: 2})
+	failures := 0
+	for i := 0; i < 10; i++ {
+		srv.Submit(tpcw.Request{EB: i, Interaction: tpcw.Home, IssuedAt: sched.Now()}, func(ok bool) {
+			if !ok {
+				failures++
+			}
+		})
+	}
+	if failures != 7 { // 1 running + 2 queued accepted, 7 rejected
+		t.Fatalf("rejected %d of 10 requests, want 7", failures)
+	}
+	if srv.Crashed() {
+		t.Fatalf("overload crashed the server; it must only reject")
+	}
+}
+
+func TestServiceTimeDegradesNearHeapExhaustion(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	req := tpcw.Request{Interaction: tpcw.Home}
+	var healthySum float64
+	const n = 500
+	for i := 0; i < n; i++ {
+		healthySum += srv.serviceTime(req).Seconds()
+	}
+	// Age the server: leak until ~90% of the old zone.
+	target := srv.Heap().OldMaxMB() * 0.9
+	for srv.Heap().OldLeakedMB() < target && !srv.Crashed() {
+		srv.InjectLeakMB(10)
+	}
+	var agedSum float64
+	for i := 0; i < n; i++ {
+		agedSum += srv.serviceTime(req).Seconds()
+	}
+	if agedSum <= healthySum*1.5 {
+		t.Fatalf("service time did not degrade near exhaustion: healthy %v, aged %v", healthySum/n, agedSum/n)
+	}
+}
+
+func TestSnapshotMetricsSane(t *testing.T) {
+	srv, sched := newTestServer(t, Config{})
+	for i := 0; i < 50; i++ {
+		submitOK(t, srv, sched, tpcw.ProductDetail)
+	}
+	snap := srv.Snapshot()
+	if snap.TimeSec <= 0 {
+		t.Fatalf("TimeSec = %v", snap.TimeSec)
+	}
+	if snap.TomcatMemoryMB <= 0 || snap.SystemMemUsedMB <= snap.TomcatMemoryMB-1 {
+		t.Fatalf("memory accounting wrong: tomcat %v, system %v", snap.TomcatMemoryMB, snap.SystemMemUsedMB)
+	}
+	if snap.SystemMemUsedMB > srv.Config().SystemMemoryMB {
+		t.Fatalf("system memory used %v exceeds physical %v", snap.SystemMemUsedMB, srv.Config().SystemMemoryMB)
+	}
+	if snap.SwapFreeMB > srv.Config().SwapMB || snap.SwapFreeMB < 0 {
+		t.Fatalf("swap free %v out of range", snap.SwapFreeMB)
+	}
+	if snap.DiskUsedMB <= srv.Config().DiskBaseMB {
+		t.Fatalf("disk usage did not grow with completed requests")
+	}
+	if snap.NumProcesses < srv.Config().BaseProcesses {
+		t.Fatalf("NumProcesses = %d", snap.NumProcesses)
+	}
+	if snap.YoungMaxMB <= 0 || snap.OldMaxMB <= 0 {
+		t.Fatalf("heap zone capacities missing: %+v", snap)
+	}
+	if snap.NumThreads < srv.Config().BaseThreads {
+		t.Fatalf("NumThreads = %d below base threads", snap.NumThreads)
+	}
+}
+
+func TestLoadIntegralGrowsUnderLoad(t *testing.T) {
+	srv, sched := newTestServer(t, Config{MaxWorkerThreads: 8})
+	for i := 0; i < 8; i++ {
+		srv.Submit(tpcw.Request{EB: i, Interaction: tpcw.BestSellers, IssuedAt: sched.Now()}, func(bool) {})
+	}
+	sched.RunUntil(5 * time.Second)
+	snap := srv.Snapshot()
+	if snap.LoadIntegral <= 0 {
+		t.Fatalf("load integral did not accumulate: %v", snap.LoadIntegral)
+	}
+}
+
+func TestCrashIsIdempotentAndFailsQueued(t *testing.T) {
+	srv, sched := newTestServer(t, Config{MaxWorkerThreads: 1, MaxQueuedRequests: 5})
+	var failed int
+	// One running and several queued requests.
+	for i := 0; i < 4; i++ {
+		srv.Submit(tpcw.Request{EB: i, Interaction: tpcw.Home, IssuedAt: sched.Now()}, func(ok bool) {
+			if !ok {
+				failed++
+			}
+		})
+	}
+	crashes := 0
+	srv.OnCrash(func(CrashReason) { crashes++ })
+	srv.Crash(CrashSystemMemory)
+	srv.Crash(CrashOutOfMemory) // second crash must be ignored
+	if crashes != 1 {
+		t.Fatalf("crash callback fired %d times", crashes)
+	}
+	if srv.CrashReason() != CrashSystemMemory {
+		t.Fatalf("second Crash overwrote the reason: %q", srv.CrashReason())
+	}
+	if failed != 3 { // the 3 queued requests fail; the running one is in flight
+		t.Fatalf("crash failed %d queued requests, want 3", failed)
+	}
+	if srv.CrashTime() != sched.Now() {
+		t.Fatalf("CrashTime = %v, want %v", srv.CrashTime(), sched.Now())
+	}
+}
+
+func TestSubmitNilDoneDoesNotPanic(t *testing.T) {
+	srv, sched := newTestServer(t, Config{})
+	srv.Submit(tpcw.Request{Interaction: tpcw.Home, IssuedAt: sched.Now()}, nil)
+	sched.RunUntil(5 * time.Second)
+	if srv.Snapshot().CompletedRequests != 1 {
+		t.Fatalf("request with nil done was not processed")
+	}
+}

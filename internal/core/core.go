@@ -1,0 +1,491 @@
+// Package core is the public face of the library: an adaptive, on-line
+// software-aging predictor in the spirit of Alonso et al. (DSN 2010).
+//
+// A Predictor is trained off-line on a handful of monitored failure
+// executions (monitor.Series) and then applied on-line: every 15-second
+// checkpoint is pushed through the derived-feature pipeline (consumption
+// speeds smoothed over a sliding window, Table 2 of the paper) and the
+// machine-learning model — an M5P model tree by default — outputs the
+// predicted time until the server fails. Because the features include the
+// current consumption speeds, the prediction automatically adapts when the
+// aging trend changes: if the leak slows down, the predicted time to failure
+// grows, and vice versa.
+//
+// The learned model also doubles as a root-cause hint: the attributes tested
+// near the root of the model tree are the resources most strongly related to
+// the coming failure (Section 4.4 of the paper).
+//
+// Example:
+//
+//	p, _ := core.NewPredictor(core.Config{})
+//	report, _ := p.Train(trainingSeries)
+//	for cp := range checkpoints {           // live 15-second checkpoints
+//	    pred, _ := p.Observe(cp)
+//	    if pred.CrashExpected && pred.TTF < 10*time.Minute {
+//	        triggerRejuvenation()
+//	    }
+//	}
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"agingpred/internal/dataset"
+	"agingpred/internal/evalx"
+	"agingpred/internal/features"
+	"agingpred/internal/linreg"
+	"agingpred/internal/m5p"
+	"agingpred/internal/monitor"
+	"agingpred/internal/regtree"
+)
+
+// ModelKind selects the learning algorithm backing a Predictor.
+type ModelKind string
+
+// The available model families. M5P is the paper's choice; the other two are
+// the baselines it is compared against (linear regression in Tables 3–4, the
+// plain decision/regression tree in the authors' earlier study).
+const (
+	ModelM5P              ModelKind = "m5p"
+	ModelLinearRegression ModelKind = "linreg"
+	ModelRegressionTree   ModelKind = "regtree"
+)
+
+// Config configures a Predictor. The zero value reproduces the paper's
+// setup: an M5P tree over the full Table 2 variable set, with 10 instances
+// per leaf and a 12-checkpoint sliding window.
+type Config struct {
+	// Model is the learning algorithm (default ModelM5P).
+	Model ModelKind
+	// Variables selects the Table 2 variable subset (default features.FullSet).
+	Variables features.VariableSet
+	// WindowLength is the sliding-window length, in checkpoints, used for
+	// the derived consumption-speed features (default 12).
+	WindowLength int
+	// MinLeafInstances is the minimum number of instances per tree leaf
+	// (default 10, as reported by the paper for every experiment).
+	MinLeafInstances int
+	// LeafMaxAttrs caps the attributes each leaf linear model may consider;
+	// keeps training fast on the ~50-variable Table 2 set (default 15,
+	// 0 keeps the default; set to -1 for no cap).
+	LeafMaxAttrs int
+	// Unpruned and NoSmoothing expose the corresponding M5P options for
+	// ablation studies.
+	Unpruned    bool
+	NoSmoothing bool
+	// InfiniteTTF is the time-to-failure that means "no failure in sight"
+	// (default 3 h = 10800 s, the paper's convention).
+	InfiniteTTF time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Model == "" {
+		c.Model = ModelM5P
+	}
+	if c.WindowLength <= 0 {
+		c.WindowLength = features.DefaultWindowLength
+	}
+	if c.MinLeafInstances <= 0 {
+		c.MinLeafInstances = m5p.DefaultMinInstances
+	}
+	switch {
+	case c.LeafMaxAttrs == 0:
+		c.LeafMaxAttrs = 15
+	case c.LeafMaxAttrs < 0:
+		c.LeafMaxAttrs = 0 // no cap
+	}
+	if c.InfiniteTTF <= 0 {
+		c.InfiniteTTF = time.Duration(monitor.InfiniteTTFSec * float64(time.Second))
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	switch c.Model {
+	case ModelM5P, ModelLinearRegression, ModelRegressionTree:
+	default:
+		return fmt.Errorf("core: unknown model kind %q", c.Model)
+	}
+	return nil
+}
+
+// regressor is the behaviour shared by the three model families.
+type regressor interface {
+	Predict(attrs []string, row []float64) (float64, error)
+}
+
+// Statically verify the three backing models satisfy the interface.
+var (
+	_ regressor = (*m5p.Tree)(nil)
+	_ regressor = (*linreg.Model)(nil)
+	_ regressor = (*regtree.Tree)(nil)
+)
+
+// Predictor predicts time to failure from monitored checkpoints.
+type Predictor struct {
+	cfg   Config
+	attrs []string
+
+	model   regressor
+	m5pTree *m5p.Tree // non-nil only when cfg.Model == ModelM5P
+
+	online  *features.OnlineExtractor
+	trained bool
+}
+
+// TrainReport summarises a training round, mirroring the numbers the paper
+// reports for each experiment ("the model generated was composed by 36 leafs
+// and 35 inner nodes, using 10 instances to build every leaf", trained on N
+// instances).
+type TrainReport struct {
+	Model      ModelKind
+	Instances  int
+	Attributes int
+	// Leaves and InnerNodes describe tree models; they are zero for linear
+	// regression.
+	Leaves     int
+	InnerNodes int
+}
+
+// String renders the report in the paper's style.
+func (r TrainReport) String() string {
+	if r.Leaves > 0 {
+		return fmt.Sprintf("%s model: %d leaves, %d inner nodes, trained on %d instances (%d attributes)",
+			r.Model, r.Leaves, r.InnerNodes, r.Instances, r.Attributes)
+	}
+	return fmt.Sprintf("%s model trained on %d instances (%d attributes)", r.Model, r.Instances, r.Attributes)
+}
+
+// Prediction is one on-line prediction.
+type Prediction struct {
+	// TimeSec is the checkpoint time the prediction was issued at.
+	TimeSec float64
+	// TTF is the predicted time until failure.
+	TTF time.Duration
+	// TTFSec is the same value in seconds (convenient for plots and tables).
+	TTFSec float64
+	// CrashExpected is false when the prediction is at or beyond the
+	// "infinite" horizon, i.e. the model sees no aging.
+	CrashExpected bool
+}
+
+// NewPredictor creates a Predictor from the configuration.
+func NewPredictor(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Predictor{
+		cfg:    cfg,
+		attrs:  features.Variables(cfg.Variables),
+		online: features.NewOnlineExtractor(cfg.WindowLength, cfg.Variables),
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Trained reports whether the predictor has a model.
+func (p *Predictor) Trained() bool { return p.trained }
+
+// Attrs returns the attribute names of the feature vectors the predictor
+// consumes.
+func (p *Predictor) Attrs() []string { return append([]string(nil), p.attrs...) }
+
+// Train fits the model from one or more monitored executions (typically a
+// handful of run-to-crash executions at different workloads and injection
+// rates, as in the paper). It replaces any previously-trained model and
+// resets the on-line state.
+func (p *Predictor) Train(series []*monitor.Series) (TrainReport, error) {
+	if len(series) == 0 {
+		return TrainReport{}, errors.New("core: no training series")
+	}
+	extractor := features.NewExtractor(p.cfg.WindowLength)
+	ds, err := extractor.ExtractAll("training", series, p.cfg.Variables)
+	if err != nil {
+		return TrainReport{}, fmt.Errorf("core: extracting training features: %w", err)
+	}
+	return p.TrainDataset(ds)
+}
+
+// TrainDataset fits the model from an already-extracted dataset. The dataset
+// schema must match the predictor's variable set.
+func (p *Predictor) TrainDataset(ds *dataset.Dataset) (TrainReport, error) {
+	if ds == nil || ds.Len() == 0 {
+		return TrainReport{}, errors.New("core: empty training dataset")
+	}
+	report := TrainReport{Model: p.cfg.Model, Instances: ds.Len(), Attributes: ds.NumAttrs()}
+	switch p.cfg.Model {
+	case ModelM5P:
+		tree, err := m5p.Fit(ds, m5p.Options{
+			MinInstances: p.cfg.MinLeafInstances,
+			Unpruned:     p.cfg.Unpruned,
+			NoSmoothing:  p.cfg.NoSmoothing,
+			LeafMaxAttrs: p.cfg.LeafMaxAttrs,
+		})
+		if err != nil {
+			return TrainReport{}, fmt.Errorf("core: fitting M5P: %w", err)
+		}
+		p.model = tree
+		p.m5pTree = tree
+		report.Leaves = tree.Leaves()
+		report.InnerNodes = tree.InnerNodes()
+	case ModelLinearRegression:
+		lr, err := linreg.Fit(ds, linreg.Options{EliminateAttrs: true})
+		if err != nil {
+			return TrainReport{}, fmt.Errorf("core: fitting linear regression: %w", err)
+		}
+		p.model = lr
+		p.m5pTree = nil
+	case ModelRegressionTree:
+		rt, err := regtree.Fit(ds, regtree.Options{MinInstances: p.cfg.MinLeafInstances})
+		if err != nil {
+			return TrainReport{}, fmt.Errorf("core: fitting regression tree: %w", err)
+		}
+		p.model = rt
+		p.m5pTree = nil
+		report.Leaves = rt.Leaves()
+		report.InnerNodes = rt.InnerNodes()
+	default:
+		return TrainReport{}, fmt.Errorf("core: unknown model kind %q", p.cfg.Model)
+	}
+	p.trained = true
+	p.ResetOnline()
+	return report, nil
+}
+
+// ResetOnline clears the on-line sliding-window state (use after a
+// rejuvenation action or when switching to a different server).
+func (p *Predictor) ResetOnline() {
+	p.online = features.NewOnlineExtractor(p.cfg.WindowLength, p.cfg.Variables)
+}
+
+// Observe consumes one live checkpoint and returns the prediction for it.
+func (p *Predictor) Observe(cp monitor.Checkpoint) (Prediction, error) {
+	if !p.trained {
+		return Prediction{}, errors.New("core: predictor is not trained")
+	}
+	row := p.online.Push(cp)
+	return p.predictRow(cp.TimeSec, row)
+}
+
+// predictRow runs the model on one feature vector and post-processes the
+// output: predictions are clamped to [0, InfiniteTTF].
+func (p *Predictor) predictRow(timeSec float64, row []float64) (Prediction, error) {
+	raw, err := p.model.Predict(p.attrs, row)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: predicting: %w", err)
+	}
+	infinite := p.cfg.InfiniteTTF.Seconds()
+	ttf := raw
+	if ttf < 0 {
+		ttf = 0
+	}
+	if ttf > infinite {
+		ttf = infinite
+	}
+	return Prediction{
+		TimeSec:       timeSec,
+		TTF:           time.Duration(ttf * float64(time.Second)),
+		TTFSec:        ttf,
+		CrashExpected: ttf < infinite*0.999,
+	}, nil
+}
+
+// PredictRow predicts the time to failure for a single already-extracted
+// feature vector. attrs names the columns of row; the schema may be wider or
+// reordered as long as every attribute of the predictor's variable set is
+// present. Use Observe for live checkpoints — PredictRow exists for datasets
+// that were extracted earlier (e.g. loaded from CSV by cmd/agingpredict).
+func (p *Predictor) PredictRow(attrs []string, row []float64) (Prediction, error) {
+	if !p.trained {
+		return Prediction{}, errors.New("core: predictor is not trained")
+	}
+	raw, err := p.model.Predict(attrs, row)
+	if err != nil {
+		return Prediction{}, fmt.Errorf("core: predicting: %w", err)
+	}
+	infinite := p.cfg.InfiniteTTF.Seconds()
+	ttf := math.Max(0, math.Min(raw, infinite))
+	return Prediction{
+		TTF:           time.Duration(ttf * float64(time.Second)),
+		TTFSec:        ttf,
+		CrashExpected: ttf < infinite*0.999,
+	}, nil
+}
+
+// EvaluateDataset evaluates the predictor on an already-extracted dataset
+// whose target column holds the true time to failure. It is the CSV-level
+// counterpart of Evaluate.
+func (p *Predictor) EvaluateDataset(ds *dataset.Dataset, opts evalx.Options) (evalx.Report, error) {
+	if !p.trained {
+		return evalx.Report{}, errors.New("core: predictor is not trained")
+	}
+	if ds == nil || ds.Len() == 0 {
+		return evalx.Report{}, errors.New("core: empty evaluation dataset")
+	}
+	attrs := ds.Attrs()
+	preds := make([]evalx.Prediction, 0, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		pr, err := p.PredictRow(attrs, ds.Row(i))
+		if err != nil {
+			return evalx.Report{}, err
+		}
+		preds = append(preds, evalx.Prediction{
+			TrueTTF:      ds.TargetValue(i),
+			PredictedTTF: pr.TTFSec,
+		})
+	}
+	if opts.Model == "" {
+		opts.Model = string(p.cfg.Model)
+	}
+	return evalx.Evaluate(preds, opts)
+}
+
+// PredictSeries replays a monitored series through the predictor (with fresh
+// on-line state) and returns one evalx.Prediction per checkpoint, pairing
+// the model output with the series' true TTF labels. The predictor's on-line
+// state is reset before and after.
+func (p *Predictor) PredictSeries(s *monitor.Series) ([]evalx.Prediction, error) {
+	if !p.trained {
+		return nil, errors.New("core: predictor is not trained")
+	}
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("core: empty test series")
+	}
+	p.ResetOnline()
+	defer p.ResetOnline()
+	out := make([]evalx.Prediction, 0, s.Len())
+	for _, cp := range s.Checkpoints {
+		pred, err := p.Observe(cp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, evalx.Prediction{
+			TimeSec:      cp.TimeSec,
+			TrueTTF:      cp.TTFSec,
+			PredictedTTF: pred.TTFSec,
+		})
+	}
+	return out, nil
+}
+
+// PredictSeriesAgainst is like PredictSeries but evaluates the model output
+// against caller-supplied reference TTF labels instead of the series' own
+// labels. The paper uses this for experiment 4.2, where the "true" time to
+// failure of each checkpoint is defined by freezing the current injection
+// rate and simulating until the crash.
+func (p *Predictor) PredictSeriesAgainst(s *monitor.Series, referenceTTF []float64) ([]evalx.Prediction, error) {
+	if s == nil || s.Len() == 0 {
+		return nil, errors.New("core: empty test series")
+	}
+	if len(referenceTTF) != s.Len() {
+		return nil, fmt.Errorf("core: %d reference labels for %d checkpoints", len(referenceTTF), s.Len())
+	}
+	preds, err := p.PredictSeries(s)
+	if err != nil {
+		return nil, err
+	}
+	for i := range preds {
+		preds[i].TrueTTF = referenceTTF[i]
+	}
+	return preds, nil
+}
+
+// Evaluate replays a test series and computes the paper's accuracy metrics
+// (MAE, S-MAE, PRE-MAE, POST-MAE).
+func (p *Predictor) Evaluate(s *monitor.Series, opts evalx.Options) (evalx.Report, error) {
+	preds, err := p.PredictSeries(s)
+	if err != nil {
+		return evalx.Report{}, err
+	}
+	if opts.Model == "" {
+		opts.Model = string(p.cfg.Model)
+	}
+	return evalx.Evaluate(preds, opts)
+}
+
+// RootCauseHint is one clue extracted from the structure of the learned
+// model: an attribute the model consults prominently when deciding how long
+// the system has left.
+type RootCauseHint struct {
+	// Attr is the attribute (metric) name.
+	Attr string
+	// Threshold is the split value at the shallowest node testing the
+	// attribute.
+	Threshold float64
+	// Depth is that node's depth (0 = root: the strongest hint).
+	Depth int
+	// Splits is how many nodes across the whole tree test this attribute.
+	Splits int
+}
+
+// RootCause inspects the learned model and returns hints about which
+// resources are implicated in the coming failure, most significant first.
+// Only the M5P model carries the tree structure the paper inspects.
+func (p *Predictor) RootCause(maxDepth int) ([]RootCauseHint, error) {
+	if !p.trained {
+		return nil, errors.New("core: predictor is not trained")
+	}
+	if maxDepth <= 0 {
+		maxDepth = 3
+	}
+	if p.m5pTree == nil {
+		return nil, fmt.Errorf("core: root-cause hints require an M5P model (have %s)", p.cfg.Model)
+	}
+	splits := p.m5pTree.TopSplits(maxDepth)
+	counts := p.m5pTree.SplitAttributeCounts()
+	seen := make(map[string]bool)
+	hints := make([]RootCauseHint, 0, len(splits))
+	for _, sp := range splits {
+		if seen[sp.Attr] {
+			continue
+		}
+		seen[sp.Attr] = true
+		hints = append(hints, RootCauseHint{
+			Attr:      sp.Attr,
+			Threshold: sp.Threshold,
+			Depth:     sp.Depth,
+			Splits:    counts[sp.Attr],
+		})
+	}
+	return hints, nil
+}
+
+// ModelDescription returns a human-readable rendering of the learned model
+// (the full M5P tree with its leaf equations, or the regression formula).
+func (p *Predictor) ModelDescription() string {
+	if !p.trained {
+		return "(untrained)"
+	}
+	switch m := p.model.(type) {
+	case *m5p.Tree:
+		return m.String()
+	case *linreg.Model:
+		return fmt.Sprintf("%s = %s", features.Target, m.String())
+	case *regtree.Tree:
+		return m.String()
+	default:
+		return fmt.Sprintf("%T", p.model)
+	}
+}
+
+// FormatRootCause renders root-cause hints as a short human-readable report.
+func FormatRootCause(hints []RootCauseHint) string {
+	if len(hints) == 0 {
+		return "no root-cause hints (model has no splits)"
+	}
+	var b strings.Builder
+	b.WriteString("Root-cause hints (from the top of the model tree):\n")
+	for i, h := range hints {
+		fmt.Fprintf(&b, "  %d. %s (split at %.4g, depth %d, used in %d splits)\n",
+			i+1, h.Attr, h.Threshold, h.Depth, h.Splits)
+	}
+	return b.String()
+}

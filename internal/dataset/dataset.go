@@ -1,0 +1,363 @@
+// Package dataset provides the tabular data representation shared by the
+// learning stack: named numeric attributes, instances, and a target column.
+//
+// The paper trains its models on checkpoint tables exported from the
+// monitoring subsystem (Table 2 lists the columns); every model in this
+// repository (linear regression, regression trees, M5P) consumes a *Dataset.
+// The package also implements CSV and a small subset of WEKA's ARFF format so
+// that datasets can be exchanged with the original tooling the authors used.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dataset is a table of numeric instances with named attributes and a single
+// numeric target (class) attribute. The target of this repository is always
+// "time to failure" in seconds, but nothing in the learning stack depends on
+// that.
+type Dataset struct {
+	// Relation is a human-readable name for the dataset (the ARFF @relation).
+	Relation string
+
+	attrs  []string
+	target string
+
+	// rows[i] holds the attribute values of instance i, in attrs order.
+	rows [][]float64
+	// targets[i] holds the target value of instance i.
+	targets []float64
+}
+
+// New creates an empty dataset with the given attribute names and target
+// name. Attribute names must be unique and non-empty, and must not collide
+// with the target name.
+func New(relation string, attrs []string, target string) (*Dataset, error) {
+	if target == "" {
+		return nil, errors.New("dataset: empty target name")
+	}
+	seen := make(map[string]bool, len(attrs)+1)
+	seen[target] = true
+	copied := make([]string, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("dataset: attribute %d has empty name", i)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a)
+		}
+		seen[a] = true
+		copied[i] = a
+	}
+	return &Dataset{
+		Relation: relation,
+		attrs:    copied,
+		target:   target,
+	}, nil
+}
+
+// MustNew is like New but panics on error. It is intended for package-level
+// construction of fixed attribute sets (e.g. the Table 2 variable lists),
+// where an invalid name list is a programming error.
+func MustNew(relation string, attrs []string, target string) *Dataset {
+	d, err := New(relation, attrs, target)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Attrs returns a copy of the attribute names, in column order.
+func (d *Dataset) Attrs() []string {
+	out := make([]string, len(d.attrs))
+	copy(out, d.attrs)
+	return out
+}
+
+// Target returns the name of the target attribute.
+func (d *Dataset) Target() string { return d.target }
+
+// NumAttrs returns the number of (non-target) attributes.
+func (d *Dataset) NumAttrs() int { return len(d.attrs) }
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.rows) }
+
+// AttrIndex returns the column index of the named attribute, or -1 if the
+// dataset has no such attribute.
+func (d *Dataset) AttrIndex(name string) int {
+	for i, a := range d.attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds one instance. The row must have exactly NumAttrs values; the
+// row is copied, so the caller may reuse its slice.
+func (d *Dataset) Append(row []float64, target float64) error {
+	if len(row) != len(d.attrs) {
+		return fmt.Errorf("dataset: row has %d values, want %d", len(row), len(d.attrs))
+	}
+	for i, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: row value %q is not finite: %v", d.attrs[i], v)
+		}
+	}
+	if math.IsNaN(target) || math.IsInf(target, 0) {
+		return fmt.Errorf("dataset: target value is not finite: %v", target)
+	}
+	cp := make([]float64, len(row))
+	copy(cp, row)
+	d.rows = append(d.rows, cp)
+	d.targets = append(d.targets, target)
+	return nil
+}
+
+// Row returns the attribute values of instance i. The returned slice is the
+// dataset's backing storage; callers must not modify it.
+func (d *Dataset) Row(i int) []float64 { return d.rows[i] }
+
+// TargetValue returns the target value of instance i.
+func (d *Dataset) TargetValue(i int) float64 { return d.targets[i] }
+
+// Targets returns a copy of the target column.
+func (d *Dataset) Targets() []float64 {
+	out := make([]float64, len(d.targets))
+	copy(out, d.targets)
+	return out
+}
+
+// Value returns the value of attribute col for instance i.
+func (d *Dataset) Value(i, col int) float64 { return d.rows[i][col] }
+
+// Column returns a copy of attribute column col.
+func (d *Dataset) Column(col int) []float64 {
+	out := make([]float64, len(d.rows))
+	for i, r := range d.rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{
+		Relation: d.Relation,
+		attrs:    append([]string(nil), d.attrs...),
+		target:   d.target,
+		rows:     make([][]float64, len(d.rows)),
+		targets:  append([]float64(nil), d.targets...),
+	}
+	for i, r := range d.rows {
+		out.rows[i] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// Empty returns a dataset with the same schema as d and no instances.
+func (d *Dataset) Empty() *Dataset {
+	return &Dataset{
+		Relation: d.Relation,
+		attrs:    append([]string(nil), d.attrs...),
+		target:   d.target,
+	}
+}
+
+// AppendAll appends every instance of other to d. The schemas (attribute
+// names, order and target) must match exactly.
+func (d *Dataset) AppendAll(other *Dataset) error {
+	if err := d.sameSchema(other); err != nil {
+		return err
+	}
+	for i := 0; i < other.Len(); i++ {
+		if err := d.Append(other.Row(i), other.TargetValue(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dataset) sameSchema(other *Dataset) error {
+	if other == nil {
+		return errors.New("dataset: nil dataset")
+	}
+	if d.target != other.target {
+		return fmt.Errorf("dataset: target mismatch %q vs %q", d.target, other.target)
+	}
+	if len(d.attrs) != len(other.attrs) {
+		return fmt.Errorf("dataset: attribute count mismatch %d vs %d", len(d.attrs), len(other.attrs))
+	}
+	for i := range d.attrs {
+		if d.attrs[i] != other.attrs[i] {
+			return fmt.Errorf("dataset: attribute %d mismatch %q vs %q", i, d.attrs[i], other.attrs[i])
+		}
+	}
+	return nil
+}
+
+// Select returns a new dataset containing only the named attributes (in the
+// given order) and the same target column. It is the mechanism behind the
+// paper's "expert feature selection" in experiment 4.3.
+func (d *Dataset) Select(names []string) (*Dataset, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := d.AttrIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		idx[i] = j
+	}
+	out, err := New(d.Relation, names, d.target)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, len(idx))
+	for i := 0; i < d.Len(); i++ {
+		src := d.rows[i]
+		for k, j := range idx {
+			row[k] = src[j]
+		}
+		if err := out.Append(row, d.targets[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Filter returns a new dataset with the instances for which keep returns
+// true.
+func (d *Dataset) Filter(keep func(row []float64, target float64) bool) *Dataset {
+	out := d.Empty()
+	for i := 0; i < d.Len(); i++ {
+		if keep(d.rows[i], d.targets[i]) {
+			// Append on a matching schema cannot fail for finite values that
+			// were already accepted once.
+			_ = out.Append(d.rows[i], d.targets[i])
+		}
+	}
+	return out
+}
+
+// Subset returns a new dataset containing the instances with the given
+// indices, in order.
+func (d *Dataset) Subset(indices []int) (*Dataset, error) {
+	out := d.Empty()
+	for _, i := range indices {
+		if i < 0 || i >= d.Len() {
+			return nil, fmt.Errorf("dataset: index %d out of range [0,%d)", i, d.Len())
+		}
+		if err := out.Append(d.rows[i], d.targets[i]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Shuffle permutes the instances in place using the provided swap-free
+// permutation source. perm must return a permutation of [0,n).
+func (d *Dataset) Shuffle(perm func(n int) []int) {
+	p := perm(d.Len())
+	rows := make([][]float64, len(d.rows))
+	targets := make([]float64, len(d.targets))
+	for i, j := range p {
+		rows[i] = d.rows[j]
+		targets[i] = d.targets[j]
+	}
+	d.rows = rows
+	d.targets = targets
+}
+
+// Split partitions the dataset into a head of the given fraction (rounded
+// down, at least one instance if the dataset is non-empty and frac > 0) and
+// the remaining tail. It does not shuffle.
+func (d *Dataset) Split(frac float64) (head, tail *Dataset, err error) {
+	if frac < 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("dataset: split fraction %v out of [0,1]", frac)
+	}
+	n := int(frac * float64(d.Len()))
+	if n == 0 && frac > 0 && d.Len() > 0 {
+		n = 1
+	}
+	head = d.Empty()
+	tail = d.Empty()
+	for i := 0; i < d.Len(); i++ {
+		dst := tail
+		if i < n {
+			dst = head
+		}
+		if err := dst.Append(d.rows[i], d.targets[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return head, tail, nil
+}
+
+// Stats summarises one column of a dataset.
+type Stats struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// TargetStats returns summary statistics of the target column.
+func (d *Dataset) TargetStats() Stats { return computeStats(d.targets) }
+
+// AttrStats returns summary statistics of attribute column col.
+func (d *Dataset) AttrStats(col int) Stats { return computeStats(d.Column(col)) }
+
+func computeStats(vals []float64) Stats {
+	st := Stats{Count: len(vals)}
+	if len(vals) == 0 {
+		return st
+	}
+	st.Min = math.Inf(1)
+	st.Max = math.Inf(-1)
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = sum / float64(len(vals))
+	ss := 0.0
+	for _, v := range vals {
+		dv := v - st.Mean
+		ss += dv * dv
+	}
+	st.StdDev = math.Sqrt(ss / float64(len(vals)))
+	return st
+}
+
+// SortByAttr returns the instance indices sorted ascending by the value of
+// attribute col (ties keep their original relative order). Model-tree
+// induction uses this to enumerate candidate split points.
+func (d *Dataset) SortByAttr(col int) []int {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return d.rows[idx[a]][col] < d.rows[idx[b]][col]
+	})
+	return idx
+}
+
+// String returns a short human-readable summary (not the full table).
+func (d *Dataset) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "dataset %q: %d instances, %d attributes, target %q",
+		d.Relation, d.Len(), d.NumAttrs(), d.target)
+	return b.String()
+}

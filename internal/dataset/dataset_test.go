@@ -1,0 +1,319 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"agingpred/internal/rng"
+)
+
+func mustDataset(t *testing.T, attrs []string) *Dataset {
+	t.Helper()
+	d, err := New("test", attrs, "ttf")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		attrs   []string
+		target  string
+		wantErr bool
+	}{
+		{name: "valid", attrs: []string{"a", "b"}, target: "y"},
+		{name: "no attrs", attrs: nil, target: "y"},
+		{name: "empty target", attrs: []string{"a"}, target: "", wantErr: true},
+		{name: "empty attr name", attrs: []string{"a", ""}, target: "y", wantErr: true},
+		{name: "duplicate attr", attrs: []string{"a", "a"}, target: "y", wantErr: true},
+		{name: "attr equals target", attrs: []string{"y"}, target: "y", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New("r", tt.attrs, tt.target)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("New(%v, %q) error = %v, wantErr %v", tt.attrs, tt.target, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustNew with duplicate attributes did not panic")
+		}
+	}()
+	MustNew("r", []string{"a", "a"}, "y")
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	d := mustDataset(t, []string{"a", "b"})
+	if err := d.Append([]float64{1, 2}, 10); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := d.Append([]float64{3, 4}, 20); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if d.Len() != 2 || d.NumAttrs() != 2 {
+		t.Fatalf("Len=%d NumAttrs=%d, want 2, 2", d.Len(), d.NumAttrs())
+	}
+	if got := d.Value(1, 0); got != 3 {
+		t.Fatalf("Value(1,0) = %v, want 3", got)
+	}
+	if got := d.TargetValue(0); got != 10 {
+		t.Fatalf("TargetValue(0) = %v, want 10", got)
+	}
+	if got := d.Column(1); !reflect.DeepEqual(got, []float64{2, 4}) {
+		t.Fatalf("Column(1) = %v, want [2 4]", got)
+	}
+	if got := d.Targets(); !reflect.DeepEqual(got, []float64{10, 20}) {
+		t.Fatalf("Targets() = %v", got)
+	}
+	if got := d.AttrIndex("b"); got != 1 {
+		t.Fatalf("AttrIndex(b) = %d, want 1", got)
+	}
+	if got := d.AttrIndex("missing"); got != -1 {
+		t.Fatalf("AttrIndex(missing) = %d, want -1", got)
+	}
+}
+
+func TestAppendRejectsBadRows(t *testing.T) {
+	d := mustDataset(t, []string{"a", "b"})
+	if err := d.Append([]float64{1}, 0); err == nil {
+		t.Fatalf("Append with wrong width succeeded")
+	}
+	if err := d.Append([]float64{1, math.NaN()}, 0); err == nil {
+		t.Fatalf("Append with NaN succeeded")
+	}
+	if err := d.Append([]float64{1, 2}, math.Inf(1)); err == nil {
+		t.Fatalf("Append with infinite target succeeded")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("failed appends modified the dataset: len=%d", d.Len())
+	}
+}
+
+func TestAppendCopiesRow(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	row := []float64{1}
+	if err := d.Append(row, 5); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	row[0] = 99
+	if got := d.Value(0, 0); got != 1 {
+		t.Fatalf("Append did not copy the row: value = %v", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	_ = d.Append([]float64{1}, 2)
+	c := d.Clone()
+	c.Row(0)[0] = 42
+	if d.Value(0, 0) != 1 {
+		t.Fatalf("Clone shares row storage with the original")
+	}
+	if c.Relation != d.Relation || c.Target() != d.Target() {
+		t.Fatalf("Clone lost schema: %v vs %v", c, d)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	d := mustDataset(t, []string{"a", "b", "c"})
+	_ = d.Append([]float64{1, 2, 3}, 10)
+	_ = d.Append([]float64{4, 5, 6}, 20)
+
+	sel, err := d.Select([]string{"c", "a"})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if !reflect.DeepEqual(sel.Attrs(), []string{"c", "a"}) {
+		t.Fatalf("selected attrs = %v", sel.Attrs())
+	}
+	if got := sel.Row(1); !reflect.DeepEqual(got, []float64{6, 4}) {
+		t.Fatalf("selected row = %v, want [6 4]", got)
+	}
+	if got := sel.TargetValue(1); got != 20 {
+		t.Fatalf("selected target = %v, want 20", got)
+	}
+	if _, err := d.Select([]string{"zzz"}); err == nil {
+		t.Fatalf("Select with unknown attribute succeeded")
+	}
+}
+
+func TestFilterAndSubset(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	for i := 0; i < 10; i++ {
+		_ = d.Append([]float64{float64(i)}, float64(i*10))
+	}
+	even := d.Filter(func(row []float64, _ float64) bool { return int(row[0])%2 == 0 })
+	if even.Len() != 5 {
+		t.Fatalf("Filter kept %d instances, want 5", even.Len())
+	}
+	sub, err := d.Subset([]int{9, 0})
+	if err != nil {
+		t.Fatalf("Subset: %v", err)
+	}
+	if sub.Len() != 2 || sub.Value(0, 0) != 9 || sub.Value(1, 0) != 0 {
+		t.Fatalf("Subset wrong contents: %+v", sub)
+	}
+	if _, err := d.Subset([]int{100}); err == nil {
+		t.Fatalf("Subset with out-of-range index succeeded")
+	}
+}
+
+func TestAppendAllSchemaCheck(t *testing.T) {
+	d1 := mustDataset(t, []string{"a", "b"})
+	d2 := mustDataset(t, []string{"a", "b"})
+	_ = d2.Append([]float64{1, 2}, 3)
+	if err := d1.AppendAll(d2); err != nil {
+		t.Fatalf("AppendAll: %v", err)
+	}
+	if d1.Len() != 1 {
+		t.Fatalf("AppendAll did not copy instances")
+	}
+	d3 := mustDataset(t, []string{"a", "c"})
+	if err := d1.AppendAll(d3); err == nil {
+		t.Fatalf("AppendAll with mismatched schema succeeded")
+	}
+	if err := d1.AppendAll(nil); err == nil {
+		t.Fatalf("AppendAll(nil) succeeded")
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	for i := 0; i < 10; i++ {
+		_ = d.Append([]float64{float64(i)}, 0)
+	}
+	head, tail, err := d.Split(0.3)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if head.Len() != 3 || tail.Len() != 7 {
+		t.Fatalf("Split sizes = %d/%d, want 3/7", head.Len(), tail.Len())
+	}
+	if head.Value(0, 0) != 0 || tail.Value(0, 0) != 3 {
+		t.Fatalf("Split order wrong")
+	}
+	if _, _, err := d.Split(1.5); err == nil {
+		t.Fatalf("Split(1.5) succeeded")
+	}
+	// A tiny but positive fraction still yields one instance.
+	head, _, err = d.Split(0.001)
+	if err != nil {
+		t.Fatalf("Split: %v", err)
+	}
+	if head.Len() != 1 {
+		t.Fatalf("Split(0.001) head = %d, want 1", head.Len())
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	for i := 0; i < 50; i++ {
+		_ = d.Append([]float64{float64(i)}, float64(i))
+	}
+	src := rng.New(7)
+	d.Shuffle(src.Perm)
+	seen := make(map[int]bool)
+	for i := 0; i < d.Len(); i++ {
+		v := int(d.Value(i, 0))
+		if d.TargetValue(i) != float64(v) {
+			t.Fatalf("shuffle separated row from its target at %d", i)
+		}
+		if seen[v] {
+			t.Fatalf("shuffle duplicated value %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("shuffle lost values: %d distinct", len(seen))
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		_ = d.Append([]float64{v}, v)
+	}
+	st := d.TargetStats()
+	if st.Count != 8 {
+		t.Fatalf("Count = %d, want 8", st.Count)
+	}
+	if math.Abs(st.Mean-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", st.Mean)
+	}
+	if math.Abs(st.StdDev-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", st.StdDev)
+	}
+	if st.Min != 2 || st.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", st.Min, st.Max)
+	}
+	if as := d.AttrStats(0); as != st {
+		t.Fatalf("AttrStats = %+v, want %+v", as, st)
+	}
+	var empty Stats
+	if got := computeStats(nil); got != empty {
+		t.Fatalf("stats of empty column = %+v, want zero", got)
+	}
+}
+
+func TestSortByAttr(t *testing.T) {
+	d := mustDataset(t, []string{"a", "b"})
+	_ = d.Append([]float64{3, 0}, 0)
+	_ = d.Append([]float64{1, 1}, 1)
+	_ = d.Append([]float64{2, 2}, 2)
+	_ = d.Append([]float64{1, 3}, 3)
+	idx := d.SortByAttr(0)
+	want := []int{1, 3, 2, 0} // stable: the two 1s keep original order
+	if !reflect.DeepEqual(idx, want) {
+		t.Fatalf("SortByAttr = %v, want %v", idx, want)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	d := mustDataset(t, []string{"a"})
+	s := d.String()
+	if s == "" {
+		t.Fatalf("String() empty")
+	}
+}
+
+// Property: statistics are invariant under permutation, and min <= mean <= max.
+func TestStatsPermutationInvariantProperty(t *testing.T) {
+	f := func(vals []float64, seed uint64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		d := MustNew("p", []string{"a"}, "y")
+		for _, v := range clean {
+			if err := d.Append([]float64{v}, v); err != nil {
+				return false
+			}
+		}
+		before := d.TargetStats()
+		d.Shuffle(rng.New(seed).Perm)
+		after := d.TargetStats()
+		const eps = 1e-9
+		close := func(a, b float64) bool { return math.Abs(a-b) <= eps*(1+math.Abs(a)) }
+		if !close(before.Mean, after.Mean) || !close(before.StdDev, after.StdDev) {
+			return false
+		}
+		return before.Min <= before.Mean+eps && before.Mean <= before.Max+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

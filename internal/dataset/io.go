@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the dataset as CSV: a header row with the attribute names
+// followed by the target name, then one row per instance.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(d.Attrs(), d.target)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	record := make([]string, len(header))
+	for i := 0; i < d.Len(); i++ {
+		row := d.rows[i]
+		for j, v := range row {
+			record[j] = formatFloat(v)
+		}
+		record[len(record)-1] = formatFloat(d.targets[i])
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("dataset: writing CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flushing CSV: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV reads a dataset from CSV produced by WriteCSV (or any CSV whose
+// last column is the numeric target). The relation name is caller-provided
+// because CSV has no place to store it.
+func ReadCSV(r io.Reader, relation string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: CSV header has %d columns, need at least 2", len(header))
+	}
+	attrs := header[:len(header)-1]
+	target := header[len(header)-1]
+	d, err := New(relation, attrs, target)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, len(attrs))
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(record) != len(header) {
+			return nil, fmt.Errorf("dataset: CSV line %d has %d fields, want %d", line, len(record), len(header))
+		}
+		for j := 0; j < len(attrs); j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(record[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: CSV line %d column %q: %w", line, attrs[j], err)
+			}
+			row[j] = v
+		}
+		tv, err := strconv.ParseFloat(strings.TrimSpace(record[len(record)-1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d target: %w", line, err)
+		}
+		if err := d.Append(row, tv); err != nil {
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+		}
+	}
+	return d, nil
+}
+
+// WriteARFF writes the dataset in WEKA's ARFF format with all attributes
+// numeric. The paper's published datasets were distributed as ARFF, so this
+// keeps our exports interoperable with the original tooling.
+func (d *Dataset) WriteARFF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	rel := d.Relation
+	if rel == "" {
+		rel = "dataset"
+	}
+	fmt.Fprintf(bw, "@relation %s\n\n", arffQuote(rel))
+	for _, a := range d.attrs {
+		fmt.Fprintf(bw, "@attribute %s numeric\n", arffQuote(a))
+	}
+	fmt.Fprintf(bw, "@attribute %s numeric\n", arffQuote(d.target))
+	fmt.Fprint(bw, "\n@data\n")
+	for i := 0; i < d.Len(); i++ {
+		for _, v := range d.rows[i] {
+			fmt.Fprint(bw, formatFloat(v), ",")
+		}
+		fmt.Fprintln(bw, formatFloat(d.targets[i]))
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("dataset: writing ARFF: %w", err)
+	}
+	return nil
+}
+
+// ReadARFF reads a numeric-only ARFF file: every @attribute must be numeric
+// (or real/integer), and the last attribute is taken as the target.
+func ReadARFF(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		relation string
+		names    []string
+		inData   bool
+		d        *Dataset
+		row      []float64
+	)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(text)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				relation = arffUnquote(strings.TrimSpace(text[len("@relation"):]))
+			case strings.HasPrefix(lower, "@attribute"):
+				rest := strings.TrimSpace(text[len("@attribute"):])
+				name, typ, err := splitARFFAttribute(rest)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
+				}
+				switch strings.ToLower(typ) {
+				case "numeric", "real", "integer":
+				default:
+					return nil, fmt.Errorf("dataset: ARFF line %d: unsupported attribute type %q (only numeric attributes are supported)", line, typ)
+				}
+				names = append(names, name)
+			case strings.HasPrefix(lower, "@data"):
+				if len(names) < 2 {
+					return nil, fmt.Errorf("dataset: ARFF has %d attributes, need at least 2", len(names))
+				}
+				var err error
+				d, err = New(relation, names[:len(names)-1], names[len(names)-1])
+				if err != nil {
+					return nil, err
+				}
+				row = make([]float64, len(names)-1)
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: ARFF line %d: unrecognised declaration %q", line, text)
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != len(names) {
+			return nil, fmt.Errorf("dataset: ARFF line %d has %d values, want %d", line, len(fields), len(names))
+		}
+		for j := 0; j < len(names)-1; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: ARFF line %d column %q: %w", line, names[j], err)
+			}
+			row[j] = v
+		}
+		tv, err := strconv.ParseFloat(strings.TrimSpace(fields[len(fields)-1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: ARFF line %d target: %w", line, err)
+		}
+		if err := d.Append(row, tv); err != nil {
+			return nil, fmt.Errorf("dataset: ARFF line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading ARFF: %w", err)
+	}
+	if d == nil {
+		return nil, errors.New("dataset: ARFF input has no @data section")
+	}
+	return d, nil
+}
+
+// splitARFFAttribute splits "@attribute <name> <type>" remainders, handling
+// quoted names that contain spaces.
+func splitARFFAttribute(rest string) (name, typ string, err error) {
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return "", "", errors.New("empty @attribute declaration")
+	}
+	if rest[0] == '\'' || rest[0] == '"' {
+		quote := rest[0]
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated quoted attribute name in %q", rest)
+		}
+		name = rest[1 : 1+end]
+		typ = strings.TrimSpace(rest[2+end:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", fmt.Errorf("malformed @attribute declaration %q", rest)
+		}
+		name = fields[0]
+		typ = strings.Join(fields[1:], " ")
+	}
+	if name == "" || typ == "" {
+		return "", "", fmt.Errorf("malformed @attribute declaration %q", rest)
+	}
+	return name, typ, nil
+}
+
+func arffQuote(s string) string {
+	if strings.ContainsAny(s, " \t,%{}") {
+		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	}
+	return s
+}
+
+func arffUnquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && (s[0] == '\'' || s[0] == '"') && s[len(s)-1] == s[0] {
+		return strings.ReplaceAll(s[1:len(s)-1], "\\'", "'")
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,211 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := New("aging run", []string{"throughput", "tomcat memory used", "num threads"}, "time_to_failure")
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rows := [][]float64{
+		{12.5, 300.25, 94},
+		{11.75, 310, 95},
+		{0.001, 990.5, 400},
+	}
+	targets := []float64{3600, 3585, 15}
+	for i, r := range rows {
+		if err := d.Append(r, targets[i]); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return d
+}
+
+func datasetsEqual(a, b *Dataset) bool {
+	if a.Len() != b.Len() || !reflect.DeepEqual(a.Attrs(), b.Attrs()) || a.Target() != b.Target() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !reflect.DeepEqual(a.Row(i), b.Row(i)) || a.TargetValue(i) != b.TargetValue(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, d.Relation)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !datasetsEqual(d, got) {
+		t.Fatalf("CSV round trip mismatch:\noriginal: %v\nread: %v", d, got)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: ""},
+		{name: "single column", in: "only\n1\n"},
+		{name: "non numeric value", in: "a,y\nfoo,1\n"},
+		{name: "non numeric target", in: "a,y\n1,bar\n"},
+		{name: "short row", in: "a,b,y\n1,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in), "r"); err == nil {
+				t.Fatalf("ReadCSV(%q) succeeded, want error", tt.in)
+			}
+		})
+	}
+}
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf); err != nil {
+		t.Fatalf("WriteARFF: %v", err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "@relation") || !strings.Contains(text, "@data") {
+		t.Fatalf("ARFF output missing declarations:\n%s", text)
+	}
+	// Attribute names with spaces must be quoted.
+	if !strings.Contains(text, "'tomcat memory used'") {
+		t.Fatalf("ARFF output did not quote attribute with spaces:\n%s", text)
+	}
+	got, err := ReadARFF(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ReadARFF: %v", err)
+	}
+	if !datasetsEqual(d, got) {
+		t.Fatalf("ARFF round trip mismatch")
+	}
+	if got.Relation != "aging run" {
+		t.Fatalf("ARFF relation = %q, want %q", got.Relation, "aging run")
+	}
+}
+
+func TestReadARFFHandlesCommentsAndBlankLines(t *testing.T) {
+	in := `% a comment
+@relation tiny
+
+@attribute x numeric
+% another comment
+@attribute y real
+
+@data
+1,2
+
+3,4
+`
+	d, err := ReadARFF(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadARFF: %v", err)
+	}
+	if d.Len() != 2 || d.NumAttrs() != 1 {
+		t.Fatalf("parsed %d instances, %d attrs; want 2, 1", d.Len(), d.NumAttrs())
+	}
+	if d.Value(1, 0) != 3 || d.TargetValue(1) != 4 {
+		t.Fatalf("parsed wrong values: %v/%v", d.Value(1, 0), d.TargetValue(1))
+	}
+}
+
+func TestReadARFFErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "no data section", in: "@relation r\n@attribute a numeric\n@attribute y numeric\n"},
+		{name: "nominal attribute", in: "@relation r\n@attribute a {x,y}\n@attribute y numeric\n@data\n"},
+		{name: "one attribute only", in: "@relation r\n@attribute a numeric\n@data\n1\n"},
+		{name: "bad value", in: "@relation r\n@attribute a numeric\n@attribute y numeric\n@data\nfoo,1\n"},
+		{name: "bad target", in: "@relation r\n@attribute a numeric\n@attribute y numeric\n@data\n1,foo\n"},
+		{name: "wrong arity", in: "@relation r\n@attribute a numeric\n@attribute y numeric\n@data\n1,2,3\n"},
+		{name: "unknown declaration", in: "@relation r\n@bogus\n@data\n"},
+		{name: "unterminated quote", in: "@relation r\n@attribute 'a numeric\n@attribute y numeric\n@data\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadARFF(strings.NewReader(tt.in)); err == nil {
+				t.Fatalf("ReadARFF(%q) succeeded, want error", tt.name)
+			}
+		})
+	}
+}
+
+func TestSplitARFFAttribute(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantName string
+		wantType string
+		wantErr  bool
+	}{
+		{in: "x numeric", wantName: "x", wantType: "numeric"},
+		{in: "'a b' real", wantName: "a b", wantType: "real"},
+		{in: `"qq" integer`, wantName: "qq", wantType: "integer"},
+		{in: "", wantErr: true},
+		{in: "lonely", wantErr: true},
+	}
+	for _, tt := range tests {
+		name, typ, err := splitARFFAttribute(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("splitARFFAttribute(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+		if err != nil {
+			continue
+		}
+		if name != tt.wantName || typ != tt.wantType {
+			t.Fatalf("splitARFFAttribute(%q) = %q, %q; want %q, %q", tt.in, name, typ, tt.wantName, tt.wantType)
+		}
+	}
+}
+
+// Property: any finite dataset survives a CSV round trip bit-exactly
+// (formatFloat uses shortest round-trippable representation).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		d := MustNew("p", []string{"a", "b"}, "y")
+		for i := 0; i+2 < len(vals); i += 3 {
+			row := []float64{sanitize(vals[i]), sanitize(vals[i+1])}
+			if err := d.Append(row, sanitize(vals[i+2])); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf, "p")
+		if err != nil {
+			return false
+		}
+		return datasetsEqual(d, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}

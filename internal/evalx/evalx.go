@@ -1,0 +1,216 @@
+// Package evalx implements the accuracy metrics the paper reports for every
+// experiment: MAE, S-MAE (soft MAE with a security margin), and the
+// PRE-MAE / POST-MAE split that separates the last minutes before the crash
+// from the rest of the run.
+//
+// All times are expressed in seconds. Formatting helpers render durations in
+// the paper's "X min Y secs" style so that EXPERIMENTS.md tables read like
+// the original Tables 3 and 4.
+package evalx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// DefaultSecurityMargin is the fraction of the true time-to-failure within
+// which a prediction is considered "good enough" and counted as zero error by
+// S-MAE. The paper uses 10%.
+const DefaultSecurityMargin = 0.10
+
+// DefaultPostWindow is the width of the POST window before the crash over
+// which POST-MAE is computed. The paper uses the last 10 minutes.
+const DefaultPostWindow = 10 * time.Minute
+
+// Prediction is one (true value, predicted value) pair, annotated with the
+// time at which the prediction was made so that PRE/POST splits are possible.
+type Prediction struct {
+	// TimeSec is the simulated time (seconds since the start of the run) at
+	// which the prediction was issued.
+	TimeSec float64
+	// TrueTTF is the real time to failure, in seconds.
+	TrueTTF float64
+	// PredictedTTF is the model's predicted time to failure, in seconds.
+	PredictedTTF float64
+}
+
+// AbsError returns |true - predicted|.
+func (p Prediction) AbsError() float64 { return math.Abs(p.TrueTTF - p.PredictedTTF) }
+
+// SoftAbsError returns the absolute error with the security margin applied:
+// zero when the prediction falls within margin*TrueTTF of the true value, the
+// plain absolute error otherwise. This is the paper's S-MAE contribution of a
+// single prediction.
+func (p Prediction) SoftAbsError(margin float64) float64 {
+	err := p.AbsError()
+	if err <= margin*math.Abs(p.TrueTTF) {
+		return 0
+	}
+	return err
+}
+
+// Report aggregates the four accuracy numbers for one model on one
+// experiment, mirroring a row group of Table 3/4.
+type Report struct {
+	// Model names the predictor that produced the predictions ("M5P",
+	// "Linear Regression", ...).
+	Model string
+	// N is the number of predictions evaluated.
+	N int
+	// MAE is the mean absolute error, seconds.
+	MAE float64
+	// SMAE is the soft mean absolute error, seconds.
+	SMAE float64
+	// PreMAE is the MAE of predictions made before the POST window.
+	PreMAE float64
+	// PostMAE is the MAE of predictions made during the POST window (the
+	// last PostWindow seconds before the crash).
+	PostMAE float64
+	// Margin and PostWindowSec record the evaluation parameters used.
+	Margin        float64
+	PostWindowSec float64
+}
+
+// Options configures Evaluate.
+type Options struct {
+	// Margin is the S-MAE security margin as a fraction of the true TTF.
+	// Zero means DefaultSecurityMargin.
+	Margin float64
+	// PostWindow is how long before the crash the POST region starts.
+	// Zero means DefaultPostWindow.
+	PostWindow time.Duration
+	// Model is copied into the resulting Report.
+	Model string
+}
+
+// Evaluate computes MAE, S-MAE, PRE-MAE and POST-MAE over a sequence of
+// predictions. The POST region is defined by the true time to failure: a
+// prediction is POST when its TrueTTF is at most the post window (i.e. it was
+// issued within PostWindow of the crash).
+func Evaluate(preds []Prediction, opts Options) (Report, error) {
+	if len(preds) == 0 {
+		return Report{}, errors.New("evalx: no predictions to evaluate")
+	}
+	margin := opts.Margin
+	if margin == 0 {
+		margin = DefaultSecurityMargin
+	}
+	if margin < 0 || margin >= 1 {
+		return Report{}, fmt.Errorf("evalx: security margin %v out of [0,1)", margin)
+	}
+	postWindow := opts.PostWindow
+	if postWindow == 0 {
+		postWindow = DefaultPostWindow
+	}
+	if postWindow < 0 {
+		return Report{}, fmt.Errorf("evalx: negative post window %v", postWindow)
+	}
+	postSec := postWindow.Seconds()
+
+	var (
+		sumAbs, sumSoft   float64
+		sumPre, sumPost   float64
+		nPre, nPost       int
+		invalidPrediction bool
+	)
+	for _, p := range preds {
+		if math.IsNaN(p.PredictedTTF) || math.IsInf(p.PredictedTTF, 0) ||
+			math.IsNaN(p.TrueTTF) || math.IsInf(p.TrueTTF, 0) {
+			invalidPrediction = true
+			break
+		}
+		err := p.AbsError()
+		sumAbs += err
+		sumSoft += p.SoftAbsError(margin)
+		if p.TrueTTF <= postSec {
+			sumPost += err
+			nPost++
+		} else {
+			sumPre += err
+			nPre++
+		}
+	}
+	if invalidPrediction {
+		return Report{}, errors.New("evalx: prediction contains NaN or Inf")
+	}
+
+	rep := Report{
+		Model:         opts.Model,
+		N:             len(preds),
+		MAE:           sumAbs / float64(len(preds)),
+		SMAE:          sumSoft / float64(len(preds)),
+		Margin:        margin,
+		PostWindowSec: postSec,
+	}
+	if nPre > 0 {
+		rep.PreMAE = sumPre / float64(nPre)
+	}
+	if nPost > 0 {
+		rep.PostMAE = sumPost / float64(nPost)
+	}
+	return rep, nil
+}
+
+// FormatDuration renders a duration in seconds in the paper's style, e.g.
+// "15 min 14 secs" or "21 secs".
+func FormatDuration(seconds float64) string {
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return "n/a"
+	}
+	neg := seconds < 0
+	s := int(math.Round(math.Abs(seconds)))
+	minutes := s / 60
+	secs := s % 60
+	var b strings.Builder
+	if neg {
+		b.WriteString("-")
+	}
+	if minutes > 0 {
+		fmt.Fprintf(&b, "%d min ", minutes)
+	}
+	fmt.Fprintf(&b, "%d secs", secs)
+	return b.String()
+}
+
+// String renders the report as a compact single-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s: MAE=%s S-MAE=%s PRE-MAE=%s POST-MAE=%s (n=%d)",
+		r.Model, FormatDuration(r.MAE), FormatDuration(r.SMAE),
+		FormatDuration(r.PreMAE), FormatDuration(r.PostMAE), r.N)
+}
+
+// Table renders several reports as an aligned text table in the spirit of
+// Table 3/4 of the paper (one row per metric, one column per model).
+func Table(title string, reports []Report) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	metrics := []struct {
+		name string
+		get  func(Report) float64
+	}{
+		{"MAE", func(r Report) float64 { return r.MAE }},
+		{"S-MAE", func(r Report) float64 { return r.SMAE }},
+		{"PRE-MAE", func(r Report) float64 { return r.PreMAE }},
+		{"POST-MAE", func(r Report) float64 { return r.PostMAE }},
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-10s", "")
+	for _, r := range reports {
+		fmt.Fprintf(&b, " | %-20s", r.Model)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 10+23*len(reports)))
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "%-10s", m.name)
+		for _, r := range reports {
+			fmt.Fprintf(&b, " | %-20s", FormatDuration(m.get(r)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package evalx
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredictionAbsError(t *testing.T) {
+	p := Prediction{TrueTTF: 600, PredictedTTF: 720}
+	if got := p.AbsError(); got != 120 {
+		t.Fatalf("AbsError = %v, want 120", got)
+	}
+	p = Prediction{TrueTTF: 600, PredictedTTF: 480}
+	if got := p.AbsError(); got != 120 {
+		t.Fatalf("AbsError = %v, want 120", got)
+	}
+}
+
+func TestSoftAbsErrorMatchesPaperExample(t *testing.T) {
+	// Paper: real TTF of 10 minutes, predictions between 9 and 11 minutes
+	// count as zero error; a 13 (or 7) minute prediction counts 2 minutes.
+	tests := []struct {
+		predicted float64
+		want      float64
+	}{
+		{predicted: 11 * 60, want: 0},
+		{predicted: 9 * 60, want: 0},
+		{predicted: 10 * 60, want: 0},
+		{predicted: 13 * 60, want: 3 * 60},
+		{predicted: 7 * 60, want: 3 * 60},
+	}
+	for _, tt := range tests {
+		p := Prediction{TrueTTF: 10 * 60, PredictedTTF: tt.predicted}
+		if got := p.SoftAbsError(DefaultSecurityMargin); got != tt.want {
+			t.Errorf("SoftAbsError(pred=%v) = %v, want %v", tt.predicted, got, tt.want)
+		}
+	}
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	preds := []Prediction{
+		{TimeSec: 0, TrueTTF: 1000, PredictedTTF: 1100}, // err 100, outside 10% (margin 100) -> soft 0? edge: err == margin -> 0
+		{TimeSec: 500, TrueTTF: 500, PredictedTTF: 800}, // err 300, soft 300
+		{TimeSec: 900, TrueTTF: 100, PredictedTTF: 105}, // err 5, soft 0 (within 10)
+		{TimeSec: 950, TrueTTF: 50, PredictedTTF: 40},   // err 10, soft 10 (margin 5)
+	}
+	rep, err := Evaluate(preds, Options{Model: "M5P"})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.N != 4 {
+		t.Fatalf("N = %d, want 4", rep.N)
+	}
+	wantMAE := (100.0 + 300 + 5 + 10) / 4
+	if math.Abs(rep.MAE-wantMAE) > 1e-9 {
+		t.Fatalf("MAE = %v, want %v", rep.MAE, wantMAE)
+	}
+	wantSMAE := (0.0 + 300 + 0 + 10) / 4
+	if math.Abs(rep.SMAE-wantSMAE) > 1e-9 {
+		t.Fatalf("SMAE = %v, want %v", rep.SMAE, wantSMAE)
+	}
+	// POST region: TrueTTF <= 600s. Predictions 2, 3, 4 qualify (500, 100, 50).
+	wantPost := (300.0 + 5 + 10) / 3
+	if math.Abs(rep.PostMAE-wantPost) > 1e-9 {
+		t.Fatalf("PostMAE = %v, want %v", rep.PostMAE, wantPost)
+	}
+	wantPre := 100.0
+	if math.Abs(rep.PreMAE-wantPre) > 1e-9 {
+		t.Fatalf("PreMAE = %v, want %v", rep.PreMAE, wantPre)
+	}
+	if rep.Model != "M5P" {
+		t.Fatalf("Model = %q", rep.Model)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(nil, Options{}); err == nil {
+		t.Fatalf("Evaluate(nil) succeeded")
+	}
+	preds := []Prediction{{TrueTTF: 100, PredictedTTF: math.NaN()}}
+	if _, err := Evaluate(preds, Options{}); err == nil {
+		t.Fatalf("Evaluate with NaN prediction succeeded")
+	}
+	preds = []Prediction{{TrueTTF: math.Inf(1), PredictedTTF: 1}}
+	if _, err := Evaluate(preds, Options{}); err == nil {
+		t.Fatalf("Evaluate with Inf true value succeeded")
+	}
+	good := []Prediction{{TrueTTF: 100, PredictedTTF: 90}}
+	if _, err := Evaluate(good, Options{Margin: -0.5}); err == nil {
+		t.Fatalf("Evaluate with negative margin succeeded")
+	}
+	if _, err := Evaluate(good, Options{Margin: 1.5}); err == nil {
+		t.Fatalf("Evaluate with margin >= 1 succeeded")
+	}
+	if _, err := Evaluate(good, Options{PostWindow: -time.Minute}); err == nil {
+		t.Fatalf("Evaluate with negative post window succeeded")
+	}
+}
+
+func TestEvaluateCustomMarginAndWindow(t *testing.T) {
+	preds := []Prediction{
+		{TrueTTF: 1000, PredictedTTF: 1150}, // err 150
+		{TrueTTF: 200, PredictedTTF: 260},   // err 60
+	}
+	rep, err := Evaluate(preds, Options{Margin: 0.2, PostWindow: 5 * time.Minute})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// 20% margin: first prediction within 200 -> 0; second within 40 -> 60.
+	wantSMAE := (0.0 + 60) / 2
+	if math.Abs(rep.SMAE-wantSMAE) > 1e-9 {
+		t.Fatalf("SMAE = %v, want %v", rep.SMAE, wantSMAE)
+	}
+	// POST window 300s: only the second prediction (TTF 200) is POST.
+	if rep.PostMAE != 60 || rep.PreMAE != 150 {
+		t.Fatalf("Pre/Post = %v/%v, want 150/60", rep.PreMAE, rep.PostMAE)
+	}
+	if rep.Margin != 0.2 || rep.PostWindowSec != 300 {
+		t.Fatalf("report did not record options: %+v", rep)
+	}
+}
+
+func TestEvaluateAllPostOrAllPre(t *testing.T) {
+	allPost := []Prediction{{TrueTTF: 10, PredictedTTF: 20}}
+	rep, err := Evaluate(allPost, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.PreMAE != 0 {
+		t.Fatalf("PreMAE with no PRE predictions = %v, want 0", rep.PreMAE)
+	}
+	allPre := []Prediction{{TrueTTF: 10000, PredictedTTF: 9000}}
+	rep, err = Evaluate(allPre, Options{})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.PostMAE != 0 {
+		t.Fatalf("PostMAE with no POST predictions = %v, want 0", rep.PostMAE)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{in: 914, want: "15 min 14 secs"},
+		{in: 346, want: "5 min 46 secs"},
+		{in: 21, want: "21 secs"},
+		{in: 0, want: "0 secs"},
+		{in: 59.6, want: "1 min 0 secs"},
+		{in: -90, want: "-1 min 30 secs"},
+		{in: math.NaN(), want: "n/a"},
+		{in: math.Inf(1), want: "n/a"},
+	}
+	for _, tt := range tests {
+		if got := FormatDuration(tt.in); got != tt.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReportStringAndTable(t *testing.T) {
+	r1 := Report{Model: "Lin. Reg", MAE: 1175, SMAE: 857, PreMAE: 1273, PostMAE: 311, N: 100}
+	r2 := Report{Model: "M5P", MAE: 914, SMAE: 574, PreMAE: 982, PostMAE: 140, N: 100}
+	s := r1.String()
+	if !strings.Contains(s, "Lin. Reg") || !strings.Contains(s, "MAE=") {
+		t.Fatalf("Report.String() = %q", s)
+	}
+	tbl := Table("Exp 4.1 75EBs", []Report{r1, r2})
+	for _, want := range []string{"Exp 4.1 75EBs", "M5P", "Lin. Reg", "MAE", "S-MAE", "PRE-MAE", "POST-MAE", "15 min 14 secs"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("Table output missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+// Property: S-MAE is never greater than MAE (the paper states this as a
+// definitional fact), and both are non-negative.
+func TestSMAENeverExceedsMAEProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var preds []Prediction
+		for i := 0; i+1 < len(raw); i += 2 {
+			tv, pv := raw[i], raw[i+1]
+			if math.IsNaN(tv) || math.IsInf(tv, 0) || math.IsNaN(pv) || math.IsInf(pv, 0) {
+				continue
+			}
+			preds = append(preds, Prediction{TrueTTF: math.Abs(tv), PredictedTTF: pv})
+		}
+		if len(preds) == 0 {
+			return true
+		}
+		rep, err := Evaluate(preds, Options{})
+		if err != nil {
+			return false
+		}
+		return rep.SMAE <= rep.MAE+1e-9 && rep.MAE >= 0 && rep.SMAE >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAE is the weighted combination of PRE-MAE and POST-MAE.
+func TestMAEDecompositionProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var preds []Prediction
+		for i := 0; i+1 < len(raw); i += 2 {
+			tv, pv := raw[i], raw[i+1]
+			if math.IsNaN(tv) || math.IsInf(tv, 0) || math.IsNaN(pv) || math.IsInf(pv, 0) {
+				continue
+			}
+			if math.Abs(tv) > 1e15 || math.Abs(pv) > 1e15 {
+				continue
+			}
+			preds = append(preds, Prediction{TrueTTF: math.Abs(tv), PredictedTTF: pv})
+		}
+		if len(preds) == 0 {
+			return true
+		}
+		rep, err := Evaluate(preds, Options{})
+		if err != nil {
+			return false
+		}
+		nPost := 0
+		for _, p := range preds {
+			if p.TrueTTF <= rep.PostWindowSec {
+				nPost++
+			}
+		}
+		nPre := len(preds) - nPost
+		recomposed := (rep.PreMAE*float64(nPre) + rep.PostMAE*float64(nPost)) / float64(len(preds))
+		return math.Abs(recomposed-rep.MAE) <= 1e-6*(1+math.Abs(rep.MAE))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"agingpred/internal/injector"
+	"agingpred/internal/monitor"
+	"agingpred/internal/testbed"
+)
+
+// Experiments are full end-to-end reproductions (several simulated hours of
+// testbed time plus model training); they are the slowest tests in the
+// repository, so every one of them honours -short.
+
+func TestFigure1NonLinearOSMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Figure1(Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Figure1: %v", err)
+	}
+	if len(res.Points) < 50 {
+		t.Fatalf("only %d points", len(res.Points))
+	}
+	if res.OldResizes < 2 {
+		t.Fatalf("old zone resized %d times; Figure 1 needs several resizes", res.OldResizes)
+	}
+	// OS-perspective memory is non-decreasing and has flat zones: count
+	// checkpoints with (almost) zero growth.
+	flat := 0
+	for i := 1; i < len(res.Points); i++ {
+		d := res.Points[i].OSMemoryMB - res.Points[i-1].OSMemoryMB
+		if d < -1e-6 {
+			t.Fatalf("OS memory decreased at point %d", i)
+		}
+		if d < 0.05 {
+			flat++
+		}
+	}
+	if flat < len(res.Points)/20 {
+		t.Fatalf("OS memory curve has only %d flat checkpoints out of %d; expected visible flat zones", flat, len(res.Points))
+	}
+	// The naive linear prediction is pessimistic: the server lives longer
+	// thanks to GC/resizing (the paper's "16 extra minutes" observation).
+	if res.ExtraLifetimeSec <= 0 {
+		t.Fatalf("extra lifetime = %v s, want positive", res.ExtraLifetimeSec)
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+func TestFigure2DualPerspective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Figure2(Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	if res.Cycles != 5 {
+		t.Fatalf("cycles = %d", res.Cycles)
+	}
+	// The periodic pattern must be visible from the JVM perspective and
+	// essentially invisible from the OS perspective.
+	if res.JVMViewRangeMB < 100 {
+		t.Fatalf("JVM-perspective range = %v MB, want large waves", res.JVMViewRangeMB)
+	}
+	if res.OSViewRangeMB > res.JVMViewRangeMB/2 {
+		t.Fatalf("OS-perspective range %v MB is not much flatter than the JVM range %v MB",
+			res.OSViewRangeMB, res.JVMViewRangeMB)
+	}
+	if !strings.Contains(res.String(), "Figure 2") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+func TestExperiment41Table3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Experiment41(Options{Seed: 3})
+	if err != nil {
+		t.Fatalf("Experiment41: %v", err)
+	}
+	if res.TrainingInstances < 500 {
+		t.Fatalf("only %d training instances", res.TrainingInstances)
+	}
+	if res.TrainReportM5P.Leaves < 2 {
+		t.Fatalf("M5P degenerated to %d leaves", res.TrainReportM5P.Leaves)
+	}
+	for _, key := range []string{"75EBs", "150EBs"} {
+		reports, ok := res.Table3[key]
+		if !ok || len(reports) != 2 {
+			t.Fatalf("missing Table 3 group %q", key)
+		}
+		lr, m5 := reports[0], reports[1]
+		// Shape criterion 1: M5P beats Linear Regression.
+		if m5.MAE >= lr.MAE {
+			t.Errorf("%s: M5P MAE %.0f s is not better than LinReg %.0f s", key, m5.MAE, lr.MAE)
+		}
+		// Shape criterion 2: predictions sharpen near the crash.
+		if m5.PostMAE >= m5.PreMAE {
+			t.Errorf("%s: M5P POST-MAE %.0f s is not better than PRE-MAE %.0f s", key, m5.PostMAE, m5.PreMAE)
+		}
+		// Definitional: S-MAE <= MAE.
+		if m5.SMAE > m5.MAE || lr.SMAE > lr.MAE {
+			t.Errorf("%s: S-MAE exceeds MAE", key)
+		}
+	}
+	if !strings.Contains(res.String(), "Experiment 4.1") {
+		t.Fatalf("String() missing header")
+	}
+	if len(PaperTable3()["75EBs"]) != 4 {
+		t.Fatalf("PaperTable3 incomplete")
+	}
+}
+
+func TestExperiment42DynamicAging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Experiment42(Options{Seed: 4})
+	if err != nil {
+		t.Fatalf("Experiment42: %v", err)
+	}
+	if res.TrainReport.Instances < 300 {
+		t.Fatalf("training set too small: %d instances", res.TrainReport.Instances)
+	}
+	if len(res.PhaseBoundariesSec) != 3 {
+		t.Fatalf("phase boundaries = %v", res.PhaseBoundariesSec)
+	}
+	// Shape: M5P better than Linear Regression, and not wildly inaccurate in
+	// absolute terms (the paper's MAE is ~16 min on a ~2 h run; allow a
+	// generous band).
+	if res.M5P.MAE >= res.LinReg.MAE {
+		t.Errorf("M5P MAE %.0f s not better than LinReg %.0f s", res.M5P.MAE, res.LinReg.MAE)
+	}
+	if res.M5P.MAE > 2400 {
+		t.Errorf("M5P MAE = %.0f s, implausibly large", res.M5P.MAE)
+	}
+	// The trace must show adaptation: during the first (no-injection) phase
+	// predictions stay near the infinite horizon, afterwards they drop.
+	var earlyMax, lateMin float64
+	lateMin = monitor.InfiniteTTFSec
+	for _, p := range res.Trace {
+		if p.TimeSec <= 900 && p.PredictedTTFSec > earlyMax {
+			earlyMax = p.PredictedTTFSec
+		}
+		if p.TimeSec > res.PhaseBoundariesSec[0] && p.PredictedTTFSec < lateMin {
+			lateMin = p.PredictedTTFSec
+		}
+	}
+	if earlyMax < 5000 {
+		t.Errorf("during the no-injection phase the maximum prediction was only %.0f s; expected near-infinite predictions", earlyMax)
+	}
+	if lateMin > 3000 {
+		t.Errorf("after injection started the minimum prediction was %.0f s; expected the model to see the crash coming", lateMin)
+	}
+	if !strings.Contains(res.String(), "Experiment 4.2") {
+		t.Fatalf("String() missing header")
+	}
+	if PaperExperiment42().MAE != 986 {
+		t.Fatalf("PaperExperiment42 MAE = %v, want 986", PaperExperiment42().MAE)
+	}
+}
+
+func TestExperiment43FeatureSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Experiment43(Options{Seed: 5})
+	if err != nil {
+		t.Fatalf("Experiment43: %v", err)
+	}
+	if len(res.Table4) != 2 {
+		t.Fatalf("Table4 has %d entries", len(res.Table4))
+	}
+	lr, m5 := res.Table4[0], res.Table4[1]
+	// Shape criteria that reproduce in this substitution (see EXPERIMENTS.md
+	// for the discussion of the ones that do not): near the crash — the
+	// region rejuvenation decisions depend on — the selected M5P model is
+	// considerably more accurate than Linear Regression and than the
+	// full-variable M5P model.
+	if m5.PostMAE >= lr.PostMAE {
+		t.Errorf("selected M5P POST-MAE %.0f s not better than LinReg %.0f s", m5.PostMAE, lr.PostMAE)
+	}
+	if m5.PostMAE >= res.M5PFullSet.PostMAE {
+		t.Errorf("feature selection did not improve near-crash accuracy: selected %.0f s vs full %.0f s",
+			m5.PostMAE, res.M5PFullSet.PostMAE)
+	}
+	if m5.SMAE > m5.MAE || lr.SMAE > lr.MAE {
+		t.Errorf("S-MAE exceeds MAE")
+	}
+	// Both models must still carry real signal: far better than a predictor
+	// that always answers half the run length.
+	if m5.MAE > res.CrashTimeSec/2 || lr.MAE > res.CrashTimeSec/2 {
+		t.Errorf("MAE larger than half the run length: m5=%.0f lr=%.0f crash=%.0f", m5.MAE, lr.MAE, res.CrashTimeSec)
+	}
+	if res.Cycles < 2 {
+		t.Errorf("crash after only %d cycles; the aging is supposed to hide inside several periodic cycles", res.Cycles)
+	}
+	// Figure 4: the JVM-perspective heap curve must oscillate (waves).
+	var minHeap, maxHeap float64 = 1e18, -1e18
+	for _, p := range res.Trace {
+		if p.HeapUsedMB < minHeap {
+			minHeap = p.HeapUsedMB
+		}
+		if p.HeapUsedMB > maxHeap {
+			maxHeap = p.HeapUsedMB
+		}
+	}
+	if maxHeap-minHeap < 100 {
+		t.Errorf("heap curve range = %v MB; expected visible acquire/release waves", maxHeap-minHeap)
+	}
+	if !strings.Contains(res.String(), "Experiment 4.3") {
+		t.Fatalf("String() missing header")
+	}
+	if len(PaperTable4()) != 4 {
+		t.Fatalf("PaperTable4 incomplete")
+	}
+}
+
+func TestExperiment44TwoResources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := Experiment44(Options{Seed: 6})
+	if err != nil {
+		t.Fatalf("Experiment44: %v", err)
+	}
+	if res.TrainReport.Instances < 600 {
+		t.Fatalf("training set too small: %d instances", res.TrainReport.Instances)
+	}
+	// Shape criteria: M5P beats Linear Regression and sharpens near the
+	// crash even though it never saw both resources injected together.
+	if res.M5P.MAE >= res.LinReg.MAE {
+		t.Errorf("M5P MAE %.0f s not better than LinReg %.0f s", res.M5P.MAE, res.LinReg.MAE)
+	}
+	if res.M5P.PostMAE >= res.M5P.PreMAE {
+		t.Errorf("POST-MAE %.0f s not better than PRE-MAE %.0f s", res.M5P.PostMAE, res.M5P.PreMAE)
+	}
+	// Root-cause hints must implicate memory and/or threads.
+	if len(res.RootCause) == 0 {
+		t.Fatalf("no root-cause hints")
+	}
+	relevant := false
+	for _, h := range res.RootCause {
+		attr := h.Attr
+		if strings.Contains(attr, "mem") || strings.Contains(attr, "thread") ||
+			strings.Contains(attr, "old") || strings.Contains(attr, "young") || strings.Contains(attr, "swap") {
+			relevant = true
+		}
+	}
+	if !relevant {
+		t.Errorf("root-cause hints do not mention memory or threads: %+v", res.RootCause)
+	}
+	// The thread curve in the trace must grow substantially (Figure 5).
+	first, last := res.Trace[0].NumThreads, res.Trace[len(res.Trace)-1].NumThreads
+	if last-first < 100 {
+		t.Errorf("thread count grew only from %v to %v during the two-resource run", first, last)
+	}
+	if !strings.Contains(res.String(), "Experiment 4.4") {
+		t.Fatalf("String() missing header")
+	}
+	if PaperExperiment44().PostMAE != 125 {
+		t.Fatalf("PaperExperiment44 PostMAE = %v", PaperExperiment44().PostMAE)
+	}
+}
+
+// --- unit tests of the small helpers (fast) ---
+
+func TestPhaseBoundaries(t *testing.T) {
+	phases := []injector.Phase{
+		{Duration: 20 * time.Minute},
+		{Duration: 20 * time.Minute},
+		{Duration: 0},
+	}
+	got := phaseBoundaries(phases)
+	if len(got) != 2 || got[0] != 1200 || got[1] != 2400 {
+		t.Fatalf("phaseBoundaries = %v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxRunDuration != 8*time.Hour || o.TrainEBs != 100 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o = Options{MaxRunDuration: time.Hour, TrainEBs: 25}.withDefaults()
+	if o.MaxRunDuration != time.Hour || o.TrainEBs != 25 {
+		t.Fatalf("explicit options overridden: %+v", o)
+	}
+}
+
+func TestRunUntilCrashReportsNonCrash(t *testing.T) {
+	_, err := runUntilCrash(testbed.RunConfig{
+		Name:        "no-crash",
+		Seed:        9,
+		EBs:         10,
+		Phases:      testbed.NoInjectionPhases(),
+		MaxDuration: 5 * time.Minute,
+	})
+	if err == nil {
+		t.Fatalf("runUntilCrash accepted a healthy run")
+	}
+	if !strings.Contains(err.Error(), "did not crash") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestExperiment42PhasesShape(t *testing.T) {
+	phases := experiment42Phases()
+	if len(phases) != 4 {
+		t.Fatalf("experiment 4.2 has %d phases", len(phases))
+	}
+	if phases[0].MemoryMode != injector.MemoryOff || phases[3].MemoryN != 75 || phases[3].Duration != 0 {
+		t.Fatalf("experiment 4.2 phases wrong: %+v", phases)
+	}
+	phases44 := experiment44Phases()
+	if len(phases44) != 4 || phases44[1].ThreadM != 30 || phases44[3].ThreadM != 45 {
+		t.Fatalf("experiment 4.4 phases wrong: %+v", phases44)
+	}
+	p43 := experiment43Phases(3)
+	if len(p43) != 6 || p43[0].MemoryMode != injector.MemoryAcquire || p43[1].MemoryMode != injector.MemoryRelease {
+		t.Fatalf("experiment 4.3 phases wrong: %+v", p43)
+	}
+}

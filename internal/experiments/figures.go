@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"agingpred/internal/injector"
+	"agingpred/internal/sliding"
+	"agingpred/internal/testbed"
+)
+
+// CurvePoint is one sample of the memory curves of Figures 1 and 2.
+type CurvePoint struct {
+	// TimeSec is the checkpoint time.
+	TimeSec float64
+	// OSMemoryMB is the server process memory from the OS perspective
+	// (Figure 1 and 2 dark line).
+	OSMemoryMB float64
+	// JVMHeapUsedMB is Young+Old used from the JVM perspective (Figure 1 and
+	// 2 grey line).
+	JVMHeapUsedMB float64
+	// OldCommittedMB is the committed Old-zone size, which grows at every
+	// resize.
+	OldCommittedMB float64
+}
+
+// Figure1Result reproduces Section 2.1.1 / Figure 1: progressive memory
+// consumption of the Java application under a constant-rate leak and constant
+// workload, observed from the OS and JVM perspectives.
+type Figure1Result struct {
+	// Points is the memory curve, one point per 15-second checkpoint.
+	Points []CurvePoint
+	// CrashTimeSec is when the server finally failed.
+	CrashTimeSec float64
+	// OldResizes is how many times the heap management system resized the
+	// Old zone during the run (the "GC resizes action" annotations of
+	// Figure 1).
+	OldResizes int
+	// NaiveCrashPredictionSec is the crash time a naive linear extrapolation
+	// of the first 20 minutes of OS-level consumption would have predicted
+	// (Equation 1 of the paper).
+	NaiveCrashPredictionSec float64
+	// ExtraLifetimeSec is how much longer the server actually lived than the
+	// naive prediction — the paper observes "about 16 extra minutes" on its
+	// testbed; the exact value depends on leak aggressiveness and workload.
+	ExtraLifetimeSec float64
+}
+
+// String summarises the result.
+func (r *Figure1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: constant-rate leak, constant workload (%d checkpoints)\n", len(r.Points))
+	fmt.Fprintf(&b, "  crash at %.0f s; old-zone resizes: %d\n", r.CrashTimeSec, r.OldResizes)
+	fmt.Fprintf(&b, "  naive linear prediction: %.0f s; actual: %.0f s; extra lifetime: %.0f s (%.1f min)\n",
+		r.NaiveCrashPredictionSec, r.CrashTimeSec, r.ExtraLifetimeSec, r.ExtraLifetimeSec/60)
+	return b.String()
+}
+
+// Figure1 runs the deterministic-aging example: a constant workload, a 1 MB
+// leak at rate N=30, until the server crashes with memory exhaustion.
+func Figure1(opts Options) (*Figure1Result, error) {
+	opts = opts.withDefaults()
+	res, err := runUntilCrash(testbed.RunConfig{
+		Name:        "figure1",
+		Seed:        opts.Seed + 101,
+		EBs:         opts.TrainEBs,
+		Phases:      testbed.ConstantLeakPhases(30),
+		MaxDuration: opts.MaxRunDuration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Series
+	out := &Figure1Result{
+		CrashTimeSec: s.CrashTimeSec,
+		OldResizes:   res.FinalSnapshot.OldResizes,
+	}
+	for _, cp := range s.Checkpoints {
+		out.Points = append(out.Points, CurvePoint{
+			TimeSec:        cp.TimeSec,
+			OSMemoryMB:     cp.TomcatMemUsedMB,
+			JVMHeapUsedMB:  cp.YoungUsedMB + cp.OldUsedMB,
+			OldCommittedMB: cp.OldMaxMB,
+		})
+	}
+
+	// Naive linear prediction from the first 20 minutes of OS-level growth
+	// (Equation 1): the extra lifetime granted by GC/resizing is what the
+	// paper uses to motivate learning-based prediction.
+	warmup := 20 * time.Minute.Seconds()
+	var first, last *CurvePoint
+	for i := range out.Points {
+		p := &out.Points[i]
+		if p.TimeSec <= warmup {
+			if first == nil {
+				first = p
+			}
+			last = p
+		}
+	}
+	if first != nil && last != nil && last.TimeSec > first.TimeSec {
+		speed := (last.OSMemoryMB - first.OSMemoryMB) / (last.TimeSec - first.TimeSec)
+		// Capacity from the OS perspective: the process can grow until the
+		// heap limit is reached (base + max heap).
+		capacity := out.Points[len(out.Points)-1].OSMemoryMB
+		out.NaiveCrashPredictionSec = last.TimeSec + sliding.TimeToExhaustion(capacity, last.OSMemoryMB, speed)
+		out.ExtraLifetimeSec = out.CrashTimeSec - out.NaiveCrashPredictionSec
+	}
+	return out, nil
+}
+
+// Figure2Result reproduces Section 2.1.2 / Figure 2: the same periodic
+// acquire/release pattern seen from the OS and the JVM perspectives.
+type Figure2Result struct {
+	// Points is the two-perspective memory curve.
+	Points []CurvePoint
+	// OSViewRangeMB is the peak-to-trough range of the OS-perspective curve
+	// over the steady-state part of the run (after the first cycle).
+	OSViewRangeMB float64
+	// JVMViewRangeMB is the same range for the JVM-perspective curve; the
+	// periodic pattern is visible only here.
+	JVMViewRangeMB float64
+	// Cycles is the number of acquire/release cycles executed.
+	Cycles int
+}
+
+// String summarises the result.
+func (r *Figure2Result) String() string {
+	return fmt.Sprintf("Figure 2: periodic acquire/release over %d cycles (%d checkpoints)\n"+
+		"  JVM-perspective range: %.0f MB (waves), OS-perspective range: %.0f MB (flat)\n",
+		r.Cycles, len(r.Points), r.JVMViewRangeMB, r.OSViewRangeMB)
+}
+
+// Figure2 runs the dual-perspective example: every hour the application
+// behaves normally for 20 minutes, acquires memory for 20 minutes and then
+// releases it, for 5 hours, under a constant 100 EB workload.
+func Figure2(opts Options) (*Figure2Result, error) {
+	opts = opts.withDefaults()
+	const cycles = 5
+	var phases []injector.Phase
+	for i := 0; i < cycles; i++ {
+		phases = append(phases,
+			injector.Phase{Name: "normal", Duration: 20 * time.Minute, MemoryMode: injector.MemoryOff},
+			injector.Phase{Name: "acquire", Duration: 20 * time.Minute, MemoryMode: injector.MemoryAcquire, MemoryN: 30},
+			injector.Phase{Name: "release", Duration: 20 * time.Minute, MemoryMode: injector.MemoryRelease, MemoryN: 10},
+		)
+	}
+	res, err := testbed.Run(testbed.RunConfig{
+		Name:        "figure2",
+		Seed:        opts.Seed + 102,
+		EBs:         100,
+		Phases:      phases,
+		MaxDuration: time.Duration(cycles) * time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Crashed {
+		return nil, fmt.Errorf("experiments: figure 2 run crashed at %v; the acquire/release pattern is not supposed to exhaust memory", res.CrashTime)
+	}
+	s := res.Series
+	out := &Figure2Result{Cycles: cycles}
+	for _, cp := range s.Checkpoints {
+		out.Points = append(out.Points, CurvePoint{
+			TimeSec:        cp.TimeSec,
+			OSMemoryMB:     cp.TomcatMemUsedMB,
+			JVMHeapUsedMB:  cp.YoungUsedMB + cp.OldUsedMB,
+			OldCommittedMB: cp.OldMaxMB,
+		})
+	}
+	// Ranges over the steady state (skip the first cycle: the OS view still
+	// grows while the first acquire phase touches new pages).
+	osMin, osMax := math.Inf(1), math.Inf(-1)
+	jvmMin, jvmMax := math.Inf(1), math.Inf(-1)
+	for _, p := range out.Points {
+		if p.TimeSec < 3600 {
+			continue
+		}
+		osMin = math.Min(osMin, p.OSMemoryMB)
+		osMax = math.Max(osMax, p.OSMemoryMB)
+		jvmMin = math.Min(jvmMin, p.JVMHeapUsedMB)
+		jvmMax = math.Max(jvmMax, p.JVMHeapUsedMB)
+	}
+	out.OSViewRangeMB = osMax - osMin
+	out.JVMViewRangeMB = jvmMax - jvmMin
+	return out, nil
+}

@@ -1,0 +1,352 @@
+// Package injector implements the aging-fault injection of the paper's
+// modified TPC-W deployment (Section 3, "Experimental Setup"):
+//
+//   - A request-coupled memory injector patched into the search servlet
+//     (TPCW_Search_request_servlet): it draws a random number between 0 and N
+//     and, after that many search-servlet executions, injects the next memory
+//     consumption. Memory injection rate therefore scales with the workload,
+//     exactly as in the paper.
+//   - A time-coupled thread injector: every U(0, T) seconds it leaks U(0, M)
+//     threads, independently of the workload.
+//   - A phase schedule that changes the injector parameters at fixed times,
+//     used to reproduce the dynamic scenarios of experiments 4.2–4.4 and the
+//     periodic acquire/release patterns of Figure 2 and experiment 4.3.
+package injector
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+)
+
+// MemoryMode says what the request-coupled memory injector does when it
+// fires.
+type MemoryMode int
+
+const (
+	// MemoryOff disables memory injection.
+	MemoryOff MemoryMode = iota
+	// MemoryLeak injects an unreclaimable leak (the plain aging fault).
+	MemoryLeak
+	// MemoryAcquire injects releasable (retained) memory — the acquire phase
+	// of the periodic pattern.
+	MemoryAcquire
+	// MemoryRelease releases previously retained memory.
+	MemoryRelease
+)
+
+// String returns a human-readable name for the mode.
+func (m MemoryMode) String() string {
+	switch m {
+	case MemoryOff:
+		return "off"
+	case MemoryLeak:
+		return "leak"
+	case MemoryAcquire:
+		return "acquire"
+	case MemoryRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("MemoryMode(%d)", int(m))
+	}
+}
+
+// MemoryInjector is the request-coupled memory fault. Attach it to the
+// server's search-servlet hook; every call to Hit counts one servlet
+// execution.
+type MemoryInjector struct {
+	server *appserver.Server
+	src    *rng.Source
+
+	mode      MemoryMode
+	n         int     // the paper's N parameter
+	amountMB  float64 // injected per event (1 MB in the paper)
+	countdown int
+
+	injections uint64
+	injectedMB float64
+	releasedMB float64
+}
+
+// NewMemoryInjector creates an injector that is initially off.
+// amountMB <= 0 defaults to 1 MB, the value used throughout the paper.
+func NewMemoryInjector(server *appserver.Server, src *rng.Source, amountMB float64) (*MemoryInjector, error) {
+	if server == nil {
+		return nil, errors.New("injector: nil server")
+	}
+	if src == nil {
+		return nil, errors.New("injector: nil random source")
+	}
+	if amountMB <= 0 {
+		amountMB = 1
+	}
+	return &MemoryInjector{server: server, src: src, amountMB: amountMB, mode: MemoryOff}, nil
+}
+
+// Attach registers the injector on the server's search-servlet hook.
+func (m *MemoryInjector) Attach() {
+	m.server.OnSearchRequest(m.Hit)
+}
+
+// SetMode changes the injection mode and rate parameter N. A non-positive n
+// with an active mode injects on every servlet execution.
+func (m *MemoryInjector) SetMode(mode MemoryMode, n int) {
+	m.mode = mode
+	m.n = n
+	m.countdown = m.drawCountdown()
+}
+
+// Mode returns the current mode and N.
+func (m *MemoryInjector) Mode() (MemoryMode, int) { return m.mode, m.n }
+
+// drawCountdown draws how many servlet executions remain until the next
+// injection: a uniform random number between 0 and N, per the paper.
+func (m *MemoryInjector) drawCountdown() int {
+	if m.n <= 0 {
+		return 0
+	}
+	return m.src.Intn(m.n + 1)
+}
+
+// Hit records one execution of the search servlet and injects when the
+// countdown expires.
+func (m *MemoryInjector) Hit() {
+	if m.mode == MemoryOff {
+		return
+	}
+	if m.countdown > 0 {
+		m.countdown--
+		return
+	}
+	m.countdown = m.drawCountdown()
+	m.injections++
+	switch m.mode {
+	case MemoryLeak:
+		m.injectedMB += m.amountMB
+		m.server.InjectLeakMB(m.amountMB)
+	case MemoryAcquire:
+		m.injectedMB += m.amountMB
+		m.server.InjectRetainedMB(m.amountMB)
+	case MemoryRelease:
+		m.releasedMB += m.amountMB
+		m.server.ReleaseRetainedMB(m.amountMB)
+	}
+}
+
+// Stats returns the number of injection events, the MB injected and the MB
+// released so far.
+func (m *MemoryInjector) Stats() (events uint64, injectedMB, releasedMB float64) {
+	return m.injections, m.injectedMB, m.releasedMB
+}
+
+// ThreadInjector is the time-coupled thread-leak fault: every U(0, T) seconds
+// it leaks U(0, M) threads, independent of the workload.
+type ThreadInjector struct {
+	server *appserver.Server
+	sched  *simclock.Scheduler
+	src    *rng.Source
+
+	m int // max threads per injection (paper's M)
+	t int // max seconds between injections (paper's T)
+
+	started bool
+	leaked  uint64
+	events  uint64
+}
+
+// NewThreadInjector creates a thread injector that is initially off (M = 0).
+func NewThreadInjector(server *appserver.Server, sched *simclock.Scheduler, src *rng.Source) (*ThreadInjector, error) {
+	if server == nil {
+		return nil, errors.New("injector: nil server")
+	}
+	if sched == nil {
+		return nil, errors.New("injector: nil scheduler")
+	}
+	if src == nil {
+		return nil, errors.New("injector: nil random source")
+	}
+	return &ThreadInjector{server: server, sched: sched, src: src}, nil
+}
+
+// SetRate changes the (M, T) parameters. M <= 0 turns injection off; T <= 0
+// defaults to 60 seconds.
+func (ti *ThreadInjector) SetRate(m, t int) {
+	ti.m = m
+	ti.t = t
+	if ti.t <= 0 {
+		ti.t = 60
+	}
+}
+
+// Rate returns the current (M, T).
+func (ti *ThreadInjector) Rate() (m, t int) { return ti.m, ti.t }
+
+// Start begins the injection loop. It is a no-op if already started.
+func (ti *ThreadInjector) Start() error {
+	if ti.started {
+		return nil
+	}
+	ti.started = true
+	return ti.scheduleNext()
+}
+
+func (ti *ThreadInjector) scheduleNext() error {
+	delay := time.Duration(ti.src.Float64Between(0, float64(ti.maxT()))) * time.Second
+	_, err := ti.sched.After(delay, ti.fire)
+	if err != nil {
+		return fmt.Errorf("injector: scheduling thread injection: %w", err)
+	}
+	return nil
+}
+
+func (ti *ThreadInjector) maxT() int {
+	if ti.t <= 0 {
+		return 60
+	}
+	return ti.t
+}
+
+func (ti *ThreadInjector) fire() {
+	if ti.server.Crashed() {
+		return
+	}
+	if ti.m > 0 {
+		n := ti.src.Intn(ti.m + 1)
+		if n > 0 {
+			ti.events++
+			ti.leaked += uint64(n)
+			ti.server.LeakThreads(n)
+		}
+	}
+	if ti.server.Crashed() {
+		return
+	}
+	// Re-arm. Failure to schedule means the run is over; stop quietly.
+	_ = ti.scheduleNext()
+}
+
+// Stats returns the number of injection events and total threads leaked.
+func (ti *ThreadInjector) Stats() (events, threadsLeaked uint64) { return ti.events, ti.leaked }
+
+// Phase is one segment of an injection schedule: for Duration, the memory
+// injector runs with (MemoryMode, MemoryN) and the thread injector with
+// (ThreadM, ThreadT). A zero Duration means "until the end of the run" and
+// is only meaningful for the last phase.
+type Phase struct {
+	// Name labels the phase in logs and plots ("no injection", "N=30", ...).
+	Name string
+	// Duration is how long the phase lasts. Zero = until the run ends.
+	Duration time.Duration
+
+	// MemoryMode and MemoryN configure the request-coupled memory injector.
+	MemoryMode MemoryMode
+	MemoryN    int
+
+	// ThreadM and ThreadT configure the time-coupled thread injector
+	// (ThreadM = 0 disables it).
+	ThreadM int
+	ThreadT int
+}
+
+// Schedule applies a sequence of phases to the two injectors at the right
+// simulated times.
+type Schedule struct {
+	phases []Phase
+	mem    *MemoryInjector
+	thr    *ThreadInjector
+	sched  *simclock.Scheduler
+
+	current int
+}
+
+// NewSchedule creates a phase schedule. Either injector may be nil if the
+// corresponding fault is not used.
+func NewSchedule(phases []Phase, mem *MemoryInjector, thr *ThreadInjector, sched *simclock.Scheduler) (*Schedule, error) {
+	if sched == nil {
+		return nil, errors.New("injector: nil scheduler")
+	}
+	if len(phases) == 0 {
+		return nil, errors.New("injector: empty phase list")
+	}
+	for i, p := range phases {
+		if p.Duration == 0 && i != len(phases)-1 {
+			return nil, fmt.Errorf("injector: phase %d (%q) has zero duration but is not last", i, p.Name)
+		}
+		if p.Duration < 0 {
+			return nil, fmt.Errorf("injector: phase %d (%q) has negative duration", i, p.Name)
+		}
+	}
+	return &Schedule{phases: phases, mem: mem, thr: thr, sched: sched, current: -1}, nil
+}
+
+// Start applies the first phase immediately and schedules the transitions.
+func (s *Schedule) Start() error {
+	if s.current >= 0 {
+		return errors.New("injector: schedule already started")
+	}
+	s.applyPhase(0)
+	return s.scheduleTransition(0)
+}
+
+// CurrentPhase returns the index and definition of the active phase, or
+// (-1, Phase{}) before Start.
+func (s *Schedule) CurrentPhase() (int, Phase) {
+	if s.current < 0 {
+		return -1, Phase{}
+	}
+	return s.current, s.phases[s.current]
+}
+
+func (s *Schedule) applyPhase(i int) {
+	s.current = i
+	p := s.phases[i]
+	if s.mem != nil {
+		s.mem.SetMode(p.MemoryMode, p.MemoryN)
+	}
+	if s.thr != nil {
+		s.thr.SetRate(p.ThreadM, p.ThreadT)
+	}
+}
+
+func (s *Schedule) scheduleTransition(i int) error {
+	p := s.phases[i]
+	if p.Duration == 0 || i == len(s.phases)-1 {
+		// Last phase, or open-ended: nothing more to schedule. (A final phase
+		// with a duration simply keeps its settings afterwards.)
+		if p.Duration == 0 {
+			return nil
+		}
+	}
+	if i == len(s.phases)-1 {
+		return nil
+	}
+	_, err := s.sched.After(p.Duration, func() {
+		s.applyPhase(i + 1)
+		if err := s.scheduleTransition(i + 1); err != nil {
+			// Scheduling in the future from inside an event cannot fail
+			// unless the run is over; ignore.
+			_ = err
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("injector: scheduling phase %d transition: %w", i+1, err)
+	}
+	return nil
+}
+
+// TotalDuration returns the sum of all phase durations; 0 means the schedule
+// is open-ended.
+func (s *Schedule) TotalDuration() time.Duration {
+	var total time.Duration
+	for _, p := range s.phases {
+		if p.Duration == 0 {
+			return 0
+		}
+		total += p.Duration
+	}
+	return total
+}

@@ -1,0 +1,297 @@
+package injector
+
+import (
+	"testing"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+	"agingpred/internal/tpcw"
+)
+
+func newServer(t testing.TB) (*appserver.Server, *simclock.Scheduler) {
+	t.Helper()
+	sched := simclock.NewScheduler(nil)
+	srv, err := appserver.New(appserver.Config{}, sched, rng.New(99))
+	if err != nil {
+		t.Fatalf("appserver.New: %v", err)
+	}
+	return srv, sched
+}
+
+func TestNewMemoryInjectorValidation(t *testing.T) {
+	srv, _ := newServer(t)
+	if _, err := NewMemoryInjector(nil, rng.New(1), 1); err == nil {
+		t.Fatalf("nil server accepted")
+	}
+	if _, err := NewMemoryInjector(srv, nil, 1); err == nil {
+		t.Fatalf("nil rng accepted")
+	}
+	mi, err := NewMemoryInjector(srv, rng.New(1), 0)
+	if err != nil {
+		t.Fatalf("NewMemoryInjector: %v", err)
+	}
+	if mi.amountMB != 1 {
+		t.Fatalf("default amount = %v, want 1 MB", mi.amountMB)
+	}
+	if mode, _ := mi.Mode(); mode != MemoryOff {
+		t.Fatalf("initial mode = %v, want off", mode)
+	}
+}
+
+func TestMemoryModeString(t *testing.T) {
+	names := map[MemoryMode]string{MemoryOff: "off", MemoryLeak: "leak", MemoryAcquire: "acquire", MemoryRelease: "release"}
+	for mode, want := range names {
+		if got := mode.String(); got != want {
+			t.Errorf("MemoryMode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+	if got := MemoryMode(42).String(); got != "MemoryMode(42)" {
+		t.Errorf("unknown mode String() = %q", got)
+	}
+}
+
+func TestMemoryInjectorLeakRate(t *testing.T) {
+	srv, _ := newServer(t)
+	mi, err := NewMemoryInjector(srv, rng.New(5), 1)
+	if err != nil {
+		t.Fatalf("NewMemoryInjector: %v", err)
+	}
+	const n = 30
+	mi.SetMode(MemoryLeak, n)
+	const hits = 10000
+	for i := 0; i < hits && !srv.Crashed(); i++ {
+		mi.Hit()
+	}
+	events, injected, released := mi.Stats()
+	if events == 0 {
+		t.Fatalf("no injections after %d hits", hits)
+	}
+	if released != 0 {
+		t.Fatalf("leak mode released %v MB", released)
+	}
+	if injected != float64(events) {
+		t.Fatalf("injected %v MB over %d events with 1 MB each", injected, events)
+	}
+	// With a countdown uniform in [0, N], the mean gap is N/2+1 hits, so
+	// expect roughly hits/(N/2+1) events. Accept a generous band.
+	expected := float64(hits) / (float64(n)/2 + 1)
+	if float64(events) < expected*0.7 || float64(events) > expected*1.3 {
+		t.Fatalf("events = %d, want about %v", events, expected)
+	}
+	if srv.Heap().OldLeakedMB() != injected {
+		t.Fatalf("heap leaked %v MB, injector reports %v", srv.Heap().OldLeakedMB(), injected)
+	}
+}
+
+func TestMemoryInjectorOffDoesNothing(t *testing.T) {
+	srv, _ := newServer(t)
+	mi, _ := NewMemoryInjector(srv, rng.New(6), 1)
+	for i := 0; i < 1000; i++ {
+		mi.Hit()
+	}
+	if events, injected, _ := mi.Stats(); events != 0 || injected != 0 {
+		t.Fatalf("off injector injected: events=%d injected=%v", events, injected)
+	}
+}
+
+func TestMemoryInjectorAcquireRelease(t *testing.T) {
+	srv, _ := newServer(t)
+	mi, _ := NewMemoryInjector(srv, rng.New(7), 1)
+
+	mi.SetMode(MemoryAcquire, 0) // inject on every hit
+	for i := 0; i < 100; i++ {
+		mi.Hit()
+	}
+	if got := srv.Heap().OldRetainedMB(); got != 100 {
+		t.Fatalf("retained = %v after 100 acquire hits with N=0, want 100", got)
+	}
+	mi.SetMode(MemoryRelease, 0)
+	for i := 0; i < 40; i++ {
+		mi.Hit()
+	}
+	if got := srv.Heap().OldRetainedMB(); got != 60 {
+		t.Fatalf("retained = %v after releasing 40, want 60", got)
+	}
+	_, injected, released := mi.Stats()
+	if injected != 100 || released != 40 {
+		t.Fatalf("stats injected=%v released=%v, want 100/40", injected, released)
+	}
+}
+
+func TestMemoryInjectorAttachHooksSearchServlet(t *testing.T) {
+	srv, sched := newServer(t)
+	mi, _ := NewMemoryInjector(srv, rng.New(8), 1)
+	mi.SetMode(MemoryLeak, 0)
+	mi.Attach()
+
+	// Search requests trigger the hook; other interactions do not.
+	done := func(bool) {}
+	srv.Submit(tpcw.Request{Interaction: tpcw.SearchRequest, IssuedAt: sched.Now()}, done)
+	srv.Submit(tpcw.Request{Interaction: tpcw.Home, IssuedAt: sched.Now()}, done)
+	sched.RunUntil(10 * time.Second)
+
+	if events, _, _ := mi.Stats(); events != 1 {
+		t.Fatalf("attached injector fired %d times, want 1", events)
+	}
+}
+
+func TestThreadInjectorValidationAndRate(t *testing.T) {
+	srv, sched := newServer(t)
+	if _, err := NewThreadInjector(nil, sched, rng.New(1)); err == nil {
+		t.Fatalf("nil server accepted")
+	}
+	if _, err := NewThreadInjector(srv, nil, rng.New(1)); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := NewThreadInjector(srv, sched, nil); err == nil {
+		t.Fatalf("nil rng accepted")
+	}
+	ti, err := NewThreadInjector(srv, sched, rng.New(1))
+	if err != nil {
+		t.Fatalf("NewThreadInjector: %v", err)
+	}
+	ti.SetRate(30, 0)
+	if m, tt := ti.Rate(); m != 30 || tt != 60 {
+		t.Fatalf("Rate = (%d, %d), want (30, 60)", m, tt)
+	}
+}
+
+func TestThreadInjectorLeaksOverTime(t *testing.T) {
+	srv, sched := newServer(t)
+	ti, _ := NewThreadInjector(srv, sched, rng.New(11))
+	ti.SetRate(30, 90) // the paper's M=30, T=90 configuration
+	if err := ti.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := ti.Start(); err != nil {
+		t.Fatalf("second Start must be a no-op, got %v", err)
+	}
+	sched.RunUntil(30 * time.Minute)
+	events, leaked := ti.Stats()
+	if events == 0 || leaked == 0 {
+		t.Fatalf("no thread leaks after 30 minutes: events=%d leaked=%d", events, leaked)
+	}
+	if int(leaked) != srv.LeakedThreads() {
+		t.Fatalf("injector leaked %d, server reports %d", leaked, srv.LeakedThreads())
+	}
+	// Expected rate: one event per U(0,90) s (mean 45 s), each leaking
+	// U(0,30) threads (mean 15): about 600 threads in 30 min. Broad band.
+	if leaked < 200 || leaked > 1200 {
+		t.Fatalf("leaked %d threads in 30 min with M=30 T=90, want roughly 600", leaked)
+	}
+}
+
+func TestThreadInjectorOffLeaksNothing(t *testing.T) {
+	srv, sched := newServer(t)
+	ti, _ := NewThreadInjector(srv, sched, rng.New(12))
+	if err := ti.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(20 * time.Minute)
+	if _, leaked := ti.Stats(); leaked != 0 {
+		t.Fatalf("off thread injector leaked %d threads", leaked)
+	}
+}
+
+func TestThreadInjectorStopsAfterCrash(t *testing.T) {
+	srv, sched := newServer(t)
+	ti, _ := NewThreadInjector(srv, sched, rng.New(13))
+	ti.SetRate(100, 10)
+	if err := ti.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(4 * time.Hour)
+	if !srv.Crashed() {
+		t.Fatalf("aggressive thread leak did not crash the server")
+	}
+	_, leakedAtCrash := ti.Stats()
+	sched.RunUntil(8 * time.Hour)
+	if _, leaked := ti.Stats(); leaked != leakedAtCrash {
+		t.Fatalf("injector kept leaking after the crash: %d -> %d", leakedAtCrash, leaked)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	_, sched := newServer(t)
+	if _, err := NewSchedule(nil, nil, nil, sched); err == nil {
+		t.Fatalf("empty phase list accepted")
+	}
+	if _, err := NewSchedule([]Phase{{Duration: time.Minute}}, nil, nil, nil); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := NewSchedule([]Phase{{Duration: 0}, {Duration: time.Minute}}, nil, nil, sched); err == nil {
+		t.Fatalf("zero-duration non-final phase accepted")
+	}
+	if _, err := NewSchedule([]Phase{{Duration: -time.Minute}}, nil, nil, sched); err == nil {
+		t.Fatalf("negative duration accepted")
+	}
+}
+
+func TestScheduleAppliesPhases(t *testing.T) {
+	srv, sched := newServer(t)
+	mi, _ := NewMemoryInjector(srv, rng.New(14), 1)
+	ti, _ := NewThreadInjector(srv, sched, rng.New(15))
+
+	phases := []Phase{
+		{Name: "none", Duration: 20 * time.Minute, MemoryMode: MemoryOff},
+		{Name: "N=30", Duration: 20 * time.Minute, MemoryMode: MemoryLeak, MemoryN: 30},
+		{Name: "N=15 + threads", Duration: 20 * time.Minute, MemoryMode: MemoryLeak, MemoryN: 15, ThreadM: 30, ThreadT: 90},
+		{Name: "N=75", MemoryMode: MemoryLeak, MemoryN: 75},
+	}
+	s, err := NewSchedule(phases, mi, ti, sched)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	if idx, _ := s.CurrentPhase(); idx != -1 {
+		t.Fatalf("CurrentPhase before Start = %d", idx)
+	}
+	if got := s.TotalDuration(); got != 0 {
+		t.Fatalf("open-ended schedule TotalDuration = %v, want 0", got)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Start(); err == nil {
+		t.Fatalf("second Start succeeded")
+	}
+
+	check := func(at time.Duration, wantIdx int, wantMode MemoryMode, wantN, wantM int) {
+		t.Helper()
+		sched.RunUntil(at)
+		idx, p := s.CurrentPhase()
+		if idx != wantIdx {
+			t.Fatalf("at %v: phase index = %d (%q), want %d", at, idx, p.Name, wantIdx)
+		}
+		mode, n := mi.Mode()
+		if mode != wantMode || n != wantN {
+			t.Fatalf("at %v: memory injector = (%v, %d), want (%v, %d)", at, mode, n, wantMode, wantN)
+		}
+		m, _ := ti.Rate()
+		if m != wantM {
+			t.Fatalf("at %v: thread M = %d, want %d", at, m, wantM)
+		}
+	}
+	check(10*time.Minute, 0, MemoryOff, 0, 0)
+	check(30*time.Minute, 1, MemoryLeak, 30, 0)
+	check(50*time.Minute, 2, MemoryLeak, 15, 30)
+	check(70*time.Minute, 3, MemoryLeak, 75, 0)
+	// The final phase persists.
+	check(3*time.Hour, 3, MemoryLeak, 75, 0)
+}
+
+func TestScheduleTotalDuration(t *testing.T) {
+	_, sched := newServer(t)
+	phases := []Phase{
+		{Duration: 20 * time.Minute},
+		{Duration: 40 * time.Minute},
+	}
+	s, err := NewSchedule(phases, nil, nil, sched)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	if got := s.TotalDuration(); got != time.Hour {
+		t.Fatalf("TotalDuration = %v, want 1h", got)
+	}
+}

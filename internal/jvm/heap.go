@@ -1,0 +1,480 @@
+// Package jvm simulates a generational Java heap (Young / Old / Permanent
+// zones) the way the paper's Tomcat 5.5 + JDK 1.5 testbed behaves from the
+// outside.
+//
+// The predictor in this repository never talks to a real JVM: it only sees
+// the metric checkpoints described in Table 2 of the paper. What matters is
+// therefore that this simulator reproduces the observable phenomenology the
+// paper builds its argument on:
+//
+//   - Section 2.1.1 (Figure 1): even under a constant-rate memory leak, the
+//     memory used from the operating-system perspective is non-linear, with
+//     flat zones every time the heap management system resizes the Old zone
+//     and frees part of the application's memory.
+//   - Section 2.1.2 (Figure 2): a periodic acquire/release pattern is clearly
+//     visible from the JVM perspective (Young+Old used) but invisible from
+//     the OS perspective, because Linux does not reclaim memory freed by a
+//     process until another process needs it.
+//
+// The model is intentionally coarse-grained — allocation volumes are tracked
+// in MB rather than as object graphs — but the GC/resize/promotion dynamics
+// (minor collections, promotion of survivors, Old-zone growth steps, full
+// collections, OutOfMemory on exhaustion) follow the real generational
+// collector closely enough to produce the curves above.
+package jvm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Config describes the heap geometry. All sizes are in MB. The defaults
+// mirror the paper's testbed: a 1 GB heap (jdk1.5 -Xmx1024m) with a
+// conventional Young/Old/Permanent split.
+type Config struct {
+	// MaxHeapMB is the maximum total heap size (-Xmx). Default 1024.
+	MaxHeapMB float64
+	// YoungMB is the (fixed) size of the Young generation. Default 128.
+	YoungMB float64
+	// PermMB is the (fixed) size of the Permanent generation, which the
+	// paper observes to stay constant during its experiments. Default 64.
+	PermMB float64
+	// InitialOldMB is the initial committed size of the Old generation
+	// (-Xms-style). Default 256.
+	InitialOldMB float64
+	// OldResizeStepMB is how much committed Old space is added on each
+	// resize. Default 128.
+	OldResizeStepMB float64
+	// OldResizeThreshold is the Old-zone occupancy (fraction of committed)
+	// above which a full GC triggers a resize. Default 0.75.
+	OldResizeThreshold float64
+	// PromotionFraction is the fraction of non-leaked transient data in the
+	// Young zone that survives a minor collection and is promoted to Old.
+	// Default 0.05.
+	PromotionFraction float64
+	// ProcessBaseMB is the non-heap memory of the server process (code,
+	// native allocations, thread stacks are accounted separately). Default
+	// 150.
+	ProcessBaseMB float64
+	// ThreadStackMB is the native stack size charged to the process for
+	// every live thread. Default 0.5 (512 KB, the JDK 1.5 default on Linux).
+	ThreadStackMB float64
+}
+
+// withDefaults fills zero fields with the testbed defaults.
+func (c Config) withDefaults() Config {
+	def := Config{
+		MaxHeapMB:          1024,
+		YoungMB:            128,
+		PermMB:             64,
+		InitialOldMB:       256,
+		OldResizeStepMB:    128,
+		OldResizeThreshold: 0.75,
+		PromotionFraction:  0.05,
+		ProcessBaseMB:      150,
+		ThreadStackMB:      0.5,
+	}
+	if c.MaxHeapMB > 0 {
+		def.MaxHeapMB = c.MaxHeapMB
+	}
+	if c.YoungMB > 0 {
+		def.YoungMB = c.YoungMB
+	}
+	if c.PermMB > 0 {
+		def.PermMB = c.PermMB
+	}
+	if c.InitialOldMB > 0 {
+		def.InitialOldMB = c.InitialOldMB
+	}
+	if c.OldResizeStepMB > 0 {
+		def.OldResizeStepMB = c.OldResizeStepMB
+	}
+	if c.OldResizeThreshold > 0 {
+		def.OldResizeThreshold = c.OldResizeThreshold
+	}
+	if c.PromotionFraction > 0 {
+		def.PromotionFraction = c.PromotionFraction
+	}
+	if c.ProcessBaseMB > 0 {
+		def.ProcessBaseMB = c.ProcessBaseMB
+	}
+	if c.ThreadStackMB > 0 {
+		def.ThreadStackMB = c.ThreadStackMB
+	}
+	return def
+}
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.YoungMB+c.PermMB+c.InitialOldMB > c.MaxHeapMB {
+		return fmt.Errorf("jvm: young (%g) + perm (%g) + initial old (%g) exceed max heap %g MB",
+			c.YoungMB, c.PermMB, c.InitialOldMB, c.MaxHeapMB)
+	}
+	if c.OldResizeThreshold >= 1 {
+		return fmt.Errorf("jvm: old resize threshold %g must be < 1", c.OldResizeThreshold)
+	}
+	if c.PromotionFraction >= 1 {
+		return fmt.Errorf("jvm: promotion fraction %g must be < 1", c.PromotionFraction)
+	}
+	return nil
+}
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied even
+// after a full collection with the Old zone grown to its maximum size. It
+// corresponds to the java.lang.OutOfMemoryError that crashes the paper's
+// Tomcat server.
+var ErrOutOfMemory = errors.New("jvm: out of memory")
+
+// Heap is the simulated generational heap. It is not safe for concurrent
+// use; the discrete-event testbed drives it from a single goroutine.
+type Heap struct {
+	cfg Config
+
+	// Young zone: transient request data. youngUsed is the currently
+	// occupied part.
+	youngUsed float64
+
+	// Old zone. oldCommitted grows in steps up to the maximum; the used part
+	// is split into three kinds so collections know what they may free:
+	//   oldGarbage  – promoted transient data, freed by a full GC
+	//   oldRetained – memory acquired by the application and releasable on
+	//                 request (the acquire/release pattern of Figure 2)
+	//   oldLeaked   – leaked memory, never freed (the aging fault)
+	oldCommitted float64
+	oldGarbage   float64
+	oldRetained  float64
+	oldLeaked    float64
+
+	permUsed float64
+
+	// peakHeapUsed is the high-water mark of total heap usage; the OS-level
+	// view of the process never shrinks below it (Linux keeps the pages
+	// mapped until some other process needs them).
+	peakHeapUsed float64
+
+	// liveThreads is maintained by the owner (application server); each
+	// thread charges ThreadStackMB of native memory to the OS view and a
+	// small amount of heap for its java.lang.Thread object.
+	liveThreads int
+
+	stats Stats
+}
+
+// Stats counts collector activity, mostly for tests, debugging and the
+// GC-overhead component of the response-time model.
+type Stats struct {
+	MinorCollections int
+	FullCollections  int
+	OldResizes       int
+	AllocatedMB      float64
+	PromotedMB       float64
+	LeakedMB         float64
+	RetainedMB       float64
+	ReleasedMB       float64
+}
+
+// NewHeap creates a heap with the given configuration.
+func NewHeap(cfg Config) (*Heap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	h := &Heap{
+		cfg:          cfg,
+		oldCommitted: cfg.InitialOldMB,
+		permUsed:     cfg.PermMB * 0.6, // loaded classes; constant, per the paper
+	}
+	h.peakHeapUsed = h.HeapUsedMB()
+	return h, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (h *Heap) Config() Config { return h.cfg }
+
+// oldMaxMB is the largest committed size the Old zone may reach.
+func (h *Heap) oldMaxMB() float64 {
+	return h.cfg.MaxHeapMB - h.cfg.YoungMB - h.cfg.PermMB
+}
+
+func (h *Heap) oldUsed() float64 { return h.oldGarbage + h.oldRetained + h.oldLeaked }
+
+// Allocate simulates the transient allocations of one or more requests:
+// sizeMB is placed in the Young zone; when Young fills up a minor collection
+// runs, promoting a small fraction of the survivors to Old. It returns
+// ErrOutOfMemory when the heap is exhausted.
+func (h *Heap) Allocate(sizeMB float64) error {
+	return h.allocate(sizeMB, allocTransient)
+}
+
+// AllocateLeak simulates the aging fault: sizeMB of objects that stay
+// reachable forever. They transit through Young like any allocation but are
+// never collected once promoted.
+func (h *Heap) AllocateLeak(sizeMB float64) error {
+	return h.allocate(sizeMB, allocLeak)
+}
+
+// AllocateRetained simulates the acquire phase of the periodic pattern:
+// memory that stays reachable until ReleaseRetained is called.
+func (h *Heap) AllocateRetained(sizeMB float64) error {
+	return h.allocate(sizeMB, allocRetained)
+}
+
+// ReleaseRetained drops up to sizeMB of retained memory, making it garbage
+// that the next full collection can reclaim (the JVM-perspective usage drops
+// at the next collection; the OS perspective does not).
+func (h *Heap) ReleaseRetained(sizeMB float64) {
+	if sizeMB <= 0 {
+		return
+	}
+	released := math.Min(sizeMB, h.oldRetained)
+	h.oldRetained -= released
+	h.stats.ReleasedMB += released
+	// Released memory is immediately collectable; model it as freed right
+	// away (a real JVM would reclaim it at the next collection, a detail
+	// invisible at 15-second checkpoints).
+}
+
+// allocKind distinguishes the three allocation flavours.
+type allocKind int
+
+const (
+	allocTransient allocKind = iota
+	allocLeak
+	allocRetained
+)
+
+func (h *Heap) allocate(sizeMB float64, kind allocKind) error {
+	if sizeMB < 0 {
+		return fmt.Errorf("jvm: negative allocation %g MB", sizeMB)
+	}
+	if sizeMB == 0 {
+		return nil
+	}
+	h.stats.AllocatedMB += sizeMB
+	switch kind {
+	case allocLeak:
+		h.stats.LeakedMB += sizeMB
+	case allocRetained:
+		h.stats.RetainedMB += sizeMB
+	}
+
+	remaining := sizeMB
+	for remaining > 0 {
+		space := h.cfg.YoungMB - h.youngUsed
+		if space <= 0 {
+			if err := h.minorGC(kind, 0); err != nil {
+				return err
+			}
+			continue
+		}
+		chunk := math.Min(space, remaining)
+		h.youngUsed += chunk
+		remaining -= chunk
+		if h.youngUsed >= h.cfg.YoungMB {
+			// Young is full: collect, promoting the long-lived part of what
+			// we just allocated.
+			if err := h.minorGC(kind, chunkLongLived(kind, chunk)); err != nil {
+				return err
+			}
+		} else if kind != allocTransient {
+			// Leaked and retained objects eventually reach the Old zone even
+			// without a collection (they survive by definition); promote them
+			// straight away so Old-zone accounting does not depend on Young
+			// collection timing.
+			h.youngUsed -= chunk
+			if err := h.promote(kind, chunk); err != nil {
+				return err
+			}
+		}
+		h.touch()
+	}
+	return nil
+}
+
+// chunkLongLived returns how much of the chunk that triggered a minor GC is
+// long-lived (must move to Old as leaked/retained rather than garbage).
+func chunkLongLived(kind allocKind, chunk float64) float64 {
+	if kind == allocTransient {
+		return 0
+	}
+	return chunk
+}
+
+// minorGC collects the Young zone: transient data mostly dies, a small
+// fraction is promoted to Old as (collectable) garbage; longLivedMB of the
+// current allocation is promoted as leaked/retained according to kind.
+func (h *Heap) minorGC(kind allocKind, longLivedMB float64) error {
+	h.stats.MinorCollections++
+	transient := h.youngUsed - longLivedMB
+	if transient < 0 {
+		transient = 0
+	}
+	promoted := transient * h.cfg.PromotionFraction
+	h.stats.PromotedMB += promoted
+	h.youngUsed = 0
+	if err := h.promoteAs(allocTransient, promoted); err != nil {
+		return err
+	}
+	if longLivedMB > 0 {
+		if err := h.promote(kind, longLivedMB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promote moves sizeMB into the Old zone with the semantics of kind.
+func (h *Heap) promote(kind allocKind, sizeMB float64) error {
+	return h.promoteAs(kind, sizeMB)
+}
+
+func (h *Heap) promoteAs(kind allocKind, sizeMB float64) error {
+	if sizeMB <= 0 {
+		return nil
+	}
+	for h.oldUsed()+sizeMB > h.oldCommitted {
+		if err := h.fullGC(); err != nil {
+			return err
+		}
+		if h.oldUsed()+sizeMB <= h.oldCommitted {
+			break
+		}
+		if !h.resizeOld() {
+			// Old zone is already at its maximum and a full collection did
+			// not make room: the JVM throws OutOfMemoryError.
+			return fmt.Errorf("%w: old zone %.1f/%.1f MB, requested %.1f MB",
+				ErrOutOfMemory, h.oldUsed(), h.oldCommitted, sizeMB)
+		}
+	}
+	switch kind {
+	case allocTransient:
+		h.oldGarbage += sizeMB
+	case allocLeak:
+		h.oldLeaked += sizeMB
+	case allocRetained:
+		h.oldRetained += sizeMB
+	}
+	h.touch()
+	return nil
+}
+
+// fullGC collects the Old zone: garbage is freed, leaked and retained data
+// survive. This is where the paper's "GC resizes action and release memory"
+// annotation on Figure 1 comes from.
+func (h *Heap) fullGC() error {
+	h.stats.FullCollections++
+	h.oldGarbage = 0
+	// A full collection also empties the Young zone.
+	h.youngUsed = 0
+	// Resize when occupancy is still above the threshold after collecting.
+	if h.oldUsed() > h.cfg.OldResizeThreshold*h.oldCommitted {
+		h.resizeOld()
+	}
+	return nil
+}
+
+// resizeOld grows the committed Old zone by one step, bounded by the maximum
+// heap size. It reports whether any growth happened.
+func (h *Heap) resizeOld() bool {
+	maxOld := h.oldMaxMB()
+	if h.oldCommitted >= maxOld {
+		return false
+	}
+	h.oldCommitted = math.Min(h.oldCommitted+h.cfg.OldResizeStepMB, maxOld)
+	h.stats.OldResizes++
+	return true
+}
+
+// touch updates the OS-level high-water mark.
+func (h *Heap) touch() {
+	if used := h.HeapUsedMB(); used > h.peakHeapUsed {
+		h.peakHeapUsed = used
+	}
+}
+
+// SetLiveThreads tells the heap how many threads the process currently has;
+// used for the OS-level memory accounting (native stacks) and the Java-side
+// Thread objects.
+func (h *Heap) SetLiveThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	h.liveThreads = n
+}
+
+// LiveThreads returns the last value passed to SetLiveThreads.
+func (h *Heap) LiveThreads() int { return h.liveThreads }
+
+// --- Metric accessors (the JVM-perspective and OS-perspective views) ---
+
+// YoungUsedMB returns the memory currently used in the Young zone.
+func (h *Heap) YoungUsedMB() float64 { return h.youngUsed }
+
+// YoungMaxMB returns the (fixed) Young zone capacity.
+func (h *Heap) YoungMaxMB() float64 { return h.cfg.YoungMB }
+
+// OldUsedMB returns the memory currently used in the Old zone.
+func (h *Heap) OldUsedMB() float64 { return h.oldUsed() }
+
+// OldCommittedMB returns the current committed size of the Old zone.
+func (h *Heap) OldCommittedMB() float64 { return h.oldCommitted }
+
+// OldMaxMB returns the maximum size the Old zone may grow to.
+func (h *Heap) OldMaxMB() float64 { return h.oldMaxMB() }
+
+// OldLeakedMB returns the unreclaimable (leaked) part of the Old zone.
+func (h *Heap) OldLeakedMB() float64 { return h.oldLeaked }
+
+// OldRetainedMB returns the retained-but-releasable part of the Old zone.
+func (h *Heap) OldRetainedMB() float64 { return h.oldRetained }
+
+// PermUsedMB returns the Permanent zone usage (constant).
+func (h *Heap) PermUsedMB() float64 { return h.permUsed }
+
+// HeapUsedMB returns the total JVM-perspective heap usage
+// (Young + Old + Permanent used). This is the "Young+Old heap used JVM
+// perspective" wave of Figure 2 (plus the constant Permanent part).
+func (h *Heap) HeapUsedMB() float64 { return h.youngUsed + h.oldUsed() + h.permUsed }
+
+// HeapCommittedMB returns the committed heap size.
+func (h *Heap) HeapCommittedMB() float64 {
+	return h.cfg.YoungMB + h.oldCommitted + h.cfg.PermMB
+}
+
+// ProcessMemoryMB returns the OS-perspective memory of the server process:
+// the non-heap baseline, the heap high-water mark (Linux never gives freed
+// pages back spontaneously) and the native thread stacks. This is the
+// "Tomcat Memory used OS perspective" line of Figures 1 and 2.
+func (h *Heap) ProcessMemoryMB() float64 {
+	return h.cfg.ProcessBaseMB + h.peakHeapUsed + float64(h.liveThreads)*h.cfg.ThreadStackMB
+}
+
+// HeadroomMB returns how much unreclaimable data can still be added before
+// the heap is exhausted. The testbed uses it to detect imminent crashes.
+func (h *Heap) HeadroomMB() float64 {
+	return h.oldMaxMB() - (h.oldLeaked + h.oldRetained)
+}
+
+// GCOverhead returns a number in [0, 1) expressing how much of the server's
+// time is being eaten by collections: it grows as the unreclaimable part of
+// the Old zone approaches its maximum, because full collections become both
+// more frequent and less productive. The application server uses it to
+// degrade response times near the crash, which is the behaviour the paper
+// observes ("gradual performance degradation could also accompany software
+// aging").
+func (h *Heap) GCOverhead() float64 {
+	occupancy := (h.oldLeaked + h.oldRetained) / h.oldMaxMB()
+	if occupancy <= 0.6 {
+		return 0
+	}
+	over := (occupancy - 0.6) / 0.4
+	if over > 1 {
+		over = 1
+	}
+	return over * over * 0.9
+}
+
+// Stats returns a copy of the collector statistics.
+func (h *Heap) Stats() Stats { return h.stats }

@@ -1,0 +1,362 @@
+package jvm
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func newTestHeap(t testing.TB, cfg Config) *Heap {
+	t.Helper()
+	h, err := NewHeap(cfg)
+	if err != nil {
+		t.Fatalf("NewHeap: %v", err)
+	}
+	return h
+}
+
+func TestConfigDefaults(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	cfg := h.Config()
+	if cfg.MaxHeapMB != 1024 || cfg.YoungMB != 128 || cfg.PermMB != 64 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if h.OldMaxMB() != 1024-128-64 {
+		t.Fatalf("OldMaxMB = %v, want %v", h.OldMaxMB(), 1024-128-64)
+	}
+	if h.OldCommittedMB() != 256 {
+		t.Fatalf("initial old committed = %v, want 256", h.OldCommittedMB())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "defaults", cfg: Config{}},
+		{name: "zones exceed heap", cfg: Config{MaxHeapMB: 200, YoungMB: 100, PermMB: 64, InitialOldMB: 100}, wantErr: true},
+		{name: "threshold too high", cfg: Config{OldResizeThreshold: 1.5}, wantErr: true},
+		{name: "promotion fraction too high", cfg: Config{PromotionFraction: 1.0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			_, err = NewHeap(tt.cfg)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewHeap() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTransientAllocationIsCollected(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	// Allocate far more transient data than the whole heap; it must be
+	// collected rather than exhausting memory.
+	for i := 0; i < 10000; i++ {
+		if err := h.Allocate(0.5); err != nil {
+			t.Fatalf("Allocate transient #%d: %v", i, err)
+		}
+	}
+	if h.Stats().MinorCollections == 0 {
+		t.Fatalf("no minor collections after 5000 MB of transient allocation")
+	}
+	if h.OldLeakedMB() != 0 {
+		t.Fatalf("transient allocation leaked %v MB", h.OldLeakedMB())
+	}
+	if h.HeapUsedMB() > h.Config().MaxHeapMB {
+		t.Fatalf("heap used %v exceeds max %v", h.HeapUsedMB(), h.Config().MaxHeapMB)
+	}
+}
+
+func TestLeakAccumulatesAndEventuallyOOMs(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	leaked := 0.0
+	var oomAt float64 = -1
+	for i := 0; i < 5000; i++ {
+		if err := h.Allocate(0.3); err != nil {
+			t.Fatalf("transient Allocate: %v", err)
+		}
+		if err := h.AllocateLeak(1); err != nil {
+			if errors.Is(err, ErrOutOfMemory) {
+				oomAt = leaked
+				break
+			}
+			t.Fatalf("AllocateLeak: %v", err)
+		}
+		leaked++
+		if got := h.OldLeakedMB(); math.Abs(got-leaked) > 1e-6 {
+			t.Fatalf("OldLeakedMB = %v after leaking %v", got, leaked)
+		}
+	}
+	if oomAt < 0 {
+		t.Fatalf("no OutOfMemory after leaking %v MB into a %v MB heap", leaked, h.Config().MaxHeapMB)
+	}
+	// The crash must happen when the leak approaches the Old zone capacity.
+	oldMax := h.OldMaxMB()
+	if oomAt < oldMax*0.85 || oomAt > oldMax {
+		t.Fatalf("OOM at %v MB leaked, want close to old max %v", oomAt, oldMax)
+	}
+}
+
+func TestOldZoneResizing(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	initial := h.OldCommittedMB()
+	// Leak enough to force several resizes but not an OOM.
+	for i := 0; i < 500; i++ {
+		if err := h.AllocateLeak(1); err != nil {
+			t.Fatalf("AllocateLeak: %v", err)
+		}
+	}
+	if h.OldCommittedMB() <= initial {
+		t.Fatalf("old zone never resized: committed %v", h.OldCommittedMB())
+	}
+	if h.Stats().OldResizes == 0 {
+		t.Fatalf("stats report no resizes")
+	}
+	if h.OldCommittedMB() > h.OldMaxMB() {
+		t.Fatalf("old committed %v exceeds max %v", h.OldCommittedMB(), h.OldMaxMB())
+	}
+}
+
+func TestOSPerspectiveNeverShrinks(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	prev := h.ProcessMemoryMB()
+	for i := 0; i < 3000; i++ {
+		var err error
+		switch i % 3 {
+		case 0:
+			err = h.Allocate(0.4)
+		case 1:
+			err = h.AllocateRetained(0.5)
+		case 2:
+			h.ReleaseRetained(0.5)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cur := h.ProcessMemoryMB()
+		if cur < prev-1e-9 {
+			t.Fatalf("OS-perspective memory shrank from %v to %v at step %d", prev, cur, i)
+		}
+		prev = cur
+	}
+}
+
+func TestPeriodicPatternVisibleOnlyFromJVMPerspective(t *testing.T) {
+	// Reproduce the Figure 2 phenomenology in miniature: acquire 200 MB,
+	// release it, repeat. The JVM-perspective usage must oscillate; the
+	// OS-perspective memory must stay flat (after the first cycle).
+	h := newTestHeap(t, Config{})
+	var jvmMin, jvmMax float64 = math.Inf(1), math.Inf(-1)
+	var osAfterFirstCycle float64
+	var osMaxDeviation float64
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 200; i++ {
+			if err := h.AllocateRetained(1); err != nil {
+				t.Fatalf("AllocateRetained: %v", err)
+			}
+		}
+		jvmMax = math.Max(jvmMax, h.HeapUsedMB())
+		h.ReleaseRetained(200)
+		jvmMin = math.Min(jvmMin, h.HeapUsedMB())
+		if cycle == 0 {
+			osAfterFirstCycle = h.ProcessMemoryMB()
+		} else {
+			dev := math.Abs(h.ProcessMemoryMB() - osAfterFirstCycle)
+			osMaxDeviation = math.Max(osMaxDeviation, dev)
+		}
+	}
+	if jvmMax-jvmMin < 150 {
+		t.Fatalf("JVM-perspective usage does not show the wave: min %v max %v", jvmMin, jvmMax)
+	}
+	if osMaxDeviation > 20 {
+		t.Fatalf("OS-perspective memory moved by %v MB across cycles, want nearly constant", osMaxDeviation)
+	}
+}
+
+func TestReleaseRetainedClampsToRetained(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	if err := h.AllocateRetained(50); err != nil {
+		t.Fatalf("AllocateRetained: %v", err)
+	}
+	h.ReleaseRetained(500)
+	if h.OldRetainedMB() != 0 {
+		t.Fatalf("retained = %v after over-release, want 0", h.OldRetainedMB())
+	}
+	// Releasing with nothing retained, or a non-positive amount, is a no-op.
+	h.ReleaseRetained(10)
+	h.ReleaseRetained(-5)
+	if h.OldRetainedMB() != 0 {
+		t.Fatalf("retained changed by no-op releases")
+	}
+}
+
+func TestAllocateRejectsNegative(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	if err := h.Allocate(-1); err == nil {
+		t.Fatalf("Allocate(-1) succeeded")
+	}
+	if err := h.AllocateLeak(-1); err == nil {
+		t.Fatalf("AllocateLeak(-1) succeeded")
+	}
+	if err := h.Allocate(0); err != nil {
+		t.Fatalf("Allocate(0): %v", err)
+	}
+}
+
+func TestThreadAccounting(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	base := h.ProcessMemoryMB()
+	h.SetLiveThreads(100)
+	if h.LiveThreads() != 100 {
+		t.Fatalf("LiveThreads = %d", h.LiveThreads())
+	}
+	got := h.ProcessMemoryMB() - base
+	want := 100 * h.Config().ThreadStackMB
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("thread stacks add %v MB, want %v", got, want)
+	}
+	h.SetLiveThreads(-5)
+	if h.LiveThreads() != 0 {
+		t.Fatalf("negative thread count not clamped: %d", h.LiveThreads())
+	}
+}
+
+func TestGCOverheadGrowsNearExhaustion(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	if h.GCOverhead() != 0 {
+		t.Fatalf("fresh heap has GC overhead %v", h.GCOverhead())
+	}
+	// Leak until ~90% of the old zone max.
+	target := h.OldMaxMB() * 0.9
+	for h.OldLeakedMB() < target {
+		if err := h.AllocateLeak(5); err != nil {
+			t.Fatalf("AllocateLeak: %v", err)
+		}
+	}
+	if h.GCOverhead() <= 0.2 {
+		t.Fatalf("GC overhead near exhaustion = %v, want substantial", h.GCOverhead())
+	}
+	if h.GCOverhead() >= 1 {
+		t.Fatalf("GC overhead = %v, must stay below 1", h.GCOverhead())
+	}
+}
+
+func TestHeadroomDecreasesWithLeaks(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	before := h.HeadroomMB()
+	if err := h.AllocateLeak(100); err != nil {
+		t.Fatalf("AllocateLeak: %v", err)
+	}
+	after := h.HeadroomMB()
+	if math.Abs((before-after)-100) > 1e-6 {
+		t.Fatalf("headroom dropped by %v after leaking 100 MB", before-after)
+	}
+}
+
+func TestFullGCKeepsLeakAndRetained(t *testing.T) {
+	h := newTestHeap(t, Config{})
+	if err := h.AllocateLeak(100); err != nil {
+		t.Fatalf("AllocateLeak: %v", err)
+	}
+	if err := h.AllocateRetained(50); err != nil {
+		t.Fatalf("AllocateRetained: %v", err)
+	}
+	// Push a lot of transient data through to force full collections.
+	for i := 0; i < 5000; i++ {
+		if err := h.Allocate(1); err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+	}
+	if h.Stats().FullCollections == 0 {
+		t.Skipf("no full collections triggered; promotion fraction too small for this test setup")
+	}
+	if h.OldLeakedMB() != 100 || h.OldRetainedMB() != 50 {
+		t.Fatalf("full GC lost leaked/retained memory: leaked=%v retained=%v", h.OldLeakedMB(), h.OldRetainedMB())
+	}
+}
+
+// Property: heap usage never exceeds the configured maximum and the OS view
+// is monotonically non-decreasing, under any interleaving of operations.
+func TestHeapInvariantsProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h, err := NewHeap(Config{MaxHeapMB: 512, YoungMB: 64, PermMB: 32, InitialOldMB: 128, OldResizeStepMB: 64})
+		if err != nil {
+			return false
+		}
+		prevOS := h.ProcessMemoryMB()
+		for _, op := range ops {
+			size := float64(op%16) + 0.25
+			switch op % 4 {
+			case 0:
+				err = h.Allocate(size)
+			case 1:
+				err = h.AllocateLeak(size / 4)
+			case 2:
+				err = h.AllocateRetained(size / 2)
+			case 3:
+				h.ReleaseRetained(size)
+			}
+			if err != nil && !errors.Is(err, ErrOutOfMemory) {
+				return false
+			}
+			if errors.Is(err, ErrOutOfMemory) {
+				return true // a legitimate terminal state
+			}
+			if h.HeapUsedMB() > h.Config().MaxHeapMB+1e-6 {
+				return false
+			}
+			if h.OldUsedMB() > h.OldCommittedMB()+1e-6 {
+				return false
+			}
+			if h.OldCommittedMB() > h.OldMaxMB()+1e-6 {
+				return false
+			}
+			cur := h.ProcessMemoryMB()
+			if cur < prevOS-1e-9 {
+				return false
+			}
+			prevOS = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: leaked memory is exactly the sum of AllocateLeak calls until the
+// first OOM, regardless of interleaved transient traffic.
+func TestLeakConservationProperty(t *testing.T) {
+	f := func(leaks []uint8) bool {
+		h, err := NewHeap(Config{})
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, l := range leaks {
+			leak := float64(l%8) / 4
+			if err := h.Allocate(1); err != nil {
+				return errors.Is(err, ErrOutOfMemory)
+			}
+			if err := h.AllocateLeak(leak); err != nil {
+				return errors.Is(err, ErrOutOfMemory)
+			}
+			total += leak
+			if math.Abs(h.OldLeakedMB()-total) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

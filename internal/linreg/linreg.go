@@ -1,0 +1,514 @@
+// Package linreg implements multiple linear regression by least squares.
+//
+// It serves two roles in this repository, mirroring its two roles in the
+// paper:
+//
+//   - as the baseline predictor the paper compares M5P against in Tables 3
+//     and 4 ("Lin. Reg" columns), and
+//   - as the leaf model inside M5P model trees (internal/m5p), including the
+//     greedy attribute-elimination step described by Wang & Witten for M5.
+//
+// The solver uses a QR decomposition by Householder reflections, which is
+// numerically stable for the strongly collinear derived features of Table 2
+// (many of them are ratios of each other). When the design matrix is rank
+// deficient even for QR, a small ridge penalty is applied instead of failing,
+// because a usable, slightly-biased model is always preferable to no model in
+// an on-line prediction loop.
+package linreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"agingpred/internal/dataset"
+)
+
+// Model is a fitted linear regression model: target = Intercept + Σ coef·attr.
+type Model struct {
+	// Attrs holds the names of the attributes used by the model, in the same
+	// order as Coefficients. Attributes eliminated during fitting do not
+	// appear.
+	Attrs []string
+	// Coefficients holds one coefficient per entry of Attrs.
+	Coefficients []float64
+	// Intercept is the constant term.
+	Intercept float64
+
+	// TrainingInstances is the number of instances the model was fitted on.
+	TrainingInstances int
+	// TrainingMAE is the mean absolute error on the training data.
+	TrainingMAE float64
+
+	// attrIndex caches the column index of each attribute for a given schema;
+	// it is rebuilt lazily by Predict when the schema changes.
+	attrIndex []int
+	schemaSig string
+}
+
+// Options configures Fit.
+type Options struct {
+	// Ridge is the L2 penalty used only when the unpenalised system is rank
+	// deficient. Zero means a small default (1e-8).
+	Ridge float64
+	// EliminateAttrs enables M5-style greedy attribute elimination: columns
+	// are dropped while doing so does not worsen the Akaike-corrected error.
+	EliminateAttrs bool
+	// MaxAttrs caps the number of attributes considered (0 = no cap). When
+	// the cap is exceeded the attributes most correlated with the target are
+	// kept. This keeps leaf models small in deep M5P trees.
+	MaxAttrs int
+	// Columns restricts the regression to the given attribute column
+	// indices. nil means "all columns"; an empty (non-nil) slice fits an
+	// intercept-only model (the constant leaf of an M5 tree). M5P uses this
+	// to honour the rule that a node's linear model may only reference
+	// attributes tested in the node's subtree.
+	Columns []int
+}
+
+// Fit fits a linear regression model to the dataset.
+func Fit(ds *dataset.Dataset, opts Options) (*Model, error) {
+	if ds == nil {
+		return nil, errors.New("linreg: nil dataset")
+	}
+	if ds.Len() == 0 {
+		return nil, errors.New("linreg: empty dataset")
+	}
+	ridge := opts.Ridge
+	if ridge == 0 {
+		ridge = 1e-8
+	}
+	attrs := ds.Attrs()
+	var cols []int
+	if opts.Columns != nil {
+		cols = make([]int, 0, len(opts.Columns))
+		for _, c := range opts.Columns {
+			if c < 0 || c >= len(attrs) {
+				return nil, fmt.Errorf("linreg: column index %d out of range [0,%d)", c, len(attrs))
+			}
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+	} else {
+		cols = make([]int, len(attrs))
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	if opts.MaxAttrs > 0 && len(cols) > opts.MaxAttrs {
+		cols = topCorrelatedAmong(ds, cols, opts.MaxAttrs)
+	}
+
+	coefs, intercept, err := solve(ds, cols, ridge)
+	if err != nil {
+		return nil, err
+	}
+	model := buildModel(ds, attrs, cols, coefs, intercept)
+
+	if opts.EliminateAttrs && len(cols) > 1 {
+		model = eliminate(ds, attrs, cols, ridge, model)
+	}
+	return model, nil
+}
+
+// buildModel assembles a Model from solved coefficients and computes its
+// training error.
+func buildModel(ds *dataset.Dataset, attrs []string, cols []int, coefs []float64, intercept float64) *Model {
+	m := &Model{
+		Attrs:             make([]string, len(cols)),
+		Coefficients:      append([]float64(nil), coefs...),
+		Intercept:         intercept,
+		TrainingInstances: ds.Len(),
+	}
+	for i, c := range cols {
+		m.Attrs[i] = attrs[c]
+	}
+	sumAbs := 0.0
+	for i := 0; i < ds.Len(); i++ {
+		pred := intercept
+		for j, c := range cols {
+			pred += coefs[j] * ds.Value(i, c)
+		}
+		sumAbs += math.Abs(pred - ds.TargetValue(i))
+	}
+	m.TrainingMAE = sumAbs / float64(ds.Len())
+	return m
+}
+
+// akaikeError is the error measure M5 uses to decide whether dropping an
+// attribute is worthwhile: the training MAE multiplied by a penalty factor
+// (n+v)/(n-v) that grows with the number of parameters v.
+func akaikeError(mae float64, n, params int) float64 {
+	v := params + 1 // +1 for the intercept
+	if n <= v {
+		return math.Inf(1)
+	}
+	return mae * float64(n+v) / float64(n-v)
+}
+
+// eliminate greedily drops attributes while the Akaike-corrected training
+// error does not increase. It returns the best model found (possibly the
+// original one).
+func eliminate(ds *dataset.Dataset, attrs []string, cols []int, ridge float64, initial *Model) *Model {
+	best := initial
+	bestCols := append([]int(nil), cols...)
+	bestScore := akaikeError(initial.TrainingMAE, ds.Len(), len(bestCols))
+
+	improved := true
+	for improved && len(bestCols) > 1 {
+		improved = false
+		var (
+			bestDropIdx   = -1
+			bestDropModel *Model
+			bestDropCols  []int
+			bestDropScore = bestScore
+		)
+		for drop := range bestCols {
+			trial := make([]int, 0, len(bestCols)-1)
+			trial = append(trial, bestCols[:drop]...)
+			trial = append(trial, bestCols[drop+1:]...)
+			coefs, intercept, err := solve(ds, trial, ridge)
+			if err != nil {
+				continue
+			}
+			m := buildModel(ds, attrs, trial, coefs, intercept)
+			score := akaikeError(m.TrainingMAE, ds.Len(), len(trial))
+			if score <= bestDropScore {
+				bestDropScore = score
+				bestDropIdx = drop
+				bestDropModel = m
+				bestDropCols = trial
+			}
+		}
+		if bestDropIdx >= 0 {
+			best = bestDropModel
+			bestCols = bestDropCols
+			bestScore = bestDropScore
+			improved = true
+		}
+	}
+	return best
+}
+
+// topCorrelatedAmong returns the k column indices (from the candidate set)
+// whose absolute Pearson correlation with the target is largest.
+func topCorrelatedAmong(ds *dataset.Dataset, candidates []int, k int) []int {
+	type scored struct {
+		col  int
+		corr float64
+	}
+	targets := ds.Targets()
+	scoredCols := make([]scored, 0, len(candidates))
+	for _, c := range candidates {
+		scoredCols = append(scoredCols, scored{col: c, corr: math.Abs(pearson(ds.Column(c), targets))})
+	}
+	sort.SliceStable(scoredCols, func(i, j int) bool { return scoredCols[i].corr > scoredCols[j].corr })
+	cols := make([]int, 0, k)
+	for i := 0; i < k && i < len(scoredCols); i++ {
+		cols = append(cols, scoredCols[i].col)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// solve computes least-squares coefficients for the given columns plus an
+// intercept. It first tries a QR solve; if the system is rank deficient it
+// falls back to ridge-regularised normal equations.
+func solve(ds *dataset.Dataset, cols []int, ridge float64) (coefs []float64, intercept float64, err error) {
+	n := ds.Len()
+	p := len(cols) + 1 // +1 intercept column
+
+	// Build the design matrix (row-major) with a leading column of ones.
+	a := make([]float64, n*p)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i*p] = 1
+		for j, c := range cols {
+			a[i*p+j+1] = ds.Value(i, c)
+		}
+		b[i] = ds.TargetValue(i)
+	}
+
+	x, ok := qrSolve(a, b, n, p)
+	if !ok {
+		x, err = ridgeSolve(a, b, n, p, ridge)
+		if err != nil {
+			return nil, 0, fmt.Errorf("linreg: solving least squares: %w", err)
+		}
+	}
+	return x[1:], x[0], nil
+}
+
+// qrSolve solves min ||Ax - b|| for an n×p row-major matrix using Householder
+// QR. It reports ok=false when A is (numerically) rank deficient.
+func qrSolve(a, b []float64, n, p int) (x []float64, ok bool) {
+	if n < p {
+		return nil, false
+	}
+	// Work on copies: the caller may retry with ridge on the originals.
+	r := append([]float64(nil), a...)
+	y := append([]float64(nil), b...)
+
+	for k := 0; k < p; k++ {
+		// Compute the Householder reflector for column k below the diagonal.
+		norm := 0.0
+		for i := k; i < n; i++ {
+			norm = math.Hypot(norm, r[i*p+k])
+		}
+		if norm == 0 {
+			return nil, false
+		}
+		if r[k*p+k] > 0 {
+			norm = -norm
+		}
+		for i := k; i < n; i++ {
+			r[i*p+k] /= norm
+		}
+		r[k*p+k] += 1
+
+		// Apply the reflector to the remaining columns and to y.
+		for j := k + 1; j < p; j++ {
+			s := 0.0
+			for i := k; i < n; i++ {
+				s += r[i*p+k] * r[i*p+j]
+			}
+			s = -s / r[k*p+k]
+			for i := k; i < n; i++ {
+				r[i*p+j] += s * r[i*p+k]
+			}
+		}
+		s := 0.0
+		for i := k; i < n; i++ {
+			s += r[i*p+k] * y[i]
+		}
+		s = -s / r[k*p+k]
+		for i := k; i < n; i++ {
+			y[i] += s * r[i*p+k]
+		}
+		// The diagonal entry of R is -norm.
+		r[k*p+k] = norm // stash; actual R(k,k) = -norm, handled in back-substitution
+	}
+
+	// Back substitution with R stored in the upper triangle (diagonal holds
+	// the negated value in r[k*p+k]).
+	x = make([]float64, p)
+	const rankTol = 1e-10
+	maxDiag := 0.0
+	for k := 0; k < p; k++ {
+		if d := math.Abs(r[k*p+k]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	for k := p - 1; k >= 0; k-- {
+		diag := -r[k*p+k]
+		if math.Abs(diag) <= rankTol*maxDiag || diag == 0 {
+			return nil, false
+		}
+		s := y[k]
+		for j := k + 1; j < p; j++ {
+			s -= r[k*p+j] * x[j]
+		}
+		x[k] = s / diag
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, false
+		}
+	}
+	return x, true
+}
+
+// ridgeSolve solves (AᵀA + λD)x = Aᵀb by Cholesky decomposition, where D is
+// a diagonal scaling matrix derived from AᵀA itself so the penalty is
+// meaningful regardless of the (often wildly different) column scales of the
+// derived Table 2 features. The intercept column is penalised too; with the
+// tiny default λ this bias is negligible and it keeps the matrix strictly
+// positive definite. If the factorisation still fails, the penalty is
+// escalated a few times before giving up.
+func ridgeSolve(a, b []float64, n, p int, lambda float64) ([]float64, error) {
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+	// Normal matrix M = AᵀA (p×p, symmetric) and rhs v = Aᵀb.
+	m := make([]float64, p*p)
+	v := make([]float64, p)
+	for i := 0; i < n; i++ {
+		row := a[i*p : (i+1)*p]
+		for j := 0; j < p; j++ {
+			v[j] += row[j] * b[i]
+			for k := j; k < p; k++ {
+				m[j*p+k] += row[j] * row[k]
+			}
+		}
+	}
+	for j := 0; j < p; j++ {
+		for k := 0; k < j; k++ {
+			m[j*p+k] = m[k*p+j]
+		}
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		penalised := append([]float64(nil), m...)
+		for j := 0; j < p; j++ {
+			// Relative penalty: scale by the column's own energy so columns
+			// with values around 1e6 and columns around 1e-3 are both
+			// regularised meaningfully.
+			penalised[j*p+j] += lambda * (1 + m[j*p+j])
+		}
+		x, err := choleskySolve(penalised, v, p)
+		if err == nil {
+			return x, nil
+		}
+		lastErr = err
+		lambda *= 1e3
+	}
+	return nil, fmt.Errorf("ridge solve failed even with escalated penalty: %w", lastErr)
+}
+
+// choleskySolve solves the symmetric positive definite system M x = v.
+func choleskySolve(m, v []float64, p int) ([]float64, error) {
+	l := make([]float64, p*p)
+	for j := 0; j < p; j++ {
+		sum := m[j*p+j]
+		for k := 0; k < j; k++ {
+			sum -= l[j*p+k] * l[j*p+k]
+		}
+		if sum <= 0 {
+			return nil, fmt.Errorf("matrix not positive definite at column %d", j)
+		}
+		l[j*p+j] = math.Sqrt(sum)
+		for i := j + 1; i < p; i++ {
+			s := m[i*p+j]
+			for k := 0; k < j; k++ {
+				s -= l[i*p+k] * l[j*p+k]
+			}
+			l[i*p+j] = s / l[j*p+j]
+		}
+	}
+	// Solve L z = v, then Lᵀ x = z.
+	z := make([]float64, p)
+	for i := 0; i < p; i++ {
+		s := v[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*p+k] * z[k]
+		}
+		z[i] = s / l[i*p+i]
+	}
+	x := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		s := z[i]
+		for k := i + 1; k < p; k++ {
+			s -= l[k*p+i] * x[k]
+		}
+		x[i] = s / l[i*p+i]
+	}
+	for _, val := range x {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return nil, errors.New("ridge solution is not finite")
+		}
+	}
+	return x, nil
+}
+
+// Predict returns the model's prediction for an instance given as a full row
+// of the dataset schema it was trained on (or any schema containing the
+// model's attributes). attrs names the columns of row.
+func (m *Model) Predict(attrs []string, row []float64) (float64, error) {
+	if len(attrs) != len(row) {
+		return 0, fmt.Errorf("linreg: %d attribute names for %d values", len(attrs), len(row))
+	}
+	if err := m.bindSchema(attrs); err != nil {
+		return 0, err
+	}
+	pred := m.Intercept
+	for j, idx := range m.attrIndex {
+		pred += m.Coefficients[j] * row[idx]
+	}
+	return pred, nil
+}
+
+// PredictDataset returns predictions for every instance of ds.
+func (m *Model) PredictDataset(ds *dataset.Dataset) ([]float64, error) {
+	attrs := ds.Attrs()
+	out := make([]float64, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		v, err := m.Predict(attrs, ds.Row(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// bindSchema resolves the model's attribute names against a row schema,
+// caching the result until the schema changes.
+func (m *Model) bindSchema(attrs []string) error {
+	sig := strings.Join(attrs, "\x00")
+	if sig == m.schemaSig && m.attrIndex != nil {
+		return nil
+	}
+	idx := make([]int, len(m.Attrs))
+	for j, name := range m.Attrs {
+		found := -1
+		for i, a := range attrs {
+			if a == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("linreg: instance schema is missing attribute %q", name)
+		}
+		idx[j] = found
+	}
+	m.attrIndex = idx
+	m.schemaSig = sig
+	return nil
+}
+
+// NumAttrs returns the number of attributes retained by the model.
+func (m *Model) NumAttrs() int { return len(m.Attrs) }
+
+// String renders the regression equation in a human-readable form, e.g.
+// "ttf = 120.5 - 3.2*tomcat_mem + 0.8*threads".
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.6g", m.Intercept)
+	for i, a := range m.Attrs {
+		c := m.Coefficients[i]
+		if c >= 0 {
+			fmt.Fprintf(&b, " + %.6g*%s", c, a)
+		} else {
+			fmt.Fprintf(&b, " - %.6g*%s", -c, a)
+		}
+	}
+	return b.String()
+}

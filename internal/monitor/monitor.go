@@ -1,0 +1,268 @@
+// Package monitor implements the monitoring subsystem of the paper's
+// framework: it samples the application server every 15 seconds (one
+// "checkpoint" or training instance), records the raw variables of Table 2,
+// and — once the run has ended — labels every checkpoint with its true time
+// to failure so the series can be turned into a training or test dataset.
+//
+// Checkpoints hold only the directly-observed metrics; the derived variables
+// (consumption speeds, sliding-window averages, ratios) are computed by
+// internal/features, because which derived variables are used differs per
+// experiment (Table 2's per-experiment columns).
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/simclock"
+)
+
+// DefaultInterval is the checkpoint interval used throughout the paper
+// (15 seconds per mark; the sliding-window delay discussion in Section 4.2
+// relies on it).
+const DefaultInterval = 15 * time.Second
+
+// InfiniteTTFSec is the label used for checkpoints of executions that never
+// crash. The paper trains the model "to determinate as an infinite time until
+// crash as 3 hours (10800 secs)".
+const InfiniteTTFSec = 10800.0
+
+// Checkpoint is one 15-second observation of the system: the raw variables
+// of Table 2 plus bookkeeping needed to derive the rest.
+type Checkpoint struct {
+	// TimeSec is the simulated time of the checkpoint, seconds.
+	TimeSec float64
+
+	// Throughput is completed requests per second over the last interval.
+	Throughput float64
+	// Workload is the number of concurrent EBs driving the system.
+	Workload float64
+	// ResponseTimeSec is the mean response time over the last interval.
+	ResponseTimeSec float64
+	// SystemLoad is the mean number of busy workers over the last interval
+	// (a UNIX-style load average).
+	SystemLoad float64
+
+	// DiskUsedMB, SwapFreeMB, NumProcesses, SystemMemUsedMB are the
+	// machine-level metrics.
+	DiskUsedMB      float64
+	SwapFreeMB      float64
+	NumProcesses    float64
+	SystemMemUsedMB float64
+
+	// TomcatMemUsedMB is the application-server process memory from the OS
+	// perspective.
+	TomcatMemUsedMB float64
+	// NumThreads is the total thread count of the server process.
+	NumThreads float64
+	// NumHTTPConns and NumMySQLConns are the connection gauges.
+	NumHTTPConns  float64
+	NumMySQLConns float64
+
+	// JVM-perspective heap metrics (per zone).
+	YoungMaxMB  float64
+	OldMaxMB    float64
+	YoungUsedMB float64
+	OldUsedMB   float64
+	YoungPct    float64
+	OldPct      float64
+
+	// TTFSec is the label: true time to failure at this checkpoint, filled
+	// in by Collector.Finish. For non-crashing executions it is
+	// InfiniteTTFSec.
+	TTFSec float64
+}
+
+// Series is a complete monitored execution: its checkpoints plus the outcome.
+type Series struct {
+	// Name identifies the execution ("train-100EB-N30", ...).
+	Name string
+	// IntervalSec is the checkpoint interval in seconds.
+	IntervalSec float64
+	// Workload is the EB count of the execution.
+	Workload int
+	// Checkpoints are the observations in time order.
+	Checkpoints []Checkpoint
+	// Crashed says whether the execution ended in a failure.
+	Crashed bool
+	// CrashTimeSec is the failure time (valid only if Crashed).
+	CrashTimeSec float64
+	// CrashReason describes the failure (valid only if Crashed).
+	CrashReason string
+}
+
+// Len returns the number of checkpoints.
+func (s *Series) Len() int { return len(s.Checkpoints) }
+
+// Duration returns the time span covered by the series, in seconds.
+func (s *Series) Duration() float64 {
+	if len(s.Checkpoints) == 0 {
+		return 0
+	}
+	return s.Checkpoints[len(s.Checkpoints)-1].TimeSec
+}
+
+// Collector samples an application server on a fixed interval.
+type Collector struct {
+	server   *appserver.Server
+	sched    *simclock.Scheduler
+	interval time.Duration
+	workload int
+	name     string
+
+	prev        appserver.Snapshot
+	checkpoints []Checkpoint
+	started     bool
+	cancel      func()
+}
+
+// NewCollector creates a collector for the given server. workload is the EB
+// count of the run (the server does not know it). A non-positive interval
+// means DefaultInterval.
+func NewCollector(name string, server *appserver.Server, sched *simclock.Scheduler, workload int, interval time.Duration) (*Collector, error) {
+	if server == nil {
+		return nil, errors.New("monitor: nil server")
+	}
+	if sched == nil {
+		return nil, errors.New("monitor: nil scheduler")
+	}
+	if workload < 0 {
+		return nil, fmt.Errorf("monitor: negative workload %d", workload)
+	}
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Collector{
+		name:     name,
+		server:   server,
+		sched:    sched,
+		interval: interval,
+		workload: workload,
+	}, nil
+}
+
+// Start begins sampling. The first checkpoint is taken one interval from now.
+func (c *Collector) Start() error {
+	if c.started {
+		return errors.New("monitor: collector already started")
+	}
+	c.started = true
+	c.prev = c.server.Snapshot()
+	cancel, err := c.sched.Every(c.interval, c.sample)
+	if err != nil {
+		return fmt.Errorf("monitor: scheduling checkpoints: %w", err)
+	}
+	c.cancel = cancel
+	return nil
+}
+
+// Stop stops sampling (idempotent).
+func (c *Collector) Stop() {
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+}
+
+// Count returns how many checkpoints have been collected so far.
+func (c *Collector) Count() int { return len(c.checkpoints) }
+
+// Last returns the most recent checkpoint and whether one exists.
+func (c *Collector) Last() (Checkpoint, bool) {
+	if len(c.checkpoints) == 0 {
+		return Checkpoint{}, false
+	}
+	return c.checkpoints[len(c.checkpoints)-1], true
+}
+
+// sample records one checkpoint.
+func (c *Collector) sample() {
+	snap := c.server.Snapshot()
+	cp := MakeCheckpoint(c.prev, snap, c.workload, c.interval.Seconds())
+	c.checkpoints = append(c.checkpoints, cp)
+	c.prev = snap
+}
+
+// MakeCheckpoint converts a pair of consecutive server snapshots into one
+// checkpoint: cumulative counters become per-interval rates, gauges are taken
+// from the current snapshot. It is exported so tests and the features
+// pipeline can build checkpoints without a live collector.
+func MakeCheckpoint(prev, cur appserver.Snapshot, workload int, intervalSec float64) Checkpoint {
+	if intervalSec <= 0 {
+		intervalSec = DefaultInterval.Seconds()
+	}
+	completed := float64(cur.CompletedRequests - prev.CompletedRequests)
+	respSum := cur.SumResponseSec - prev.SumResponseSec
+	respTime := 0.0
+	if completed > 0 {
+		respTime = respSum / completed
+	}
+	load := (cur.LoadIntegral - prev.LoadIntegral) / intervalSec
+	youngPct := 0.0
+	if cur.YoungMaxMB > 0 {
+		youngPct = 100 * cur.YoungUsedMB / cur.YoungMaxMB
+	}
+	oldPct := 0.0
+	if cur.OldMaxMB > 0 {
+		oldPct = 100 * cur.OldUsedMB / cur.OldMaxMB
+	}
+	return Checkpoint{
+		TimeSec:         cur.TimeSec,
+		Throughput:      completed / intervalSec,
+		Workload:        float64(workload),
+		ResponseTimeSec: respTime,
+		SystemLoad:      load,
+		DiskUsedMB:      cur.DiskUsedMB,
+		SwapFreeMB:      cur.SwapFreeMB,
+		NumProcesses:    float64(cur.NumProcesses),
+		SystemMemUsedMB: cur.SystemMemUsedMB,
+		TomcatMemUsedMB: cur.TomcatMemoryMB,
+		NumThreads:      float64(cur.NumThreads),
+		NumHTTPConns:    float64(cur.HTTPConnections),
+		NumMySQLConns:   float64(cur.MySQLConnections),
+		YoungMaxMB:      cur.YoungMaxMB,
+		OldMaxMB:        cur.OldMaxMB,
+		YoungUsedMB:     cur.YoungUsedMB,
+		OldUsedMB:       cur.OldUsedMB,
+		YoungPct:        youngPct,
+		OldPct:          oldPct,
+	}
+}
+
+// Finish stops the collector, labels every checkpoint with its time to
+// failure and returns the completed series.
+//
+// For crashed runs the label is crashTime − checkpointTime; checkpoints taken
+// after the crash (there should be none, but be safe) get zero. For runs that
+// never crash every checkpoint is labelled InfiniteTTFSec, following the
+// paper's convention for the "no aging" training execution.
+func (c *Collector) Finish() *Series {
+	c.Stop()
+	crashed := c.server.Crashed()
+	crashTime := c.server.CrashTime().Seconds()
+	s := &Series{
+		Name:        c.name,
+		IntervalSec: c.interval.Seconds(),
+		Workload:    c.workload,
+		Checkpoints: append([]Checkpoint(nil), c.checkpoints...),
+		Crashed:     crashed,
+	}
+	if crashed {
+		s.CrashTimeSec = crashTime
+		s.CrashReason = string(c.server.CrashReason())
+	}
+	for i := range s.Checkpoints {
+		if crashed {
+			ttf := crashTime - s.Checkpoints[i].TimeSec
+			if ttf < 0 {
+				ttf = 0
+			}
+			s.Checkpoints[i].TTFSec = ttf
+		} else {
+			s.Checkpoints[i].TTFSec = InfiniteTTFSec
+		}
+	}
+	return s
+}

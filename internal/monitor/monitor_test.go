@@ -1,0 +1,252 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+	"agingpred/internal/tpcw"
+)
+
+func newServer(t testing.TB) (*appserver.Server, *simclock.Scheduler) {
+	t.Helper()
+	sched := simclock.NewScheduler(nil)
+	srv, err := appserver.New(appserver.Config{}, sched, rng.New(4321))
+	if err != nil {
+		t.Fatalf("appserver.New: %v", err)
+	}
+	return srv, sched
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	srv, sched := newServer(t)
+	if _, err := NewCollector("x", nil, sched, 10, 0); err == nil {
+		t.Fatalf("nil server accepted")
+	}
+	if _, err := NewCollector("x", srv, nil, 10, 0); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := NewCollector("x", srv, sched, -1, 0); err == nil {
+		t.Fatalf("negative workload accepted")
+	}
+	c, err := NewCollector("x", srv, sched, 10, 0)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if c.interval != DefaultInterval {
+		t.Fatalf("default interval = %v", c.interval)
+	}
+}
+
+func TestCollectorSamplesAtInterval(t *testing.T) {
+	srv, sched := newServer(t)
+	c, err := NewCollector("run", srv, sched, 25, 15*time.Second)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := c.Start(); err == nil {
+		t.Fatalf("second Start succeeded")
+	}
+	sched.RunUntil(5 * time.Minute)
+	if got := c.Count(); got != 20 {
+		t.Fatalf("collected %d checkpoints in 5 min at 15 s, want 20", got)
+	}
+	last, ok := c.Last()
+	if !ok {
+		t.Fatalf("Last() reported no checkpoints")
+	}
+	if last.TimeSec != 300 {
+		t.Fatalf("last checkpoint at %v s, want 300", last.TimeSec)
+	}
+	if last.Workload != 25 {
+		t.Fatalf("workload = %v, want 25", last.Workload)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+	sched.RunUntil(10 * time.Minute)
+	if got := c.Count(); got != 20 {
+		t.Fatalf("collector kept sampling after Stop: %d", got)
+	}
+}
+
+func TestCollectorLastOnEmpty(t *testing.T) {
+	srv, sched := newServer(t)
+	c, _ := NewCollector("run", srv, sched, 10, 0)
+	if _, ok := c.Last(); ok {
+		t.Fatalf("Last() reported a checkpoint before any sampling")
+	}
+}
+
+func TestMakeCheckpointRates(t *testing.T) {
+	prev := appserver.Snapshot{
+		CompletedRequests: 100,
+		SumResponseSec:    20,
+		LoadIntegral:      100,
+	}
+	cur := appserver.Snapshot{
+		TimeSec:           60,
+		CompletedRequests: 160, // 60 completed in the interval
+		SumResponseSec:    35,  // 15 s of response time over 60 requests
+		LoadIntegral:      190, // 90 busy-worker-seconds over 15 s
+		YoungUsedMB:       64,
+		YoungMaxMB:        128,
+		OldUsedMB:         416,
+		OldMaxMB:          832,
+		TomcatMemoryMB:    700,
+		SystemMemUsedMB:   1200,
+		NumThreads:        260,
+		HTTPConnections:   12,
+		MySQLConnections:  7,
+		DiskUsedMB:        12345,
+		SwapFreeMB:        2048,
+		NumProcesses:      118,
+	}
+	cp := MakeCheckpoint(prev, cur, 100, 15)
+	if cp.Throughput != 4 {
+		t.Fatalf("Throughput = %v, want 4 req/s", cp.Throughput)
+	}
+	if math.Abs(cp.ResponseTimeSec-0.25) > 1e-12 {
+		t.Fatalf("ResponseTimeSec = %v, want 0.25", cp.ResponseTimeSec)
+	}
+	if cp.SystemLoad != 6 {
+		t.Fatalf("SystemLoad = %v, want 6", cp.SystemLoad)
+	}
+	if cp.YoungPct != 50 || cp.OldPct != 50 {
+		t.Fatalf("zone percentages = %v/%v, want 50/50", cp.YoungPct, cp.OldPct)
+	}
+	if cp.Workload != 100 || cp.TimeSec != 60 {
+		t.Fatalf("workload/time = %v/%v", cp.Workload, cp.TimeSec)
+	}
+	if cp.TomcatMemUsedMB != 700 || cp.NumThreads != 260 || cp.NumHTTPConns != 12 || cp.NumMySQLConns != 7 {
+		t.Fatalf("gauges not copied: %+v", cp)
+	}
+}
+
+func TestMakeCheckpointZeroTraffic(t *testing.T) {
+	prev := appserver.Snapshot{CompletedRequests: 50, SumResponseSec: 10}
+	cur := appserver.Snapshot{TimeSec: 15, CompletedRequests: 50, SumResponseSec: 10}
+	cp := MakeCheckpoint(prev, cur, 10, 15)
+	if cp.Throughput != 0 || cp.ResponseTimeSec != 0 {
+		t.Fatalf("zero traffic produced throughput %v, response %v", cp.Throughput, cp.ResponseTimeSec)
+	}
+	// Zero or negative interval falls back to the default.
+	cp = MakeCheckpoint(prev, cur, 10, 0)
+	if cp.Throughput != 0 {
+		t.Fatalf("fallback interval produced %v", cp.Throughput)
+	}
+}
+
+func TestFinishLabelsCrashedRun(t *testing.T) {
+	srv, sched := newServer(t)
+	c, err := NewCollector("crash-run", srv, sched, 50, 15*time.Second)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Schedule a crash at t = 100 s via an injected OOM.
+	if _, err := sched.At(100*time.Second, func() {
+		srv.Crash(appserver.CrashOutOfMemory)
+	}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	sched.RunUntil(100 * time.Second)
+	s := c.Finish()
+	if !s.Crashed || s.CrashTimeSec != 100 {
+		t.Fatalf("series crash info = %v/%v", s.Crashed, s.CrashTimeSec)
+	}
+	if s.CrashReason == "" {
+		t.Fatalf("crash reason missing")
+	}
+	if s.Len() != 6 {
+		t.Fatalf("series has %d checkpoints, want 6 (15..90 s)", s.Len())
+	}
+	for i, cp := range s.Checkpoints {
+		want := 100 - cp.TimeSec
+		if math.Abs(cp.TTFSec-want) > 1e-9 {
+			t.Fatalf("checkpoint %d at %v s has TTF %v, want %v", i, cp.TimeSec, cp.TTFSec, want)
+		}
+	}
+	if s.Workload != 50 || s.IntervalSec != 15 || s.Name != "crash-run" {
+		t.Fatalf("series metadata wrong: %+v", s)
+	}
+	if got := s.Duration(); got != 90 {
+		t.Fatalf("Duration = %v, want 90", got)
+	}
+}
+
+func TestFinishLabelsHealthyRunAsInfinite(t *testing.T) {
+	srv, sched := newServer(t)
+	c, err := NewCollector("healthy", srv, sched, 10, 15*time.Second)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(2 * time.Minute)
+	s := c.Finish()
+	if s.Crashed {
+		t.Fatalf("healthy run marked as crashed")
+	}
+	for _, cp := range s.Checkpoints {
+		if cp.TTFSec != InfiniteTTFSec {
+			t.Fatalf("healthy run checkpoint labelled %v, want %v", cp.TTFSec, InfiniteTTFSec)
+		}
+	}
+}
+
+func TestSeriesDurationEmpty(t *testing.T) {
+	s := &Series{}
+	if s.Duration() != 0 || s.Len() != 0 {
+		t.Fatalf("empty series Duration/Len = %v/%v", s.Duration(), s.Len())
+	}
+}
+
+func TestCollectorObservesRealTraffic(t *testing.T) {
+	srv, sched := newServer(t)
+	gen, err := tpcw.NewGenerator(tpcw.Config{EBs: 30}, sched, srv, rng.New(5))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	c, err := NewCollector("traffic", srv, sched, 30, 15*time.Second)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := gen.Start(); err != nil {
+		t.Fatalf("gen.Start: %v", err)
+	}
+	sched.RunUntil(10 * time.Minute)
+	s := c.Finish()
+	if s.Len() == 0 {
+		t.Fatalf("no checkpoints collected")
+	}
+	// After warm-up the throughput should be positive and response times
+	// small but non-zero.
+	warm := s.Checkpoints[len(s.Checkpoints)/2:]
+	var posThroughput, posResp int
+	for _, cp := range warm {
+		if cp.Throughput > 0 {
+			posThroughput++
+		}
+		if cp.ResponseTimeSec > 0 {
+			posResp++
+		}
+		if cp.TomcatMemUsedMB <= 0 || cp.NumThreads <= 0 {
+			t.Fatalf("checkpoint missing gauges: %+v", cp)
+		}
+	}
+	if posThroughput < len(warm)*3/4 || posResp < len(warm)*3/4 {
+		t.Fatalf("traffic not visible in checkpoints: %d/%d positive throughput", posThroughput, len(warm))
+	}
+}

@@ -1,0 +1,277 @@
+package regtree
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"agingpred/internal/dataset"
+	"agingpred/internal/rng"
+)
+
+// stepDataset builds a dataset whose target is a step function of one
+// attribute: y = low for x < 50, y = high for x >= 50. A regression tree
+// should model it almost perfectly; a linear model cannot.
+func stepDataset(t *testing.T, n int, low, high float64, seed uint64) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.MustNew("step", []string{"x", "noise"}, "y")
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		x := src.Float64Between(0, 100)
+		y := low
+		if x >= 50 {
+			y = high
+		}
+		if err := ds.Append([]float64{x, src.Float64()}, y); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	return ds
+}
+
+func TestFitStepFunction(t *testing.T) {
+	ds := stepDataset(t, 400, 10, 200, 1)
+	tree, err := Fit(ds, Options{MinInstances: 10})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if tree.Leaves() < 2 {
+		t.Fatalf("tree has %d leaves, want at least 2", tree.Leaves())
+	}
+	attrs := ds.Attrs()
+	pLow, err := tree.Predict(attrs, []float64{10, 0.5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	pHigh, err := tree.Predict(attrs, []float64{90, 0.5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if math.Abs(pLow-10) > 5 || math.Abs(pHigh-200) > 5 {
+		t.Fatalf("step predictions = %v/%v, want about 10/200", pLow, pHigh)
+	}
+	if tree.TrainingInstances != 400 {
+		t.Fatalf("TrainingInstances = %d", tree.TrainingInstances)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Options{}); err == nil {
+		t.Fatalf("Fit(nil) succeeded")
+	}
+	empty := dataset.MustNew("e", []string{"a"}, "y")
+	if _, err := Fit(empty, Options{}); err == nil {
+		t.Fatalf("Fit on empty dataset succeeded")
+	}
+}
+
+func TestConstantTargetYieldsSingleLeaf(t *testing.T) {
+	ds := dataset.MustNew("const", []string{"x"}, "y")
+	src := rng.New(2)
+	for i := 0; i < 100; i++ {
+		_ = ds.Append([]float64{src.Float64()}, 42)
+	}
+	tree, err := Fit(ds, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if tree.Leaves() != 1 || tree.InnerNodes() != 0 || tree.Depth() != 0 {
+		t.Fatalf("constant target: leaves=%d inner=%d depth=%d, want 1/0/0",
+			tree.Leaves(), tree.InnerNodes(), tree.Depth())
+	}
+	p, err := tree.Predict(ds.Attrs(), []float64{0.5})
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if p != 42 {
+		t.Fatalf("Predict = %v, want 42", p)
+	}
+}
+
+func TestMinInstancesRespected(t *testing.T) {
+	ds := stepDataset(t, 200, 0, 100, 3)
+	tree, err := Fit(ds, Options{MinInstances: 50})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// With 200 instances and minimum 50 per leaf, the tree can have at most
+	// 4 leaves.
+	if tree.Leaves() > 4 {
+		t.Fatalf("tree has %d leaves with MinInstances=50 over 200 instances", tree.Leaves())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	ds := dataset.MustNew("deep", []string{"x"}, "y")
+	src := rng.New(4)
+	for i := 0; i < 2000; i++ {
+		x := src.Float64Between(0, 100)
+		_ = ds.Append([]float64{x}, math.Sin(x)*100+x*x)
+	}
+	tree, err := Fit(ds, Options{MinInstances: 2, MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if tree.Depth() > 3 {
+		t.Fatalf("tree depth = %d, want <= 3", tree.Depth())
+	}
+}
+
+func TestNodeCountInvariant(t *testing.T) {
+	ds := stepDataset(t, 500, 5, 50, 5)
+	tree, err := Fit(ds, Options{MinInstances: 5})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// A binary tree always has exactly leaves-1 internal nodes.
+	if tree.InnerNodes() != tree.Leaves()-1 {
+		t.Fatalf("inner=%d leaves=%d, want inner = leaves-1", tree.InnerNodes(), tree.Leaves())
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	ds := stepDataset(t, 100, 0, 1, 6)
+	tree, err := Fit(ds, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if _, err := tree.Predict([]string{"x"}, []float64{1, 2}); err == nil {
+		t.Fatalf("Predict with mismatched row length succeeded")
+	}
+	if _, err := tree.Predict([]string{"other", "noise"}, []float64{1, 2}); err == nil {
+		t.Fatalf("Predict with missing attribute succeeded")
+	}
+	// Reordered schema works.
+	if _, err := tree.Predict([]string{"noise", "x"}, []float64{0.1, 75}); err != nil {
+		t.Fatalf("Predict with reordered schema: %v", err)
+	}
+}
+
+func TestPredictDataset(t *testing.T) {
+	ds := stepDataset(t, 300, -50, 50, 7)
+	tree, err := Fit(ds, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	preds, err := tree.PredictDataset(ds)
+	if err != nil {
+		t.Fatalf("PredictDataset: %v", err)
+	}
+	if len(preds) != ds.Len() {
+		t.Fatalf("got %d predictions for %d instances", len(preds), ds.Len())
+	}
+	// Training error on a clean step function should be small.
+	mae := 0.0
+	for i, p := range preds {
+		mae += math.Abs(p - ds.TargetValue(i))
+	}
+	mae /= float64(len(preds))
+	if mae > 5 {
+		t.Fatalf("training MAE = %v on a clean step function", mae)
+	}
+}
+
+func TestStringRendersTree(t *testing.T) {
+	ds := stepDataset(t, 200, 0, 100, 8)
+	tree, err := Fit(ds, Options{})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	s := tree.String()
+	if !strings.Contains(s, "x <=") || !strings.Contains(s, "leaf:") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestInsertionSortBy(t *testing.T) {
+	vals := []float64{5, 3, 9, 1, 7, 3, 0, -2, 8, 8, 4}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	insertionSortBy(idx, func(i int) float64 { return vals[i] })
+	for i := 1; i < len(idx); i++ {
+		if vals[idx[i-1]] > vals[idx[i]] {
+			t.Fatalf("not sorted: %v", idx)
+		}
+	}
+}
+
+func TestStdDevFromSums(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var sum, sumSq float64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	if got := stdDevFromSums(sum, sumSq, len(vals)); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stdDevFromSums = %v, want 2", got)
+	}
+	if got := stdDevFromSums(0, 0, 0); got != 0 {
+		t.Fatalf("stdDevFromSums(0,0,0) = %v", got)
+	}
+	// Numerical noise must not produce NaN via a negative variance.
+	if got := stdDevFromSums(3, 2.9999999999, 3); math.IsNaN(got) {
+		t.Fatalf("stdDevFromSums produced NaN")
+	}
+}
+
+// Property: tree predictions always lie within the range of training targets
+// (a constant-leaf tree can never extrapolate).
+func TestPredictionWithinTrainingRangeProperty(t *testing.T) {
+	f := func(seed uint64, q uint8) bool {
+		src := rng.New(seed)
+		ds := dataset.MustNew("p", []string{"x"}, "y")
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 100+int(q); i++ {
+			x := src.Float64Between(0, 100)
+			y := src.Float64Between(-1000, 1000)
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+			if err := ds.Append([]float64{x}, y); err != nil {
+				return false
+			}
+		}
+		tree, err := Fit(ds, Options{MinInstances: 5})
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			p, err := tree.Predict([]string{"x"}, []float64{src.Float64Between(-50, 150)})
+			if err != nil {
+				return false
+			}
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: leaves-1 == inner nodes for any induced tree.
+func TestTreeShapeInvariantProperty(t *testing.T) {
+	f := func(seed uint64, minInst uint8) bool {
+		src := rng.New(seed)
+		ds := dataset.MustNew("p", []string{"a", "b"}, "y")
+		for i := 0; i < 300; i++ {
+			a := src.Float64Between(0, 10)
+			b := src.Float64Between(0, 10)
+			if err := ds.Append([]float64{a, b}, a*b+src.Normal(0, 0.5)); err != nil {
+				return false
+			}
+		}
+		tree, err := Fit(ds, Options{MinInstances: int(minInst%20) + 1})
+		if err != nil {
+			return false
+		}
+		return tree.InnerNodes() == tree.Leaves()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+// Package rejuv implements the two software-rejuvenation strategies the
+// paper's introduction contrasts, and a small evaluator that compares them
+// over an aging execution:
+//
+//   - Time-based rejuvenation restarts the server at fixed intervals,
+//     regardless of its state. It is simple and widely deployed, but it
+//     either restarts far too often (wasting capacity) or too rarely (and the
+//     server still crashes).
+//   - Predictive (proactive) rejuvenation watches the predicted time to
+//     failure produced by the aging predictor and restarts only when a crash
+//     is close, which is the use case the prediction model in this repository
+//     exists for.
+//
+// The evaluator replays a monitored aging execution (with its per-checkpoint
+// predictions) and reports, for each policy, whether the crash was avoided,
+// how much server lifetime was thrown away by restarting early, and how many
+// rejuvenation actions a long deployment would need.
+package rejuv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"agingpred/internal/evalx"
+)
+
+// Policy decides, checkpoint by checkpoint, whether to rejuvenate now.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Decide is called once per checkpoint with the current time (seconds
+	// since the server was last started) and the predicted time to failure
+	// at that checkpoint. It returns true to trigger a rejuvenation.
+	Decide(nowSec, predictedTTFSec float64) bool
+	// Reset clears per-run state (called when a new run starts).
+	Reset()
+}
+
+// TimeBased rejuvenates every Period, ignoring predictions.
+type TimeBased struct {
+	// Period is the fixed rejuvenation interval.
+	Period time.Duration
+}
+
+// Name implements Policy.
+func (p *TimeBased) Name() string { return fmt.Sprintf("time-based (%v)", p.Period) }
+
+// Decide implements Policy.
+func (p *TimeBased) Decide(nowSec, _ float64) bool {
+	return nowSec >= p.Period.Seconds()
+}
+
+// Reset implements Policy.
+func (p *TimeBased) Reset() {}
+
+// Predictive rejuvenates when the predicted time to failure drops below
+// Threshold for Confirmations consecutive checkpoints (the confirmation count
+// guards against a single noisy prediction triggering a restart).
+type Predictive struct {
+	// Threshold is the predicted-TTF level below which rejuvenation is
+	// triggered.
+	Threshold time.Duration
+	// Confirmations is how many consecutive checkpoints must agree
+	// (0 = 1, i.e. trigger immediately).
+	Confirmations int
+
+	consecutive int
+}
+
+// Name implements Policy.
+func (p *Predictive) Name() string { return fmt.Sprintf("predictive (TTF < %v)", p.Threshold) }
+
+// Decide implements Policy.
+func (p *Predictive) Decide(_, predictedTTFSec float64) bool {
+	needed := p.Confirmations
+	if needed <= 0 {
+		needed = 1
+	}
+	if predictedTTFSec < p.Threshold.Seconds() {
+		p.consecutive++
+	} else {
+		p.consecutive = 0
+	}
+	return p.consecutive >= needed
+}
+
+// Reset implements Policy.
+func (p *Predictive) Reset() { p.consecutive = 0 }
+
+// Statically verify both policies implement Policy.
+var (
+	_ Policy = (*TimeBased)(nil)
+	_ Policy = (*Predictive)(nil)
+)
+
+// Outcome is the result of applying one policy to one aging execution.
+type Outcome struct {
+	// Policy is the policy's name.
+	Policy string
+	// Rejuvenated says whether the policy triggered before the crash.
+	Rejuvenated bool
+	// RejuvenationTimeSec is when it triggered (0 if it never did).
+	RejuvenationTimeSec float64
+	// Crashed says whether the server crashed before the policy acted — the
+	// outcome rejuvenation exists to prevent.
+	Crashed bool
+	// CrashTimeSec is the actual crash time of the execution.
+	CrashTimeSec float64
+	// WastedLifetimeSec is how much useful server lifetime the policy threw
+	// away by restarting earlier than necessary (crash time − rejuvenation
+	// time). Lower is better, provided the crash is avoided.
+	WastedLifetimeSec float64
+	// UtilisedLifetimeFraction is the fraction of the achievable lifetime
+	// the policy let the server use before restarting (1.0 = restarted at
+	// the last possible moment, 0 = restarted immediately).
+	UtilisedLifetimeFraction float64
+	// RestartsPerDay extrapolates how many rejuvenation actions a 24-hour
+	// deployment under the same aging rate would need.
+	RestartsPerDay float64
+}
+
+// String renders the outcome on one line.
+func (o Outcome) String() string {
+	status := "CRASHED"
+	if !o.Crashed {
+		status = "crash avoided"
+	}
+	return fmt.Sprintf("%-28s %-14s rejuvenated at %s, wasted %s (%.0f%% lifetime used, %.1f restarts/day)",
+		o.Policy, status, evalx.FormatDuration(o.RejuvenationTimeSec),
+		evalx.FormatDuration(o.WastedLifetimeSec), o.UtilisedLifetimeFraction*100, o.RestartsPerDay)
+}
+
+// Evaluate replays an aging execution against a policy. preds must be the
+// per-checkpoint predictions of the execution (time, true TTF, predicted
+// TTF), in time order; crashTimeSec is when the unattended server actually
+// crashed.
+func Evaluate(policy Policy, preds []evalx.Prediction, crashTimeSec float64) (Outcome, error) {
+	if policy == nil {
+		return Outcome{}, errors.New("rejuv: nil policy")
+	}
+	if len(preds) == 0 {
+		return Outcome{}, errors.New("rejuv: no predictions")
+	}
+	if crashTimeSec <= 0 {
+		return Outcome{}, fmt.Errorf("rejuv: non-positive crash time %v", crashTimeSec)
+	}
+	policy.Reset()
+	out := Outcome{Policy: policy.Name(), CrashTimeSec: crashTimeSec}
+	for _, p := range preds {
+		if p.TimeSec >= crashTimeSec {
+			break
+		}
+		if policy.Decide(p.TimeSec, p.PredictedTTF) {
+			out.Rejuvenated = true
+			out.RejuvenationTimeSec = p.TimeSec
+			break
+		}
+	}
+	if !out.Rejuvenated {
+		out.Crashed = true
+		out.WastedLifetimeSec = 0
+		out.UtilisedLifetimeFraction = 1
+		out.RestartsPerDay = 0
+		return out, nil
+	}
+	out.WastedLifetimeSec = crashTimeSec - out.RejuvenationTimeSec
+	out.UtilisedLifetimeFraction = out.RejuvenationTimeSec / crashTimeSec
+	if out.RejuvenationTimeSec > 0 {
+		out.RestartsPerDay = (24 * time.Hour).Seconds() / out.RejuvenationTimeSec
+	}
+	return out, nil
+}
+
+// Compare evaluates several policies on the same execution and returns their
+// outcomes in the given order.
+func Compare(policies []Policy, preds []evalx.Prediction, crashTimeSec float64) ([]Outcome, error) {
+	outcomes := make([]Outcome, 0, len(policies))
+	for _, p := range policies {
+		o, err := Evaluate(p, preds, crashTimeSec)
+		if err != nil {
+			return nil, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return outcomes, nil
+}
+
+// Best returns the outcome that avoided the crash with the smallest wasted
+// lifetime, or the least-bad outcome if every policy crashed. It returns an
+// error on an empty slice.
+func Best(outcomes []Outcome) (Outcome, error) {
+	if len(outcomes) == 0 {
+		return Outcome{}, errors.New("rejuv: no outcomes")
+	}
+	best := outcomes[0]
+	bestScore := score(best)
+	for _, o := range outcomes[1:] {
+		if s := score(o); s < bestScore {
+			best = o
+			bestScore = s
+		}
+	}
+	return best, nil
+}
+
+// score ranks outcomes: avoiding the crash dominates, then minimal waste.
+func score(o Outcome) float64 {
+	if o.Crashed {
+		return math.Inf(1)
+	}
+	return o.WastedLifetimeSec
+}

@@ -1,0 +1,190 @@
+package rejuv
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"agingpred/internal/evalx"
+)
+
+// agingPredictions builds a synthetic aging run: the server crashes at
+// crashTime, checkpoints every 15 s, and the (perfect-model) predicted TTF is
+// the true TTF plus an optional constant bias.
+func agingPredictions(crashTime float64, biasSec float64) []evalx.Prediction {
+	var preds []evalx.Prediction
+	for t := 15.0; t < crashTime; t += 15 {
+		ttf := crashTime - t
+		preds = append(preds, evalx.Prediction{TimeSec: t, TrueTTF: ttf, PredictedTTF: ttf + biasSec})
+	}
+	return preds
+}
+
+func TestTimeBasedPolicy(t *testing.T) {
+	p := &TimeBased{Period: 30 * time.Minute}
+	if p.Decide(100, 99999) {
+		t.Fatalf("time-based policy fired before its period")
+	}
+	if !p.Decide(1801, 99999) {
+		t.Fatalf("time-based policy did not fire after its period")
+	}
+	if !strings.Contains(p.Name(), "time-based") {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+}
+
+func TestPredictivePolicyConfirmations(t *testing.T) {
+	p := &Predictive{Threshold: 10 * time.Minute, Confirmations: 3}
+	// Two low predictions then a high one: no trigger.
+	if p.Decide(0, 100) || p.Decide(15, 100) {
+		t.Fatalf("fired before enough confirmations")
+	}
+	if p.Decide(30, 10000) {
+		t.Fatalf("fired on a high prediction")
+	}
+	// Three consecutive low predictions trigger.
+	p.Reset()
+	fired := false
+	for i := 0; i < 3; i++ {
+		fired = p.Decide(float64(i*15), 100)
+	}
+	if !fired {
+		t.Fatalf("did not fire after 3 consecutive low predictions")
+	}
+	// Default confirmation count is 1.
+	q := &Predictive{Threshold: 10 * time.Minute}
+	if !q.Decide(0, 100) {
+		t.Fatalf("default predictive policy did not fire immediately")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	preds := agingPredictions(3600, 0)
+	if _, err := Evaluate(nil, preds, 3600); err == nil {
+		t.Fatalf("nil policy accepted")
+	}
+	if _, err := Evaluate(&TimeBased{Period: time.Hour}, nil, 3600); err == nil {
+		t.Fatalf("empty predictions accepted")
+	}
+	if _, err := Evaluate(&TimeBased{Period: time.Hour}, preds, 0); err == nil {
+		t.Fatalf("zero crash time accepted")
+	}
+}
+
+func TestEvaluateTimeBasedTooLateCrashes(t *testing.T) {
+	preds := agingPredictions(3600, 0) // crash after 1 h
+	out, err := Evaluate(&TimeBased{Period: 2 * time.Hour}, preds, 3600)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !out.Crashed || out.Rejuvenated {
+		t.Fatalf("a 2-hour restart period should not save a 1-hour crash: %+v", out)
+	}
+	if !strings.Contains(out.String(), "CRASHED") {
+		t.Fatalf("String() = %q", out.String())
+	}
+}
+
+func TestEvaluateTimeBasedTooEarlyWastesLifetime(t *testing.T) {
+	preds := agingPredictions(7200, 0) // crash after 2 h
+	out, err := Evaluate(&TimeBased{Period: 30 * time.Minute}, preds, 7200)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.Crashed {
+		t.Fatalf("early restarts should avoid the crash")
+	}
+	if out.WastedLifetimeSec < 5000 {
+		t.Fatalf("wasted lifetime = %v, want most of the 2 h lifetime", out.WastedLifetimeSec)
+	}
+	if out.RestartsPerDay < 40 {
+		t.Fatalf("restarts/day = %v, want ~48 for a 30-minute period", out.RestartsPerDay)
+	}
+}
+
+func TestEvaluatePredictiveUsesMostOfTheLifetime(t *testing.T) {
+	preds := agingPredictions(7200, 0)
+	out, err := Evaluate(&Predictive{Threshold: 10 * time.Minute, Confirmations: 2}, preds, 7200)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.Crashed {
+		t.Fatalf("predictive policy crashed with a perfect predictor")
+	}
+	if out.UtilisedLifetimeFraction < 0.85 {
+		t.Fatalf("predictive policy used only %.0f%% of the lifetime", out.UtilisedLifetimeFraction*100)
+	}
+	if out.WastedLifetimeSec > 15*60 {
+		t.Fatalf("predictive policy wasted %v s", out.WastedLifetimeSec)
+	}
+	if out.RestartsPerDay > 14 {
+		t.Fatalf("predictive policy needs %v restarts/day, want about 12", out.RestartsPerDay)
+	}
+}
+
+func TestPredictiveBeatsTimeBasedOnWaste(t *testing.T) {
+	preds := agingPredictions(7200, 0)
+	outs, err := Compare([]Policy{
+		&TimeBased{Period: 30 * time.Minute},
+		&Predictive{Threshold: 10 * time.Minute, Confirmations: 2},
+	}, preds, 7200)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("Compare returned %d outcomes", len(outs))
+	}
+	timeBased, predictive := outs[0], outs[1]
+	if predictive.WastedLifetimeSec >= timeBased.WastedLifetimeSec {
+		t.Fatalf("predictive wasted %v s, time-based %v s; the whole point is to waste less",
+			predictive.WastedLifetimeSec, timeBased.WastedLifetimeSec)
+	}
+	best, err := Best(outs)
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	if best.Policy != predictive.Policy {
+		t.Fatalf("Best picked %q", best.Policy)
+	}
+}
+
+func TestEvaluateWithBiasedPredictor(t *testing.T) {
+	// A predictor that is 5 minutes optimistic (predicts more time than
+	// real): the predictive policy fires later, cutting it closer but still
+	// before the crash when the threshold exceeds the bias.
+	preds := agingPredictions(5400, 300)
+	out, err := Evaluate(&Predictive{Threshold: 10 * time.Minute}, preds, 5400)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.Crashed {
+		t.Fatalf("crash not avoided with 10-minute threshold and 5-minute bias")
+	}
+	// With a threshold smaller than the bias the policy never sees a low
+	// enough prediction and the server crashes.
+	out, err = Evaluate(&Predictive{Threshold: 4 * time.Minute}, preds, 5400)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !out.Crashed {
+		t.Fatalf("optimistic predictor with tight threshold should crash")
+	}
+}
+
+func TestBestEmptyAndAllCrashed(t *testing.T) {
+	if _, err := Best(nil); err == nil {
+		t.Fatalf("Best(nil) succeeded")
+	}
+	all := []Outcome{{Policy: "a", Crashed: true}, {Policy: "b", Crashed: true}}
+	best, err := Best(all)
+	if err != nil {
+		t.Fatalf("Best: %v", err)
+	}
+	if best.Policy != "a" {
+		t.Fatalf("Best of all-crashed = %q", best.Policy)
+	}
+	if !math.IsInf(score(best), 1) {
+		t.Fatalf("score of crashed outcome = %v", score(best))
+	}
+}

@@ -1,0 +1,195 @@
+// Package rng provides small, deterministic pseudo-random number generators
+// used throughout the simulation substrate.
+//
+// Experiments in this repository must be exactly reproducible from a single
+// seed. The standard library's math/rand/v2 generators are deterministic but
+// make it awkward to derive many independent streams from one master seed.
+// This package wraps a 64-bit SplitMix64/xoshiro-style generator with an
+// explicit Split operation so that every simulated component (workload
+// generator, injector, heap, ...) gets its own independent stream while the
+// whole experiment remains a pure function of the top-level seed.
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Source is a deterministic pseudo-random number source. It is NOT safe for
+// concurrent use; each goroutine or simulated component should own its own
+// Source obtained via Split.
+type Source struct {
+	// xoshiro256** state.
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output. It is
+// used for seeding so that correlated integer seeds still produce decorrelated
+// generator states.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&sm)
+	}
+	// xoshiro requires a non-zero state; splitMix64 of any seed yields one
+	// with overwhelming probability, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// NewNamed returns a Source derived from seed and a component name. Two
+// different names yield independent streams even for the same seed, which lets
+// a simulation hand decorrelated generators to its sub-components without
+// tracking stream counters.
+func NewNamed(seed uint64, name string) *Source {
+	h := fnv64(name)
+	return New(seed ^ h)
+}
+
+// fnv64 is a small FNV-1a hash used to fold component names into seeds.
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+
+	return result
+}
+
+// Split returns a new Source whose stream is independent of the receiver's
+// future output. The receiver is advanced.
+func (s *Source) Split() *Source {
+	return New(s.Uint64())
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (s *Source) Float64() float64 {
+	// Use the top 53 bits for a uniform double in [0,1).
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0,
+// mirroring math/rand, because a non-positive bound is always a programming
+// error at the call site.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn called with non-positive n %d", n))
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// IntBetween returns a uniformly distributed integer in [lo, hi]. It panics if
+// hi < lo.
+func (s *Source) IntBetween(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: IntBetween called with hi %d < lo %d", hi, lo))
+	}
+	return lo + s.Intn(hi-lo+1)
+}
+
+// Float64Between returns a uniformly distributed value in [lo, hi). The
+// result is always within the interval even for extreme ranges whose width
+// overflows float64 (in which case uniformity degrades but the bounds hold).
+func (s *Source) Float64Between(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	v := lo + s.Float64()*(hi-lo)
+	// hi-lo can overflow to +Inf for extreme inputs, producing Inf or NaN;
+	// clamp back into the half-open interval.
+	if math.IsNaN(v) || v >= hi {
+		return math.Nextafter(hi, lo)
+	}
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Exponential returns an exponentially distributed value with the given mean.
+// TPC-W think times follow a (truncated) negative exponential distribution, so
+// the workload generator relies on this.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	// Guard against log(0).
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}
+
+// Normal returns a normally distributed value with the given mean and standard
+// deviation, using the Box-Muller transform.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	u2 := s.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	return s.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomly permutes n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

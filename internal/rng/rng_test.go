@@ -1,0 +1,316 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestNewNamedIndependentStreams(t *testing.T) {
+	a := NewNamed(7, "workload")
+	b := NewNamed(7, "injector")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("named streams overlapped %d/100 times", same)
+	}
+}
+
+func TestNewNamedDeterministic(t *testing.T) {
+	a := NewNamed(7, "workload")
+	b := NewNamed(7, "workload")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same name and seed must give identical streams")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("parent and split child overlapped %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64RangeQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(4)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntBetweenInclusive(t *testing.T) {
+	s := New(5)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := s.IntBetween(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntBetween(3,5) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 5 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("IntBetween never produced an endpoint")
+	}
+}
+
+func TestIntBetweenSingleton(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10; i++ {
+		if v := s.IntBetween(7, 7); v != 7 {
+			t.Fatalf("IntBetween(7,7) = %d", v)
+		}
+	}
+}
+
+func TestFloat64BetweenQuick(t *testing.T) {
+	s := New(11)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if hi == lo {
+			return true
+		}
+		v := s.Float64Between(lo, hi)
+		return v >= lo && v < hi || v == lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(6)
+	const mean = 7.0
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := s.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("Exponential produced negative value %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean) > 0.15 {
+		t.Fatalf("Exponential mean = %v, want about %v", got, mean)
+	}
+}
+
+func TestExponentialNonPositiveMean(t *testing.T) {
+	s := New(6)
+	if v := s.Exponential(0); v != 0 {
+		t.Fatalf("Exponential(0) = %v, want 0", v)
+	}
+	if v := s.Exponential(-1); v != 0 {
+		t.Fatalf("Exponential(-1) = %v, want 0", v)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const (
+		mean   = 3.0
+		stddev = 2.0
+		n      = 200000
+	)
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	gotMean := sum / n
+	gotVar := sumSq/n - gotMean*gotMean
+	if math.Abs(gotMean-mean) > 0.05 {
+		t.Fatalf("Normal mean = %v, want about %v", gotMean, mean)
+	}
+	if math.Abs(gotVar-stddev*stddev) > 0.2 {
+		t.Fatalf("Normal variance = %v, want about %v", gotVar, stddev*stddev)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(9)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			count++
+		}
+	}
+	got := float64(count) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	for n := 0; n < 20; n++ {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermIsPermutationQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(12)
+	vals := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	got := 0
+	for _, v := range vals {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestUint64Distribution(t *testing.T) {
+	// Crude sanity check: high and low bits should both vary.
+	s := New(13)
+	var highSet, lowSet bool
+	for i := 0; i < 1000; i++ {
+		v := s.Uint64()
+		if v>>63 == 1 {
+			highSet = true
+		}
+		if v&1 == 1 {
+			lowSet = true
+		}
+	}
+	if !highSet || !lowSet {
+		t.Fatal("Uint64 bits look stuck")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkExponential(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Exponential(7)
+	}
+}

@@ -1,0 +1,261 @@
+// Package simclock provides a deterministic simulated clock and a
+// discrete-event scheduler used by the whole simulation substrate.
+//
+// The testbed (internal/testbed) never reads the wall clock: every component
+// observes time through a *Clock and schedules future work through a
+// *Scheduler. This keeps experiments exactly reproducible and lets a
+// two-hour aging run execute in milliseconds.
+//
+// Time is represented as time.Duration offsets from the start of the
+// simulation (t = 0). The paper's monitoring granularity is 15 seconds per
+// checkpoint; the scheduler has no fixed step, events may be scheduled at any
+// duration.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Clock is a simulated clock. The zero value is a clock at t = 0.
+//
+// Clock is not safe for concurrent use: the simulation substrate is a
+// single-goroutine discrete-event simulation, and sharing a clock across
+// goroutines would make runs irreproducible anyway.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current simulated time as an offset from the start of the
+// run.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Seconds returns the current simulated time in seconds. Most of the paper's
+// quantities (time to failure, checkpoints) are expressed in seconds, so this
+// is the most frequently used accessor.
+func (c *Clock) Seconds() float64 { return c.now.Seconds() }
+
+// advance moves the clock forward to t. It panics if t is in the past,
+// because going backwards in time is always a scheduler bug, never a
+// recoverable condition.
+func (c *Clock) advance(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: attempt to move clock backwards from %v to %v", c.now, t))
+	}
+	c.now = t
+}
+
+// EventFunc is a callback executed when a scheduled event fires. The clock
+// has already been advanced to the event's time when the callback runs.
+type EventFunc func()
+
+// event is a single pending entry in the scheduler's queue.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-breaker: FIFO order for events at the same instant
+	fn  EventFunc
+	// canceled events stay in the heap but are skipped when popped. This is
+	// cheaper than removing them eagerly and keeps Cancel O(1).
+	canceled bool
+}
+
+// EventID identifies a scheduled event so that it can be canceled. The zero
+// value is not a valid ID.
+type EventID struct {
+	ev *event
+}
+
+// Valid reports whether the ID refers to a scheduled (possibly already fired)
+// event.
+func (id EventID) Valid() bool { return id.ev != nil }
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Scheduler is a discrete-event scheduler bound to a Clock.
+//
+// A Scheduler is single-goroutine by design; see Clock.
+type Scheduler struct {
+	clock *Clock
+	queue eventQueue
+	seq   uint64
+
+	// stopped is set by Stop and makes Run return after the current event.
+	stopped bool
+}
+
+// NewScheduler returns a Scheduler driving the given clock. If clock is nil a
+// fresh clock at t = 0 is created.
+func NewScheduler(clock *Clock) *Scheduler {
+	if clock == nil {
+		clock = &Clock{}
+	}
+	return &Scheduler{clock: clock}
+}
+
+// Clock returns the clock driven by this scheduler.
+func (s *Scheduler) Clock() *Clock { return s.clock }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() time.Duration { return s.clock.Now() }
+
+// Len returns the number of pending (non-canceled) events.
+func (s *Scheduler) Len() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrPastEvent is returned by At when asked to schedule an event before the
+// current simulated time.
+var ErrPastEvent = errors.New("simclock: event scheduled in the past")
+
+// At schedules fn to run at absolute simulated time t. Events scheduled for
+// the current instant run after all events already queued for that instant.
+func (s *Scheduler) At(t time.Duration, fn EventFunc) (EventID, error) {
+	if t < s.clock.Now() {
+		return EventID{}, fmt.Errorf("%w: at %v, now %v", ErrPastEvent, t, s.clock.Now())
+	}
+	if fn == nil {
+		return EventID{}, errors.New("simclock: nil event function")
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev: ev}, nil
+}
+
+// After schedules fn to run d after the current simulated time. A negative d
+// is treated as zero.
+func (s *Scheduler) After(d time.Duration, fn EventFunc) (EventID, error) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.clock.Now()+d, fn)
+}
+
+// Every schedules fn to run every interval, starting interval from now, until
+// the returned cancel function is called or the scheduler stops. The interval
+// must be positive.
+func (s *Scheduler) Every(interval time.Duration, fn EventFunc) (cancel func(), err error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("simclock: non-positive interval %v", interval)
+	}
+	if fn == nil {
+		return nil, errors.New("simclock: nil event function")
+	}
+	stopped := false
+	var schedule func() error
+	var lastID EventID
+	schedule = func() error {
+		id, err := s.After(interval, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if stopped {
+				return
+			}
+			// Re-arm. Scheduling from inside an event callback is always in
+			// the future, so the error can only be a nil-func bug.
+			if err := schedule(); err != nil {
+				panic(fmt.Sprintf("simclock: re-arming periodic event: %v", err))
+			}
+		})
+		lastID = id
+		return err
+	}
+	if err := schedule(); err != nil {
+		return nil, err
+	}
+	return func() {
+		stopped = true
+		s.Cancel(lastID)
+	}, nil
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that has
+// already fired, or an invalid ID, is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.canceled = true
+	}
+}
+
+// Stop makes Run and RunUntil return after the event currently being
+// processed (if any). Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// step pops and runs the earliest pending event. It reports whether an event
+// was run.
+func (s *Scheduler) step(limit time.Duration, bounded bool) bool {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if bounded && next.at > limit {
+			return false
+		}
+		heap.Pop(&s.queue)
+		s.clock.advance(next.at)
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events in time order until the queue drains or Stop is called.
+// It returns the number of events executed.
+func (s *Scheduler) Run() int {
+	n := 0
+	for !s.stopped && s.step(0, false) {
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events in time order until the queue drains, Stop is
+// called, or the next event would be after t. The clock is finally advanced
+// to t (even if no event fired), so callers can rely on Now() == t when the
+// simulation ran to completion without stopping.
+func (s *Scheduler) RunUntil(t time.Duration) int {
+	n := 0
+	for !s.stopped && s.step(t, true) {
+		n++
+	}
+	if !s.stopped && s.clock.Now() < t {
+		s.clock.advance(t)
+	}
+	return n
+}

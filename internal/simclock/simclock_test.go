@@ -1,0 +1,253 @@
+package simclock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock Now() = %v, want 0", got)
+	}
+	if got := c.Seconds(); got != 0 {
+		t.Fatalf("zero clock Seconds() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvanceBackwardsPanics(t *testing.T) {
+	c := &Clock{}
+	c.advance(10 * time.Second)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("advancing backwards did not panic")
+		}
+	}()
+	c.advance(5 * time.Second)
+}
+
+func TestSchedulerRunsEventsInOrder(t *testing.T) {
+	s := NewScheduler(nil)
+	var order []string
+	mustAt := func(d time.Duration, name string) {
+		t.Helper()
+		if _, err := s.At(d, func() { order = append(order, name) }); err != nil {
+			t.Fatalf("At(%v): %v", d, err)
+		}
+	}
+	mustAt(3*time.Second, "c")
+	mustAt(1*time.Second, "a")
+	mustAt(2*time.Second, "b")
+
+	if n := s.Run(); n != 3 {
+		t.Fatalf("Run() executed %d events, want 3", n)
+	}
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("event order = %v, want %v", order, want)
+		}
+	}
+	if got := s.Now(); got != 3*time.Second {
+		t.Fatalf("clock after run = %v, want 3s", got)
+	}
+}
+
+func TestSchedulerSameInstantFIFO(t *testing.T) {
+	s := NewScheduler(nil)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(time.Second, func() { order = append(order, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulerPastEvent(t *testing.T) {
+	s := NewScheduler(nil)
+	if _, err := s.At(5*time.Second, func() {}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.Run()
+	_, err := s.At(1*time.Second, func() {})
+	if !errors.Is(err, ErrPastEvent) {
+		t.Fatalf("scheduling in the past: err = %v, want ErrPastEvent", err)
+	}
+}
+
+func TestSchedulerNilFunc(t *testing.T) {
+	s := NewScheduler(nil)
+	if _, err := s.At(time.Second, nil); err == nil {
+		t.Fatalf("At with nil func succeeded, want error")
+	}
+	if _, err := s.Every(time.Second, nil); err == nil {
+		t.Fatalf("Every with nil func succeeded, want error")
+	}
+}
+
+func TestSchedulerAfterNegativeDelay(t *testing.T) {
+	s := NewScheduler(nil)
+	fired := false
+	if _, err := s.After(-time.Second, func() { fired = true }); err != nil {
+		t.Fatalf("After(-1s): %v", err)
+	}
+	s.Run()
+	if !fired {
+		t.Fatalf("event with negative delay did not fire")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("negative delay advanced the clock to %v", s.Now())
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler(nil)
+	fired := false
+	id, err := s.At(time.Second, func() { fired = true })
+	if err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if !id.Valid() {
+		t.Fatalf("returned EventID is not valid")
+	}
+	s.Cancel(id)
+	if n := s.Run(); n != 0 {
+		t.Fatalf("Run() executed %d events after cancel, want 0", n)
+	}
+	if fired {
+		t.Fatalf("canceled event fired")
+	}
+	// Canceling again, or canceling the zero ID, must not panic.
+	s.Cancel(id)
+	s.Cancel(EventID{})
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler(nil)
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 3 * time.Second, 10 * time.Second} {
+		d := d
+		if _, err := s.At(d, func() { fired = append(fired, d) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	n := s.RunUntil(5 * time.Second)
+	if n != 2 {
+		t.Fatalf("RunUntil(5s) executed %d events, want 2", n)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("clock after RunUntil = %v, want 5s", s.Now())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("pending events = %d, want 1", s.Len())
+	}
+	// The remaining event still fires on a later run.
+	s.RunUntil(20 * time.Second)
+	if len(fired) != 3 {
+		t.Fatalf("total fired = %d, want 3", len(fired))
+	}
+	if s.Now() != 20*time.Second {
+		t.Fatalf("clock = %v, want 20s", s.Now())
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler(nil)
+	count := 0
+	cancel, err := s.Every(10*time.Second, func() { count++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	s.RunUntil(95 * time.Second)
+	if count != 9 {
+		t.Fatalf("periodic event fired %d times in 95s at 10s interval, want 9", count)
+	}
+	cancel()
+	s.RunUntil(200 * time.Second)
+	if count != 9 {
+		t.Fatalf("periodic event fired %d times after cancel, want 9", count)
+	}
+}
+
+func TestSchedulerEveryInvalidInterval(t *testing.T) {
+	s := NewScheduler(nil)
+	if _, err := s.Every(0, func() {}); err == nil {
+		t.Fatalf("Every(0) succeeded, want error")
+	}
+	if _, err := s.Every(-time.Second, func() {}); err == nil {
+		t.Fatalf("Every(-1s) succeeded, want error")
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(nil)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		i := i
+		if _, err := s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if i == 2 {
+				s.Stop()
+			}
+		}); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("executed %d events before Stop took effect, want 2", count)
+	}
+	if !s.Stopped() {
+		t.Fatalf("Stopped() = false after Stop")
+	}
+}
+
+func TestSchedulerEventsScheduledDuringRun(t *testing.T) {
+	s := NewScheduler(nil)
+	var times []time.Duration
+	if _, err := s.At(time.Second, func() {
+		times = append(times, s.Now())
+		if _, err := s.After(2*time.Second, func() {
+			times = append(times, s.Now())
+		}); err != nil {
+			t.Errorf("nested After: %v", err)
+		}
+	}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	s.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Fatalf("nested scheduling produced times %v, want [1s 3s]", times)
+	}
+}
+
+func TestSchedulerLenSkipsCanceled(t *testing.T) {
+	s := NewScheduler(nil)
+	id, _ := s.At(time.Second, func() {})
+	if _, err := s.At(2*time.Second, func() {}); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	s.Cancel(id)
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len() after cancel = %d, want 1", got)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := NewScheduler(nil)
+	s.RunUntil(42 * time.Second)
+	if s.Now() != 42*time.Second {
+		t.Fatalf("RunUntil on empty queue left clock at %v, want 42s", s.Now())
+	}
+}

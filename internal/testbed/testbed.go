@@ -1,0 +1,232 @@
+// Package testbed wires the whole simulation substrate — simulated clock,
+// TPC-W workload generator, Tomcat-like application server with its JVM
+// heap, fault injectors and the monitoring subsystem — into single runnable
+// "executions" equivalent to the experiments the paper runs on its physical
+// testbed (Section 3).
+//
+// A RunConfig describes one execution: the workload (EB count and mix), the
+// injection schedule (the aging faults and their phases), and how long to
+// run. Run executes it inside the discrete-event simulation and returns the
+// monitored Series, which downstream code turns into training/test datasets.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/injector"
+	"agingpred/internal/monitor"
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+	"agingpred/internal/tpcw"
+)
+
+// DefaultMaxDuration bounds executions that never crash. Three hours is the
+// paper's "infinite time until crash" horizon.
+const DefaultMaxDuration = 3 * time.Hour
+
+// RunConfig describes one testbed execution.
+type RunConfig struct {
+	// Name labels the run (used as the series and dataset relation name).
+	Name string
+	// Seed makes the run reproducible. Two runs with the same config and
+	// seed produce identical series.
+	Seed uint64
+
+	// EBs is the number of concurrent emulated browsers. Required.
+	EBs int
+	// Mix is the TPC-W navigation mix (zero value = shopping, as in the
+	// paper).
+	Mix tpcw.Mix
+
+	// Server configures the application server and its heap. The zero value
+	// reproduces the paper's Table 1 machine.
+	Server appserver.Config
+
+	// Phases is the fault-injection schedule. Empty means no injection.
+	Phases []injector.Phase
+	// LeakAmountMB is the size of each memory injection (0 = 1 MB, as in the
+	// paper).
+	LeakAmountMB float64
+
+	// MaxDuration stops the run even if the server never crashes
+	// (0 = 3 hours).
+	MaxDuration time.Duration
+	// CheckpointInterval is the monitoring interval (0 = 15 s).
+	CheckpointInterval time.Duration
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Mix.Name == "" {
+		c.Mix = tpcw.ShoppingMix()
+	}
+	if c.LeakAmountMB <= 0 {
+		c.LeakAmountMB = 1
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = DefaultMaxDuration
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = monitor.DefaultInterval
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("run-%dEB", c.EBs)
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c RunConfig) Validate() error {
+	if c.EBs <= 0 {
+		return fmt.Errorf("testbed: non-positive EB count %d", c.EBs)
+	}
+	if c.MaxDuration < 0 {
+		return errors.New("testbed: negative max duration")
+	}
+	if c.CheckpointInterval < 0 {
+		return errors.New("testbed: negative checkpoint interval")
+	}
+	return nil
+}
+
+// Result is the outcome of one execution.
+type Result struct {
+	// Series is the monitored checkpoint series with TTF labels.
+	Series *monitor.Series
+	// WorkloadStats summarises the traffic generated.
+	WorkloadStats tpcw.Stats
+	// FinalSnapshot is the server state at the end of the run.
+	FinalSnapshot appserver.Snapshot
+	// Crashed, CrashTime and CrashReason describe the failure, if any.
+	Crashed     bool
+	CrashTime   time.Duration
+	CrashReason appserver.CrashReason
+}
+
+// Run executes one testbed run to completion (crash or MaxDuration).
+func Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	sched := simclock.NewScheduler(nil)
+	master := rng.New(cfg.Seed)
+
+	srv, err := appserver.New(cfg.Server, sched, rng.NewNamed(cfg.Seed, cfg.Name+"/server"))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating server: %w", err)
+	}
+
+	gen, err := tpcw.NewGenerator(tpcw.Config{EBs: cfg.EBs, Mix: cfg.Mix}, sched, srv,
+		rng.NewNamed(cfg.Seed, cfg.Name+"/workload"))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating workload generator: %w", err)
+	}
+
+	memInj, err := injector.NewMemoryInjector(srv, rng.NewNamed(cfg.Seed, cfg.Name+"/meminj"), cfg.LeakAmountMB)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating memory injector: %w", err)
+	}
+	memInj.Attach()
+
+	thrInj, err := injector.NewThreadInjector(srv, sched, rng.NewNamed(cfg.Seed, cfg.Name+"/thrinj"))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating thread injector: %w", err)
+	}
+
+	if len(cfg.Phases) > 0 {
+		schedule, err := injector.NewSchedule(cfg.Phases, memInj, thrInj, sched)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: building injection schedule: %w", err)
+		}
+		if err := schedule.Start(); err != nil {
+			return nil, fmt.Errorf("testbed: starting injection schedule: %w", err)
+		}
+	}
+	if err := thrInj.Start(); err != nil {
+		return nil, fmt.Errorf("testbed: starting thread injector: %w", err)
+	}
+
+	coll, err := monitor.NewCollector(cfg.Name, srv, sched, cfg.EBs, cfg.CheckpointInterval)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating collector: %w", err)
+	}
+	if err := coll.Start(); err != nil {
+		return nil, fmt.Errorf("testbed: starting collector: %w", err)
+	}
+
+	// Stop the event loop as soon as the server crashes: the run is over.
+	srv.OnCrash(func(appserver.CrashReason) {
+		gen.Stop()
+		sched.Stop()
+	})
+
+	if err := gen.Start(); err != nil {
+		return nil, fmt.Errorf("testbed: starting workload: %w", err)
+	}
+
+	// Consume the master source once so that adding future components that
+	// split from it does not silently change existing runs' streams.
+	_ = master.Uint64()
+
+	sched.RunUntil(cfg.MaxDuration)
+
+	res := &Result{
+		Series:        coll.Finish(),
+		WorkloadStats: gen.Stats(),
+		FinalSnapshot: srv.Snapshot(),
+		Crashed:       srv.Crashed(),
+		CrashTime:     srv.CrashTime(),
+		CrashReason:   srv.CrashReason(),
+	}
+	if res.Series.Len() == 0 {
+		return nil, fmt.Errorf("testbed: run %q produced no checkpoints (duration %v, interval %v)",
+			cfg.Name, cfg.MaxDuration, cfg.CheckpointInterval)
+	}
+	return res, nil
+}
+
+// RunMany executes several configurations and returns their series in order.
+// It fails fast on the first error.
+func RunMany(cfgs []RunConfig) ([]*monitor.Series, error) {
+	out := make([]*monitor.Series, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: run %d (%q): %w", i, cfg.Name, err)
+		}
+		out = append(out, res.Series)
+	}
+	return out, nil
+}
+
+// ConstantLeakPhases returns a single-phase schedule that injects a memory
+// leak at rate N for the whole run — the deterministic aging scenario of
+// experiment 4.1.
+func ConstantLeakPhases(n int) []injector.Phase {
+	return []injector.Phase{{
+		Name:       fmt.Sprintf("leak N=%d", n),
+		MemoryMode: injector.MemoryLeak,
+		MemoryN:    n,
+	}}
+}
+
+// NoInjectionPhases returns a schedule with no fault injection (the "no
+// aging" training execution of experiment 4.2).
+func NoInjectionPhases() []injector.Phase {
+	return []injector.Phase{{Name: "no injection", MemoryMode: injector.MemoryOff}}
+}
+
+// ConstantThreadLeakPhases returns a single-phase schedule leaking threads at
+// rate (M, T) for the whole run — the single-resource thread training runs of
+// experiment 4.4.
+func ConstantThreadLeakPhases(m, t int) []injector.Phase {
+	return []injector.Phase{{
+		Name:    fmt.Sprintf("threads M=%d T=%d", m, t),
+		ThreadM: m,
+		ThreadT: t,
+	}}
+}

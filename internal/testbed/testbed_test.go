@@ -1,0 +1,293 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"agingpred/internal/appserver"
+	"agingpred/internal/injector"
+	"agingpred/internal/monitor"
+)
+
+func TestRunConfigValidation(t *testing.T) {
+	if _, err := Run(RunConfig{EBs: 0}); err == nil {
+		t.Fatalf("zero EBs accepted")
+	}
+	cfg := RunConfig{EBs: 10, MaxDuration: -time.Second}
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("negative duration accepted")
+	}
+	cfg = RunConfig{EBs: 10, CheckpointInterval: -time.Second}
+	if err := cfg.Validate(); err == nil {
+		t.Fatalf("negative interval accepted")
+	}
+}
+
+func TestHealthyRunProducesInfiniteLabels(t *testing.T) {
+	res, err := Run(RunConfig{
+		Name:        "healthy",
+		Seed:        1,
+		EBs:         25,
+		Phases:      NoInjectionPhases(),
+		MaxDuration: 20 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Crashed {
+		t.Fatalf("healthy run crashed: %v", res.CrashReason)
+	}
+	if res.Series.Len() != 80 { // 20 min / 15 s
+		t.Fatalf("series has %d checkpoints, want 80", res.Series.Len())
+	}
+	for _, cp := range res.Series.Checkpoints {
+		if cp.TTFSec != monitor.InfiniteTTFSec {
+			t.Fatalf("healthy run labelled with TTF %v", cp.TTFSec)
+		}
+	}
+	if res.WorkloadStats.Issued == 0 || res.WorkloadStats.Completed == 0 {
+		t.Fatalf("no traffic generated: %+v", res.WorkloadStats)
+	}
+}
+
+func TestConstantLeakRunCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full aging run takes a few seconds")
+	}
+	res, err := Run(RunConfig{
+		Name:        "leak-N30",
+		Seed:        2,
+		EBs:         100,
+		Phases:      ConstantLeakPhases(30),
+		MaxDuration: 3 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed {
+		t.Fatalf("constant leak run did not crash within 3 hours")
+	}
+	if res.CrashReason != appserver.CrashOutOfMemory {
+		t.Fatalf("crash reason = %q, want OOM", res.CrashReason)
+	}
+	s := res.Series
+	if s.Len() < 20 {
+		t.Fatalf("crashed too fast: only %d checkpoints", s.Len())
+	}
+	// TTF labels decrease by the checkpoint interval.
+	for i := 1; i < s.Len(); i++ {
+		dt := s.Checkpoints[i].TimeSec - s.Checkpoints[i-1].TimeSec
+		dttf := s.Checkpoints[i-1].TTFSec - s.Checkpoints[i].TTFSec
+		if math.Abs(dt-dttf) > 1e-6 {
+			t.Fatalf("TTF labels inconsistent at checkpoint %d: dt=%v dttf=%v", i, dt, dttf)
+		}
+	}
+	// Tomcat memory (OS view) must be non-decreasing and grow substantially.
+	first := s.Checkpoints[0].TomcatMemUsedMB
+	last := s.Checkpoints[s.Len()-1].TomcatMemUsedMB
+	if last <= first+100 {
+		t.Fatalf("Tomcat memory grew only from %v to %v MB during an aging run", first, last)
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Checkpoints[i].TomcatMemUsedMB < s.Checkpoints[i-1].TomcatMemUsedMB-1e-6 {
+			t.Fatalf("OS-perspective memory shrank at checkpoint %d", i)
+		}
+	}
+}
+
+func TestLeakRateAffectsTimeToCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple aging runs take a few seconds")
+	}
+	run := func(n int) float64 {
+		res, err := Run(RunConfig{
+			Name:        "leak",
+			Seed:        3,
+			EBs:         100,
+			Phases:      ConstantLeakPhases(n),
+			MaxDuration: 6 * time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("Run(N=%d): %v", n, err)
+		}
+		if !res.Crashed {
+			t.Fatalf("run with N=%d did not crash", n)
+		}
+		return res.CrashTime.Seconds()
+	}
+	fast := run(15) // aggressive leak: every ~7.5 search requests
+	slow := run(75) // gentle leak
+	if fast >= slow {
+		t.Fatalf("aggressive leak (N=15) crashed at %v s, gentle (N=75) at %v s; want faster crash for smaller N", fast, slow)
+	}
+}
+
+func TestWorkloadAffectsTimeToCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple aging runs take a few seconds")
+	}
+	run := func(ebs int) float64 {
+		res, err := Run(RunConfig{
+			Name:        "leak",
+			Seed:        4,
+			EBs:         ebs,
+			Phases:      ConstantLeakPhases(30),
+			MaxDuration: 3 * time.Hour,
+		})
+		if err != nil {
+			t.Fatalf("Run(EBs=%d): %v", ebs, err)
+		}
+		if !res.Crashed {
+			t.Fatalf("run with %d EBs did not crash within 3 h", ebs)
+		}
+		return res.CrashTime.Seconds()
+	}
+	heavy := run(200)
+	light := run(50)
+	// Memory injection is workload-coupled: more EBs hit the search servlet
+	// more often, so the crash comes sooner (the paper's motivation for
+	// including workload in the model).
+	if heavy >= light {
+		t.Fatalf("200 EBs crashed at %v s, 50 EBs at %v s; want heavier load to crash sooner", heavy, light)
+	}
+}
+
+func TestThreadLeakRunCrashesWithThreadExhaustion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run takes a few seconds")
+	}
+	res, err := Run(RunConfig{
+		Name:        "threads",
+		Seed:        5,
+		EBs:         50,
+		Phases:      ConstantThreadLeakPhases(45, 60),
+		MaxDuration: 3 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed {
+		t.Fatalf("thread-leak run did not crash")
+	}
+	if res.CrashReason != appserver.CrashThreadExhaustion && res.CrashReason != appserver.CrashOutOfMemory {
+		t.Fatalf("unexpected crash reason %q", res.CrashReason)
+	}
+	// The thread count at the last checkpoint must have grown well beyond the
+	// baseline.
+	last := res.Series.Checkpoints[res.Series.Len()-1]
+	if last.NumThreads < 400 {
+		t.Fatalf("thread count at crash = %v, want several hundred", last.NumThreads)
+	}
+}
+
+func TestRunIsDeterministicForSameSeed(t *testing.T) {
+	cfg := RunConfig{
+		Name:        "det",
+		Seed:        42,
+		EBs:         50,
+		Phases:      ConstantLeakPhases(30),
+		MaxDuration: 10 * time.Minute,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.Series.Len() != b.Series.Len() {
+		t.Fatalf("different checkpoint counts: %d vs %d", a.Series.Len(), b.Series.Len())
+	}
+	for i := range a.Series.Checkpoints {
+		ca, cb := a.Series.Checkpoints[i], b.Series.Checkpoints[i]
+		if ca != cb {
+			t.Fatalf("checkpoint %d differs between identical runs:\n%+v\n%+v", i, ca, cb)
+		}
+	}
+	// A different seed must produce a different run.
+	cfg.Seed = 43
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	same := c.Series.Len() == a.Series.Len()
+	if same {
+		identical := true
+		for i := range a.Series.Checkpoints {
+			if a.Series.Checkpoints[i] != c.Series.Checkpoints[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatalf("different seeds produced identical runs")
+		}
+	}
+}
+
+func TestPhaseScheduleChangesInjectionMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("aging run takes a few seconds")
+	}
+	// 10 minutes without injection, then an aggressive leak. The memory curve
+	// must stay roughly flat in the first part and grow in the second.
+	res, err := Run(RunConfig{
+		Name: "phased",
+		Seed: 6,
+		EBs:  100,
+		Phases: []injector.Phase{
+			{Name: "none", Duration: 10 * time.Minute, MemoryMode: injector.MemoryOff},
+			{Name: "leak", MemoryMode: injector.MemoryLeak, MemoryN: 10},
+		},
+		MaxDuration: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	s := res.Series
+	if s.Len() < 45 {
+		t.Fatalf("run too short: %d checkpoints", s.Len())
+	}
+	var before, after float64
+	for _, cp := range s.Checkpoints {
+		if cp.TimeSec == 600 {
+			before = cp.OldUsedMB
+		}
+		if cp.TimeSec == 1800 {
+			after = cp.OldUsedMB
+		}
+	}
+	if after-before < 100 {
+		t.Fatalf("old zone grew only %v MB during the leak phase", after-before)
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	if _, err := RunMany([]RunConfig{{EBs: 0}}); err == nil {
+		t.Fatalf("RunMany with invalid config succeeded")
+	}
+	series, err := RunMany([]RunConfig{
+		{Name: "a", Seed: 1, EBs: 10, MaxDuration: 5 * time.Minute},
+		{Name: "b", Seed: 2, EBs: 10, MaxDuration: 5 * time.Minute},
+	})
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	if len(series) != 2 || series[0].Name != "a" || series[1].Name != "b" {
+		t.Fatalf("RunMany returned %d series", len(series))
+	}
+}
+
+func TestPhaseHelpers(t *testing.T) {
+	if p := ConstantLeakPhases(30); len(p) != 1 || p[0].MemoryMode != injector.MemoryLeak || p[0].MemoryN != 30 {
+		t.Fatalf("ConstantLeakPhases = %+v", p)
+	}
+	if p := NoInjectionPhases(); len(p) != 1 || p[0].MemoryMode != injector.MemoryOff {
+		t.Fatalf("NoInjectionPhases = %+v", p)
+	}
+	if p := ConstantThreadLeakPhases(30, 90); len(p) != 1 || p[0].ThreadM != 30 || p[0].ThreadT != 90 {
+		t.Fatalf("ConstantThreadLeakPhases = %+v", p)
+	}
+}

@@ -1,0 +1,382 @@
+// Package tpcw simulates the TPC-W workload the paper drives its testbed
+// with: a population of Emulated Browsers (EBs) navigating an on-line book
+// store in sessions, with think times between requests and a configurable
+// interaction mix (Browsing, Shopping or Ordering).
+//
+// Only the load shape matters to the aging dynamics the predictor learns
+// from — the request rate determines how often the leaky search servlet is
+// hit and how much transient heap churn the server sees — so the generator
+// reproduces the TPC-W parameters that shape the load: the number of
+// concurrent EBs (kept constant for a whole experiment, per the
+// specification), the 14 interaction types with their per-mix frequencies,
+// and negative-exponential think times with the specification's 7-second
+// mean and 70-second cap.
+package tpcw
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+)
+
+// Interaction enumerates the 14 TPC-W web interactions.
+type Interaction int
+
+// The 14 TPC-W interactions. SearchRequest is the one the paper patches to
+// inject memory leaks, so it matters that the mix sends a realistic share of
+// traffic through it.
+const (
+	Home Interaction = iota + 1
+	NewProducts
+	BestSellers
+	ProductDetail
+	SearchRequest
+	SearchResults
+	ShoppingCart
+	CustomerRegistration
+	BuyRequest
+	BuyConfirm
+	OrderInquiry
+	OrderDisplay
+	AdminRequest
+	AdminConfirm
+)
+
+// NumInteractions is the number of distinct interaction types.
+const NumInteractions = 14
+
+// String returns the TPC-W name of the interaction.
+func (i Interaction) String() string {
+	switch i {
+	case Home:
+		return "Home"
+	case NewProducts:
+		return "New Products"
+	case BestSellers:
+		return "Best Sellers"
+	case ProductDetail:
+		return "Product Detail"
+	case SearchRequest:
+		return "Search Request"
+	case SearchResults:
+		return "Search Results"
+	case ShoppingCart:
+		return "Shopping Cart"
+	case CustomerRegistration:
+		return "Customer Registration"
+	case BuyRequest:
+		return "Buy Request"
+	case BuyConfirm:
+		return "Buy Confirm"
+	case OrderInquiry:
+		return "Order Inquiry"
+	case OrderDisplay:
+		return "Order Display"
+	case AdminRequest:
+		return "Admin Request"
+	case AdminConfirm:
+		return "Admin Confirm"
+	default:
+		return fmt.Sprintf("Interaction(%d)", int(i))
+	}
+}
+
+// Valid reports whether i is one of the 14 defined interactions.
+func (i Interaction) Valid() bool { return i >= Home && i <= AdminConfirm }
+
+// IsWrite reports whether the interaction updates the database (used by the
+// application server to decide how much DB time a request costs).
+func (i Interaction) IsWrite() bool {
+	switch i {
+	case ShoppingCart, CustomerRegistration, BuyRequest, BuyConfirm, AdminConfirm:
+		return true
+	default:
+		return false
+	}
+}
+
+// Mix is a probability distribution over the 14 interactions: the stationary
+// visit frequencies of one of the three TPC-W navigation mixes.
+type Mix struct {
+	Name    string
+	weights [NumInteractions]float64
+	cum     [NumInteractions]float64
+}
+
+// newMix builds a mix from per-interaction weights (indexed by
+// Interaction-1). Weights are normalised; they need not sum to exactly 1.
+func newMix(name string, weights [NumInteractions]float64) Mix {
+	m := Mix{Name: name, weights: weights}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		m.weights[i] = w / total
+		m.cum[i] = acc
+	}
+	m.cum[NumInteractions-1] = 1
+	return m
+}
+
+// Weight returns the stationary frequency of the interaction in this mix.
+func (m Mix) Weight(i Interaction) float64 {
+	if !i.Valid() {
+		return 0
+	}
+	return m.weights[i-1]
+}
+
+// Sample draws an interaction according to the mix frequencies.
+func (m Mix) Sample(src *rng.Source) Interaction {
+	u := src.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return Interaction(i + 1)
+		}
+	}
+	return AdminConfirm
+}
+
+// The three standard TPC-W mixes. The frequencies are the web-interaction
+// shares from the TPC-W specification (clause 5.3); the paper runs all of
+// its experiments with the shopping mix.
+
+// BrowsingMix returns the browsing mix (WIPSb): dominated by read-only
+// navigation.
+func BrowsingMix() Mix {
+	return newMix("browsing", [NumInteractions]float64{
+		29.00, // Home
+		11.00, // New Products
+		11.00, // Best Sellers
+		21.00, // Product Detail
+		12.00, // Search Request
+		11.00, // Search Results
+		2.00,  // Shopping Cart
+		0.82,  // Customer Registration
+		0.75,  // Buy Request
+		0.69,  // Buy Confirm
+		0.30,  // Order Inquiry
+		0.25,  // Order Display
+		0.10,  // Admin Request
+		0.09,  // Admin Confirm
+	})
+}
+
+// ShoppingMix returns the shopping mix (WIPS), the one used in every
+// experiment of the paper.
+func ShoppingMix() Mix {
+	return newMix("shopping", [NumInteractions]float64{
+		16.00, // Home
+		5.00,  // New Products
+		5.00,  // Best Sellers
+		17.00, // Product Detail
+		20.00, // Search Request
+		17.00, // Search Results
+		11.60, // Shopping Cart
+		3.00,  // Customer Registration
+		2.60,  // Buy Request
+		1.20,  // Buy Confirm
+		0.75,  // Order Inquiry
+		0.66,  // Order Display
+		0.10,  // Admin Request
+		0.09,  // Admin Confirm
+	})
+}
+
+// OrderingMix returns the ordering mix (WIPSo): heavy on purchases.
+func OrderingMix() Mix {
+	return newMix("ordering", [NumInteractions]float64{
+		9.12,  // Home
+		0.46,  // New Products
+		0.46,  // Best Sellers
+		12.35, // Product Detail
+		14.53, // Search Request
+		13.08, // Search Results
+		13.53, // Shopping Cart
+		12.86, // Customer Registration
+		12.73, // Buy Request
+		10.18, // Buy Confirm
+		0.25,  // Order Inquiry
+		0.22,  // Order Display
+		0.12,  // Admin Request
+		0.11,  // Admin Confirm
+	})
+}
+
+// MixByName returns the mix with the given name ("browsing", "shopping",
+// "ordering").
+func MixByName(name string) (Mix, error) {
+	switch name {
+	case "browsing":
+		return BrowsingMix(), nil
+	case "shopping", "":
+		return ShoppingMix(), nil
+	case "ordering":
+		return OrderingMix(), nil
+	default:
+		return Mix{}, fmt.Errorf("tpcw: unknown mix %q", name)
+	}
+}
+
+// Request is one web interaction issued by an EB.
+type Request struct {
+	// EB is the index of the emulated browser issuing the request.
+	EB int
+	// Interaction is the TPC-W interaction type.
+	Interaction Interaction
+	// IssuedAt is the simulated time the request was issued.
+	IssuedAt time.Duration
+}
+
+// Server is the interface the generator submits requests to. The application
+// server (internal/appserver) implements it.
+//
+// Submit must eventually call done exactly once with ok=false if the request
+// was rejected or the server has failed, ok=true otherwise. done may be
+// called synchronously.
+type Server interface {
+	Submit(req Request, done func(ok bool))
+}
+
+// Config configures a workload generator.
+type Config struct {
+	// EBs is the number of concurrent Emulated Browsers; constant for the
+	// whole run, per the TPC-W specification.
+	EBs int
+	// Mix is the navigation mix. The zero value means the shopping mix.
+	Mix Mix
+	// ThinkTimeMean is the mean of the negative-exponential think time
+	// (0 = 7 s, the TPC-W default).
+	ThinkTimeMean time.Duration
+	// ThinkTimeMax truncates think times (0 = 70 s, i.e. 10× the mean, per
+	// the specification).
+	ThinkTimeMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mix.Name == "" {
+		c.Mix = ShoppingMix()
+	}
+	if c.ThinkTimeMean <= 0 {
+		c.ThinkTimeMean = 7 * time.Second
+	}
+	if c.ThinkTimeMax <= 0 {
+		c.ThinkTimeMax = 10 * c.ThinkTimeMean
+	}
+	return c
+}
+
+// Stats summarises generator activity.
+type Stats struct {
+	Issued    uint64
+	Completed uint64
+	Failed    uint64
+	// PerInteraction counts issued requests by interaction type.
+	PerInteraction [NumInteractions]uint64
+}
+
+// Generator drives the EB population against a Server using a simulated
+// scheduler.
+type Generator struct {
+	cfg    Config
+	sched  *simclock.Scheduler
+	server Server
+	src    *rng.Source
+
+	running bool
+	stopped bool
+	stats   Stats
+}
+
+// NewGenerator creates a workload generator. All arguments are required.
+func NewGenerator(cfg Config, sched *simclock.Scheduler, server Server, src *rng.Source) (*Generator, error) {
+	if sched == nil {
+		return nil, errors.New("tpcw: nil scheduler")
+	}
+	if server == nil {
+		return nil, errors.New("tpcw: nil server")
+	}
+	if src == nil {
+		return nil, errors.New("tpcw: nil random source")
+	}
+	if cfg.EBs <= 0 {
+		return nil, fmt.Errorf("tpcw: non-positive EB count %d", cfg.EBs)
+	}
+	return &Generator{
+		cfg:    cfg.withDefaults(),
+		sched:  sched,
+		server: server,
+		src:    src,
+	}, nil
+}
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Start schedules the initial think time of every EB. It may be called only
+// once.
+func (g *Generator) Start() error {
+	if g.running {
+		return errors.New("tpcw: generator already started")
+	}
+	g.running = true
+	for eb := 0; eb < g.cfg.EBs; eb++ {
+		eb := eb
+		// Stagger session starts across one think time so all EBs do not
+		// fire at the same instant.
+		if _, err := g.sched.After(g.thinkTime(), func() { g.issue(eb) }); err != nil {
+			return fmt.Errorf("tpcw: scheduling EB %d: %w", eb, err)
+		}
+	}
+	return nil
+}
+
+// Stop prevents EBs from issuing further requests. In-flight requests finish
+// normally.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Stats returns a copy of the generator statistics.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// thinkTime draws one truncated negative-exponential think time.
+func (g *Generator) thinkTime() time.Duration {
+	t := g.src.Exponential(g.cfg.ThinkTimeMean.Seconds())
+	if maxSec := g.cfg.ThinkTimeMax.Seconds(); t > maxSec {
+		t = maxSec
+	}
+	return time.Duration(t * float64(time.Second))
+}
+
+// issue submits one request for the EB and schedules the next one when the
+// response arrives.
+func (g *Generator) issue(eb int) {
+	if g.stopped {
+		return
+	}
+	interaction := g.cfg.Mix.Sample(g.src)
+	req := Request{EB: eb, Interaction: interaction, IssuedAt: g.sched.Now()}
+	g.stats.Issued++
+	g.stats.PerInteraction[interaction-1]++
+	g.server.Submit(req, func(ok bool) {
+		if ok {
+			g.stats.Completed++
+		} else {
+			g.stats.Failed++
+		}
+		if g.stopped {
+			return
+		}
+		// Think, then issue the next request of the session.
+		if _, err := g.sched.After(g.thinkTime(), func() { g.issue(eb) }); err != nil {
+			// Scheduling can only fail if the scheduler refuses future
+			// events, which means the run is over; stop quietly.
+			g.stopped = true
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package tpcw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"agingpred/internal/rng"
+	"agingpred/internal/simclock"
+)
+
+func TestInteractionString(t *testing.T) {
+	if Home.String() != "Home" || SearchRequest.String() != "Search Request" || AdminConfirm.String() != "Admin Confirm" {
+		t.Fatalf("interaction names wrong: %v %v %v", Home, SearchRequest, AdminConfirm)
+	}
+	if got := Interaction(99).String(); got != "Interaction(99)" {
+		t.Fatalf("unknown interaction String() = %q", got)
+	}
+	if Interaction(0).Valid() || Interaction(15).Valid() {
+		t.Fatalf("invalid interactions reported valid")
+	}
+	if !Home.Valid() || !AdminConfirm.Valid() {
+		t.Fatalf("valid interactions reported invalid")
+	}
+}
+
+func TestIsWrite(t *testing.T) {
+	if !BuyConfirm.IsWrite() || !ShoppingCart.IsWrite() {
+		t.Fatalf("write interactions not flagged")
+	}
+	if Home.IsWrite() || SearchRequest.IsWrite() {
+		t.Fatalf("read interactions flagged as writes")
+	}
+}
+
+func TestMixWeightsNormalised(t *testing.T) {
+	for _, mix := range []Mix{BrowsingMix(), ShoppingMix(), OrderingMix()} {
+		sum := 0.0
+		for i := Home; i <= AdminConfirm; i++ {
+			w := mix.Weight(i)
+			if w < 0 {
+				t.Fatalf("%s mix has negative weight for %v", mix.Name, i)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s mix weights sum to %v", mix.Name, sum)
+		}
+	}
+	if got := ShoppingMix().Weight(Interaction(0)); got != 0 {
+		t.Fatalf("Weight of invalid interaction = %v", got)
+	}
+}
+
+func TestShoppingMixShape(t *testing.T) {
+	mix := ShoppingMix()
+	// The search servlet (leak injection point) must receive a substantial
+	// share of the shopping-mix traffic, as in the real TPC-W mix (20%).
+	if w := mix.Weight(SearchRequest); w < 0.15 || w > 0.25 {
+		t.Fatalf("shopping mix search-request weight = %v, want about 0.20", w)
+	}
+	// Ordering mix buys much more than browsing mix.
+	if OrderingMix().Weight(BuyConfirm) <= BrowsingMix().Weight(BuyConfirm) {
+		t.Fatalf("ordering mix should buy more than browsing mix")
+	}
+}
+
+func TestMixSampleMatchesWeights(t *testing.T) {
+	mix := ShoppingMix()
+	src := rng.New(1)
+	const n = 200000
+	var counts [NumInteractions]int
+	for i := 0; i < n; i++ {
+		it := mix.Sample(src)
+		if !it.Valid() {
+			t.Fatalf("Sample returned invalid interaction %v", it)
+		}
+		counts[it-1]++
+	}
+	for i := Home; i <= AdminConfirm; i++ {
+		want := mix.Weight(i)
+		got := float64(counts[i-1]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("interaction %v frequency = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"browsing", "shopping", "ordering"} {
+		m, err := MixByName(name)
+		if err != nil {
+			t.Fatalf("MixByName(%q): %v", name, err)
+		}
+		if m.Name != name {
+			t.Fatalf("MixByName(%q).Name = %q", name, m.Name)
+		}
+	}
+	if m, err := MixByName(""); err != nil || m.Name != "shopping" {
+		t.Fatalf("MixByName(\"\") = %v, %v; want shopping", m.Name, err)
+	}
+	if _, err := MixByName("bogus"); err == nil {
+		t.Fatalf("MixByName(bogus) succeeded")
+	}
+}
+
+// fakeServer responds to every request after a fixed service time.
+type fakeServer struct {
+	sched       *simclock.Scheduler
+	serviceTime time.Duration
+	received    []Request
+	reject      bool
+}
+
+func (f *fakeServer) Submit(req Request, done func(ok bool)) {
+	f.received = append(f.received, req)
+	if f.reject {
+		done(false)
+		return
+	}
+	if _, err := f.sched.After(f.serviceTime, func() { done(true) }); err != nil {
+		done(false)
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched}
+	src := rng.New(1)
+	if _, err := NewGenerator(Config{EBs: 10}, nil, srv, src); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := NewGenerator(Config{EBs: 10}, sched, nil, src); err == nil {
+		t.Fatalf("nil server accepted")
+	}
+	if _, err := NewGenerator(Config{EBs: 10}, sched, srv, nil); err == nil {
+		t.Fatalf("nil rng accepted")
+	}
+	if _, err := NewGenerator(Config{EBs: 0}, sched, srv, src); err == nil {
+		t.Fatalf("zero EBs accepted")
+	}
+	g, err := NewGenerator(Config{EBs: 5}, sched, srv, src)
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	cfg := g.Config()
+	if cfg.ThinkTimeMean != 7*time.Second || cfg.ThinkTimeMax != 70*time.Second || cfg.Mix.Name != "shopping" {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+}
+
+func TestGeneratorDrivesServer(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched, serviceTime: 100 * time.Millisecond}
+	g, err := NewGenerator(Config{EBs: 25}, sched, srv, rng.New(42))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := g.Start(); err == nil {
+		t.Fatalf("second Start succeeded")
+	}
+	sched.RunUntil(10 * time.Minute)
+
+	st := g.Stats()
+	if st.Issued == 0 || st.Completed == 0 {
+		t.Fatalf("no traffic generated: %+v", st)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("unexpected failures: %+v", st)
+	}
+	// 25 EBs with ~7s think + 0.1s service: roughly 25/7.1 ≈ 3.5 req/s, so
+	// about 2100 requests in 10 minutes. Accept a broad band.
+	if st.Issued < 1000 || st.Issued > 4000 {
+		t.Fatalf("issued %d requests in 10 min with 25 EBs, want 1000..4000", st.Issued)
+	}
+	// Completed should closely track issued (only the in-flight tail differs).
+	if st.Issued-st.Completed > 30 {
+		t.Fatalf("too many incomplete requests: issued %d, completed %d", st.Issued, st.Completed)
+	}
+	if len(srv.received) != int(st.Issued) {
+		t.Fatalf("server saw %d requests, generator issued %d", len(srv.received), st.Issued)
+	}
+	// The per-interaction distribution should roughly follow the shopping mix.
+	searchShare := float64(st.PerInteraction[SearchRequest-1]) / float64(st.Issued)
+	if searchShare < 0.1 || searchShare > 0.3 {
+		t.Fatalf("search-request share = %v, want about 0.2", searchShare)
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched, serviceTime: 50 * time.Millisecond}
+	g, err := NewGenerator(Config{EBs: 10}, sched, srv, rng.New(7))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(2 * time.Minute)
+	g.Stop()
+	issuedAtStop := g.Stats().Issued
+	sched.RunUntil(10 * time.Minute)
+	if got := g.Stats().Issued; got != issuedAtStop {
+		t.Fatalf("generator kept issuing after Stop: %d -> %d", issuedAtStop, got)
+	}
+}
+
+func TestGeneratorCountsRejections(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched, reject: true}
+	g, err := NewGenerator(Config{EBs: 5}, sched, srv, rng.New(9))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(5 * time.Minute)
+	st := g.Stats()
+	if st.Failed == 0 {
+		t.Fatalf("rejecting server produced no failures: %+v", st)
+	}
+	if st.Completed != 0 {
+		t.Fatalf("rejecting server produced completions: %+v", st)
+	}
+}
+
+func TestThinkTimeDistribution(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched}
+	g, err := NewGenerator(Config{EBs: 1}, sched, srv, rng.New(11))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	const n = 100000
+	sum := 0.0
+	maxSeen := 0.0
+	for i := 0; i < n; i++ {
+		tt := g.thinkTime().Seconds()
+		if tt < 0 {
+			t.Fatalf("negative think time %v", tt)
+		}
+		sum += tt
+		if tt > maxSeen {
+			maxSeen = tt
+		}
+	}
+	mean := sum / n
+	// Truncation at 70s pulls the mean slightly below 7s.
+	if mean < 6 || mean > 7.5 {
+		t.Fatalf("think time mean = %v, want about 7", mean)
+	}
+	if maxSeen > 70.0001 {
+		t.Fatalf("think time %v exceeds the 70 s cap", maxSeen)
+	}
+}
+
+// Property: for any seed and any EB population, traffic volume scales with
+// the EB count (more browsers, more requests) and all issued interactions
+// are valid.
+func TestWorkloadScalesWithEBsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		run := func(ebs int) uint64 {
+			sched := simclock.NewScheduler(nil)
+			srv := &fakeServer{sched: sched, serviceTime: 80 * time.Millisecond}
+			g, err := NewGenerator(Config{EBs: ebs}, sched, srv, rng.New(seed))
+			if err != nil {
+				return 0
+			}
+			if err := g.Start(); err != nil {
+				return 0
+			}
+			sched.RunUntil(5 * time.Minute)
+			for _, r := range srv.received {
+				if !r.Interaction.Valid() {
+					return 0
+				}
+			}
+			return g.Stats().Issued
+		}
+		small := run(10)
+		large := run(100)
+		return small > 0 && large > small
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
