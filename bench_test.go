@@ -12,6 +12,8 @@ package agingpred
 // produce.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 	"time"
 
@@ -103,6 +105,32 @@ func BenchmarkFigure5(b *testing.B) {
 		b.ReportMetric(res.M5P.MAE, "m5p-mae-sec")
 		b.ReportMetric(res.M5P.PostMAE, "m5p-postmae-sec")
 	}
+}
+
+// BenchmarkScenarioMatrix measures the scenario engine on a small
+// scenario×seed matrix at full parallelism, reporting sweep throughput in
+// cells/sec — the number that tells how many scenarios the hardware can
+// absorb per unit of time.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	scenarios, err := experiments.LookupAll([]string{"4.1", "bursty"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seeds := []uint64{1, 2}
+	engine := &experiments.Engine{}
+	cells := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.RunMatrix(context.Background(), scenarios, seeds, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := res.FailedCells(); len(failed) > 0 {
+			b.Fatalf("%d cells failed, first: %v", len(failed), failed[0].Err)
+		}
+		cells += len(res.Cells)
+	}
+	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
 }
 
 // --- ablation benchmarks -------------------------------------------------

@@ -15,15 +15,31 @@
 //	agingbench -experiment 4.2 -seed 7
 //
 // Figure data can be dumped as CSV for plotting with -figures-dir.
+//
+// Beyond the paper's single-seed reproduction, the scenario engine sweeps
+// whole scenario×seed matrices concurrently and reports mean ± stddev of
+// every accuracy metric across seeds:
+//
+//	agingbench -experiment all -parallel 8 -seeds 1..8
+//	agingbench -scenario bursty,trileak -seeds 1,5,9 -parallel 4
+//	agingbench -list
+//
+// Matrix mode engages whenever -seeds, -scenario or -parallel is given; the
+// registered scenarios are the four paper experiments (4.1–4.4) plus the
+// extended workloads ("bursty", "trileak").
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"agingpred/internal/evalx"
@@ -43,9 +59,48 @@ func run(args []string) error {
 		which      = fs.String("experiment", "all", "which experiment to run: all, fig1, fig2, 4.1, 4.2, 4.3 or 4.4")
 		seed       = fs.Uint64("seed", 1, "random seed for the whole benchmark campaign")
 		figuresDir = fs.String("figures-dir", "", "if set, write the figure series (CSV, one file per figure) into this directory")
+		seeds      = fs.String("seeds", "", "matrix mode: seed sweep, \"N..M\" or comma list (e.g. 1..8)")
+		scenario   = fs.String("scenario", "", "matrix mode: comma-separated scenario names, or \"all\" (default: derived from -experiment)")
+		parallel   = fs.Int("parallel", 0, "matrix mode: worker pool size (default: number of CPUs)")
+		verbose    = fs.Bool("v", false, "matrix mode: print every cell summary, not just the aggregate table")
+		list       = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		for _, sc := range experiments.AllScenarios() {
+			fmt.Printf("%-10s %s\n", sc.Name(), sc.Description())
+		}
+		return nil
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("negative -parallel %d", *parallel)
+	}
+	parallelSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
+	if *seeds != "" || *scenario != "" || parallelSet {
+		if *figuresDir != "" {
+			return fmt.Errorf("-figures-dir is only supported on the single-seed path; drop -seeds/-scenario/-parallel to dump figure CSVs")
+		}
+		return runMatrix(*which, *scenario, *seeds, *seed, *parallel, *verbose)
+	}
+	switch *which {
+	case "all", "fig1", "fig2", "4.1", "4.2", "4.3", "4.4":
+	default:
+		// Scenarios beyond the paper's experiments (bursty, trileak, ...)
+		// have no dedicated single-seed printer; run them as a 1×1 matrix.
+		if _, err := experiments.Lookup(*which); err == nil {
+			if *figuresDir != "" {
+				return fmt.Errorf("-figures-dir is not supported for scenario %q; it applies to fig1/fig2 and experiments 4.1-4.4 on the single-seed path", *which)
+			}
+			return runMatrix(*which, "", "", *seed, 1, true)
+		}
+		return fmt.Errorf("unknown experiment %q: want all, fig1, fig2, 4.1, 4.2, 4.3, 4.4 or a registered scenario (see -list)", *which)
 	}
 	opts := experiments.Options{Seed: *seed}
 
@@ -83,6 +138,83 @@ func run(args []string) error {
 	}
 	fmt.Printf("\ntotal wall-clock time: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// runMatrix is the scenario-engine path: it resolves the scenario list and
+// seed sweep, runs every cell on a worker pool, and prints the cross-seed
+// aggregate statistics.
+func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verbose bool) error {
+	names := scenarioNames(which, scenario)
+	for _, name := range names {
+		if name == "fig1" || name == "fig2" {
+			return fmt.Errorf("%s is a figure example without accuracy metrics and cannot be swept; run it on the single-seed path (-experiment %s without -seeds/-scenario/-parallel)", name, name)
+		}
+	}
+	scenarios, err := experiments.LookupAll(names)
+	if err != nil {
+		return err
+	}
+	if seedsFlag == "" {
+		seedsFlag = strconv.FormatUint(seed, 10)
+	}
+	seedList, err := experiments.ParseSeedRange(seedsFlag)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("running %d scenarios × %d seeds on %d workers...\n", len(scenarios), len(seedList), workers)
+	engine := &experiments.Engine{}
+	res, err := engine.RunMatrix(ctx, scenarios, seedList, workers)
+	if res != nil {
+		if verbose {
+			for i := range res.Cells {
+				cell := &res.Cells[i]
+				if cell.Err != nil {
+					continue
+				}
+				fmt.Println("==================================================================")
+				fmt.Printf("--- %s, seed %d (%v)\n%s", cell.Scenario, cell.Seed, cell.Elapsed.Round(time.Millisecond), cell.Summary)
+			}
+			fmt.Println("==================================================================")
+		}
+		fmt.Print(res.String())
+		// Throughput counts only the cells that actually completed, so a
+		// cancelled sweep does not inflate the rate with never-run cells.
+		if done := len(res.Cells) - len(res.FailedCells()); done > 0 && res.Elapsed > 0 {
+			fmt.Printf("throughput: %.2f cells/sec\n", float64(done)/res.Elapsed.Seconds())
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if failed := res.FailedCells(); len(failed) > 0 {
+		return fmt.Errorf("%d of %d cells failed", len(failed), len(res.Cells))
+	}
+	return nil
+}
+
+// scenarioNames derives the scenario list from the -scenario flag, falling
+// back to -experiment ("all" means every registered scenario; the figure
+// examples have no accuracy metrics and stay on the single-seed path).
+func scenarioNames(which, scenario string) []string {
+	raw := scenario
+	if raw == "" {
+		raw = which
+	}
+	if raw == "" || raw == "all" {
+		return []string{"all"}
+	}
+	parts := strings.Split(raw, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func runFigure1(opts experiments.Options, dir string) error {

@@ -9,12 +9,18 @@
 // (TPC-W workload, Tomcat-like application server, generational JVM heap,
 // aging-fault injection), the accuracy metrics (MAE, S-MAE, PRE/POST-MAE),
 // software-rejuvenation policies, and an experiment harness that regenerates
-// every table and figure of the paper. See README.md for the layout,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured comparison.
+// every table and figure of the paper. The harness is organised as a
+// scenario engine (internal/experiments): the paper's four experiments and
+// any number of new workloads register as scenarios, and seed sweeps run
+// concurrently on a worker pool with cross-seed aggregate statistics — see
+// the internal/experiments package comment for how to write and register a
+// scenario. See README.md for the layout, DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the paper-vs-measured comparison.
 //
 // The root package intentionally contains no code: the public entry point is
 // internal/core (the Predictor), the runnable entry points are cmd/agingsim,
-// cmd/agingpredict and cmd/agingbench, and the top-level benchmarks in
-// bench_test.go regenerate the paper's results via `go test -bench`.
+// cmd/agingpredict and cmd/agingbench (including the scenario-matrix mode,
+// e.g. `agingbench -experiment all -parallel 8 -seeds 1..8`), and the
+// top-level benchmarks in bench_test.go regenerate the paper's results via
+// `go test -bench`.
 package agingpred

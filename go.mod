@@ -1,0 +1,3 @@
+module agingpred
+
+go 1.24

@@ -151,6 +151,11 @@ const (
 	CrashThreadExhaustion CrashReason = "unable to create new native thread"
 	// CrashSystemMemory is the machine running out of physical memory + swap.
 	CrashSystemMemory CrashReason = "system memory exhausted"
+	// CrashConnectionExhaustion is the database connection pool fully leaked:
+	// no request can obtain a connection anymore and the server is effectively
+	// dead (the third injectable resource, beyond the paper's memory and
+	// threads).
+	CrashConnectionExhaustion CrashReason = "database connection pool exhausted"
 )
 
 // Server is the simulated application server. It is driven from a single
@@ -168,6 +173,7 @@ type Server struct {
 	queue            []queuedRequest
 	leakedThreads    int
 	activeDBConns    int
+	leakedDBConns    int
 	rejectedRequests uint64
 
 	// Cumulative counters (the monitor derives per-interval rates from
@@ -349,13 +355,17 @@ func (s *Server) startRequest(req tpcw.Request, done func(ok bool)) {
 		return
 	}
 
-	// Database connection usage for the duration of the request.
+	// Database connection usage for the duration of the request. Leaked
+	// connections shrink the pool available to requests.
 	dbConns := 1
 	if req.Interaction.IsWrite() {
 		dbConns = 2
 	}
-	if s.activeDBConns+dbConns > s.cfg.MaxDBConnections {
-		dbConns = s.cfg.MaxDBConnections - s.activeDBConns
+	if avail := s.cfg.MaxDBConnections - s.leakedDBConns; s.activeDBConns+dbConns > avail {
+		dbConns = avail - s.activeDBConns
+		if dbConns < 0 {
+			dbConns = 0
+		}
 	}
 	s.activeDBConns += dbConns
 
@@ -524,6 +534,37 @@ func (s *Server) LeakThreads(n int) {
 // LeakedThreads returns how many threads have been leaked so far.
 func (s *Server) LeakedThreads() int { return s.leakedThreads }
 
+// LeakDBConnections permanently occupies n database connections: the
+// connection-leak aging fault (an application bug that never returns
+// connections to the pool). Leaked connections are acquired from the same
+// pool the requests use, so the count of leaked plus in-use connections can
+// never exceed the pool size; the moment the leak fails to acquire one — the
+// pool is saturated — the server dies with CrashConnectionExhaustion. Each
+// leaked connection also pins a small amount of Java heap for its
+// driver-side buffers, coupling the resource to memory the same way leaked
+// threads do.
+func (s *Server) LeakDBConnections(n int) {
+	if s.crashed || n <= 0 {
+		return
+	}
+	const connObjectMB = 0.04 // JDBC connection, statement cache, buffers
+	for i := 0; i < n; i++ {
+		if s.leakedDBConns+s.activeDBConns >= s.cfg.MaxDBConnections {
+			s.Crash(CrashConnectionExhaustion)
+			return
+		}
+		s.leakedDBConns++
+		if err := s.heap.AllocateLeak(connObjectMB); err != nil {
+			s.Crash(CrashOutOfMemory)
+			return
+		}
+	}
+}
+
+// LeakedDBConnections returns how many database connections have been leaked
+// so far.
+func (s *Server) LeakedDBConnections() int { return s.leakedDBConns }
+
 // systemMemUsedMB returns the machine-wide used memory.
 func (s *Server) systemMemUsedMB() float64 {
 	return s.cfg.OtherProcessesMB + s.heap.ProcessMemoryMB()
@@ -551,6 +592,7 @@ type Snapshot struct {
 	LeakedThreads    int
 	HTTPConnections  int
 	MySQLConnections int
+	LeakedDBConns    int
 
 	// Memory, OS perspective.
 	TomcatMemoryMB  float64
@@ -601,7 +643,8 @@ func (s *Server) Snapshot() Snapshot {
 		NumThreads:        s.totalThreads(),
 		LeakedThreads:     s.leakedThreads,
 		HTTPConnections:   s.busyWorkers + len(s.queue),
-		MySQLConnections:  s.activeDBConns,
+		MySQLConnections:  s.activeDBConns + s.leakedDBConns,
+		LeakedDBConns:     s.leakedDBConns,
 		TomcatMemoryMB:    s.heap.ProcessMemoryMB(),
 		SystemMemUsedMB:   math.Min(sysUsed, s.cfg.SystemMemoryMB),
 		SwapFreeMB:        swapFree,

@@ -343,3 +343,45 @@ func TestSubmitNilDoneDoesNotPanic(t *testing.T) {
 		t.Fatalf("request with nil done was not processed")
 	}
 }
+
+func TestLeakDBConnectionsCrashesAtPoolLimit(t *testing.T) {
+	srv, _ := newTestServer(t, Config{})
+	srv.LeakDBConnections(0)
+	srv.LeakDBConnections(-5)
+	if srv.LeakedDBConnections() != 0 {
+		t.Fatalf("non-positive leaks changed the count: %d", srv.LeakedDBConnections())
+	}
+	srv.LeakDBConnections(40)
+	if srv.LeakedDBConnections() != 40 || srv.Crashed() {
+		t.Fatalf("after 40 leaks: leaked=%d crashed=%v", srv.LeakedDBConnections(), srv.Crashed())
+	}
+	snap := srv.Snapshot()
+	if snap.LeakedDBConns != 40 || snap.MySQLConnections != 40 {
+		t.Fatalf("snapshot does not report leaked connections: %+v", snap)
+	}
+	srv.LeakDBConnections(200)
+	if !srv.Crashed() || srv.CrashReason() != CrashConnectionExhaustion {
+		t.Fatalf("pool exhaustion did not crash: crashed=%v reason=%q", srv.Crashed(), srv.CrashReason())
+	}
+	if srv.LeakedDBConnections() < srv.Config().MaxDBConnections {
+		t.Fatalf("crash before reaching the pool limit: %d", srv.LeakedDBConnections())
+	}
+	before := srv.LeakedDBConnections()
+	srv.LeakDBConnections(3)
+	if srv.LeakedDBConnections() != before {
+		t.Fatalf("leaks continued after the crash")
+	}
+}
+
+func TestLeakedConnectionsShrinkRequestPool(t *testing.T) {
+	srv, sched := newTestServer(t, Config{MaxDBConnections: 10})
+	srv.LeakDBConnections(9)
+	// One connection left: a write request (wanting 2) must be clamped to 1
+	// and still succeed, and the pool must never exceed the limit.
+	if !submitOK(t, srv, sched, tpcw.BuyConfirm) {
+		t.Fatalf("request failed with one free connection")
+	}
+	if snap := srv.Snapshot(); snap.MySQLConnections > 10 {
+		t.Fatalf("pool over limit: %+v", snap.MySQLConnections)
+	}
+}

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"agingpred/internal/evalx"
+)
+
+// Engine runs scenario×seed matrices concurrently. The zero value is ready
+// to use; Opts customises the template options every cell starts from (its
+// Seed and Ctx fields are overwritten per cell).
+type Engine struct {
+	// Opts is the base Options for every cell: MaxRunDuration, TrainEBs, ...
+	Opts Options
+}
+
+// CellResult is the outcome of one (scenario, seed) cell of a matrix.
+type CellResult struct {
+	// Scenario and Seed identify the cell.
+	Scenario string
+	Seed     uint64
+	// Metrics and Summary are the scenario's result (nil/empty if Err is
+	// set).
+	Metrics Metrics
+	Summary string
+	// Err is the scenario failure, or the context error for cells that were
+	// never started because the sweep was cancelled.
+	Err error
+	// Elapsed is the wall-clock cost of the cell. It is informational only
+	// and excluded from any determinism guarantee.
+	Elapsed time.Duration
+}
+
+// MatrixResult is the outcome of Engine.RunMatrix: one cell per
+// (scenario, seed) pair in deterministic scenario-major, seed-minor order —
+// independent of worker count and completion order — plus cross-seed
+// aggregate statistics per scenario and metric.
+type MatrixResult struct {
+	// Scenarios and Seeds echo the matrix axes, in request order.
+	Scenarios []string
+	Seeds     []uint64
+	// Cells holds len(Scenarios)*len(Seeds) results: cell (i, j) is
+	// Cells[i*len(Seeds)+j].
+	Cells []CellResult
+	// Aggregates summarises each scenario metric across seeds, sorted by
+	// (scenario, metric). Failed cells are excluded.
+	Aggregates []Aggregate
+	// Workers is the pool size the matrix ran with.
+	Workers int
+	// Elapsed is the wall-clock duration of the whole sweep.
+	Elapsed time.Duration
+}
+
+// Cell returns the result for (scenario index i, seed index j).
+func (m *MatrixResult) Cell(i, j int) *CellResult { return &m.Cells[i*len(m.Seeds)+j] }
+
+// FailedCells returns the cells that ended in error.
+func (m *MatrixResult) FailedCells() []*CellResult {
+	var out []*CellResult
+	for i := range m.Cells {
+		if m.Cells[i].Err != nil {
+			out = append(out, &m.Cells[i])
+		}
+	}
+	return out
+}
+
+// Stat is a summary of one accuracy number across seeds.
+type Stat struct {
+	// N is the number of seeds aggregated.
+	N int
+	// Mean and Stddev are the sample mean and (population) standard
+	// deviation, in seconds.
+	Mean   float64
+	Stddev float64
+	// Min and Max bound the per-seed values, in seconds.
+	Min float64
+	Max float64
+}
+
+// String renders the stat in the paper's duration style.
+func (s Stat) String() string {
+	return fmt.Sprintf("%s ± %s", evalx.FormatDuration(s.Mean), evalx.FormatDuration(s.Stddev))
+}
+
+func newStat(vals []float64) Stat {
+	if len(vals) == 0 {
+		return Stat{}
+	}
+	st := Stat{N: len(vals), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		st.Min = math.Min(st.Min, v)
+		st.Max = math.Max(st.Max, v)
+	}
+	st.Mean = sum / float64(len(vals))
+	varsum := 0.0
+	for _, v := range vals {
+		d := v - st.Mean
+		varsum += d * d
+	}
+	st.Stddev = math.Sqrt(varsum / float64(len(vals)))
+	return st
+}
+
+// Aggregate is the cross-seed summary of one scenario metric: the
+// mean/stddev/min/max of each accuracy number that the paper's single-seed
+// tables cannot provide.
+type Aggregate struct {
+	// Scenario and Metric identify what is aggregated (e.g. "4.1",
+	// "75EBs/M5P").
+	Scenario string
+	Metric   string
+	// MAE, SMAE, PreMAE and PostMAE summarise the four paper metrics across
+	// seeds.
+	MAE     Stat
+	SMAE    Stat
+	PreMAE  Stat
+	PostMAE Stat
+}
+
+// RunMatrix executes every (scenario, seed) cell on a pool of workers
+// goroutines and returns the results in deterministic order. Scenario
+// failures are recorded per cell and do not abort the sweep; cancelling ctx
+// does, returning the partial matrix together with the context error (cells
+// that never ran carry that error too).
+//
+// workers must be positive. Scenarios must be non-nil with unique names and
+// seeds must be non-empty.
+func (e *Engine) RunMatrix(ctx context.Context, scenarios []Scenario, seeds []uint64, workers int) (*MatrixResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("experiments: non-positive worker count %d", workers)
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("experiments: empty scenario list")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: empty seed list")
+	}
+	seenSeeds := make(map[uint64]bool, len(seeds))
+	for _, seed := range seeds {
+		if seenSeeds[seed] {
+			return nil, fmt.Errorf("experiments: seed %d appears twice in the matrix", seed)
+		}
+		seenSeeds[seed] = true
+	}
+	names := make([]string, len(scenarios))
+	seen := make(map[string]bool, len(scenarios))
+	for i, s := range scenarios {
+		if s == nil {
+			return nil, fmt.Errorf("experiments: nil scenario at index %d", i)
+		}
+		if seen[s.Name()] {
+			return nil, fmt.Errorf("experiments: scenario %q appears twice in the matrix", s.Name())
+		}
+		seen[s.Name()] = true
+		names[i] = s.Name()
+	}
+
+	res := &MatrixResult{
+		Scenarios: names,
+		Seeds:     append([]uint64(nil), seeds...),
+		Cells:     make([]CellResult, len(scenarios)*len(seeds)),
+		Workers:   workers,
+	}
+	// Pre-fill identities so cancelled cells are still addressable.
+	for i := range scenarios {
+		for j, seed := range seeds {
+			cell := res.Cell(i, j)
+			cell.Scenario = names[i]
+			cell.Seed = seed
+		}
+	}
+
+	start := time.Now()
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				e.runCell(ctx, scenarios[idx/len(seeds)], &res.Cells[idx])
+			}
+		}()
+	}
+feed:
+	for idx := range res.Cells {
+		select {
+		case jobs <- idx:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	// Cells skipped by cancellation carry the context error.
+	if err := ctx.Err(); err != nil {
+		for i := range res.Cells {
+			if res.Cells[i].Err == nil && res.Cells[i].Metrics == nil {
+				res.Cells[i].Err = err
+			}
+		}
+		res.aggregate()
+		return res, err
+	}
+	res.aggregate()
+	return res, nil
+}
+
+// runCell executes one cell, isolating panics so a buggy scenario cannot
+// take down the whole sweep.
+func (e *Engine) runCell(ctx context.Context, sc Scenario, cell *CellResult) {
+	defer func(t time.Time) { cell.Elapsed = time.Since(t) }(time.Now())
+	defer func() {
+		if r := recover(); r != nil {
+			cell.Err = fmt.Errorf("experiments: scenario %q panicked at seed %d: %v", cell.Scenario, cell.Seed, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		cell.Err = err
+		return
+	}
+	opts := e.Opts
+	opts.Seed = cell.Seed
+	opts.Ctx = ctx
+	out, err := sc.Run(ctx, opts)
+	if err != nil {
+		cell.Err = fmt.Errorf("experiments: scenario %q seed %d: %w", cell.Scenario, cell.Seed, err)
+		return
+	}
+	cell.Metrics = out.Metrics
+	if cell.Metrics == nil {
+		// Keep "ran successfully" distinguishable from "never dispatched".
+		cell.Metrics = Metrics{}
+	}
+	cell.Summary = out.Summary
+}
+
+// aggregate computes the cross-seed statistics from the successful cells.
+func (m *MatrixResult) aggregate() {
+	m.Aggregates = nil
+	for i, name := range m.Scenarios {
+		// Collect per-metric series across seeds, keyed by metric name.
+		series := make(map[string][]evalx.Report)
+		for j := range m.Seeds {
+			cell := m.Cell(i, j)
+			if cell.Err != nil {
+				continue
+			}
+			for metric, rep := range cell.Metrics {
+				series[metric] = append(series[metric], rep)
+			}
+		}
+		metrics := make([]string, 0, len(series))
+		for metric := range series {
+			metrics = append(metrics, metric)
+		}
+		sort.Strings(metrics)
+		for _, metric := range metrics {
+			reps := series[metric]
+			pick := func(f func(evalx.Report) float64) Stat {
+				vals := make([]float64, len(reps))
+				for k, r := range reps {
+					vals[k] = f(r)
+				}
+				return newStat(vals)
+			}
+			m.Aggregates = append(m.Aggregates, Aggregate{
+				Scenario: name,
+				Metric:   metric,
+				MAE:      pick(func(r evalx.Report) float64 { return r.MAE }),
+				SMAE:     pick(func(r evalx.Report) float64 { return r.SMAE }),
+				PreMAE:   pick(func(r evalx.Report) float64 { return r.PreMAE }),
+				PostMAE:  pick(func(r evalx.Report) float64 { return r.PostMAE }),
+			})
+		}
+	}
+}
+
+// String renders the aggregate table of the matrix.
+func (m *MatrixResult) String() string {
+	var b strings.Builder
+	ok := 0
+	for i := range m.Cells {
+		if m.Cells[i].Err == nil {
+			ok++
+		}
+	}
+	fmt.Fprintf(&b, "scenario matrix: %d scenarios × %d seeds = %d cells (%d ok, %d failed), %d workers, %v\n",
+		len(m.Scenarios), len(m.Seeds), len(m.Cells), ok, len(m.Cells)-ok, m.Workers, m.Elapsed.Round(time.Millisecond))
+	for _, agg := range m.Aggregates {
+		fmt.Fprintf(&b, "  %-10s %-22s MAE %-22s S-MAE %-22s PRE %-22s POST %s\n",
+			agg.Scenario, agg.Metric, agg.MAE, agg.SMAE, agg.PreMAE, agg.PostMAE)
+	}
+	for _, cell := range m.FailedCells() {
+		fmt.Fprintf(&b, "  FAILED %s seed %d: %v\n", cell.Scenario, cell.Seed, cell.Err)
+	}
+	return b.String()
+}
+
+// ParseSeedRange parses a seed-list flag: either "N..M" (inclusive range) or
+// a comma-separated list "1,5,9".
+func ParseSeedRange(s string) ([]uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("experiments: empty seed range")
+	}
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		from, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad seed range %q: %w", s, err)
+		}
+		to, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad seed range %q: %w", s, err)
+		}
+		if to < from {
+			return nil, fmt.Errorf("experiments: descending seed range %q", s)
+		}
+		if to-from >= 1<<20 {
+			return nil, fmt.Errorf("experiments: seed range %q too large", s)
+		}
+		seeds := make([]uint64, 0, to-from+1)
+		for seed := from; ; seed++ {
+			seeds = append(seeds, seed)
+			if seed == to {
+				break
+			}
+		}
+		return seeds, nil
+	}
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		seed, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad seed %q: %w", part, err)
+		}
+		seeds = append(seeds, seed)
+	}
+	return seeds, nil
+}

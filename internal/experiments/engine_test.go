@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"agingpred/internal/evalx"
+)
+
+// fakeScenario is a cheap deterministic scenario for engine tests: its
+// metrics are pure functions of the seed, so any two runs of the same cell
+// must agree bit for bit.
+func fakeScenario(name string) Scenario {
+	return NewScenario(name, "fake scenario for engine tests",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			s := float64(opts.Seed)
+			return &ScenarioResult{
+				Metrics: Metrics{
+					"M5P":    evalx.Report{Model: "M5P", MAE: 100 + s, SMAE: 90 + s, PreMAE: 110 + s, PostMAE: 10 + s},
+					"LinReg": evalx.Report{Model: "Lin. Reg", MAE: 200 + 2*s, SMAE: 180 + 2*s, PreMAE: 220 + 2*s, PostMAE: 20 + 2*s},
+				},
+				Summary: fmt.Sprintf("%s@%d", name, opts.Seed),
+			}, nil
+		})
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(fakeScenario("a")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(fakeScenario("b")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	s, err := r.Lookup("a")
+	if err != nil || s.Name() != "a" {
+		t.Fatalf("Lookup(a) = %v, %v", s, err)
+	}
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Names() = %v", got)
+	}
+	if all := r.All(); len(all) != 2 || all[0].Name() != "a" || all[1].Name() != "b" {
+		t.Fatalf("All() wrong: %v", all)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		name     string
+		scenario Scenario
+		wantErr  string
+	}{
+		{name: "nil scenario", scenario: nil, wantErr: "nil scenario"},
+		{name: "empty name", scenario: fakeScenario(""), wantErr: "empty name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := r.Register(c.scenario); err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Register = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+	if err := r.Register(fakeScenario("dup")); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	if err := r.Register(fakeScenario("dup")); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration = %v, want 'already registered'", err)
+	}
+}
+
+func TestRegistryUnknownScenario(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(fakeScenario("known")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	_, err := r.Lookup("nope")
+	if err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
+		t.Fatalf("Lookup(nope) = %v", err)
+	}
+	if !strings.Contains(err.Error(), "known") {
+		t.Fatalf("unknown-scenario error does not list known names: %v", err)
+	}
+}
+
+func TestDefaultRegistryHasBuiltins(t *testing.T) {
+	names := ScenarioNames()
+	for _, want := range []string{"4.1", "4.2", "4.3", "4.4", "bursty", "trileak"} {
+		found := false
+		for _, name := range names {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("built-in scenario %q not registered (have %v)", want, names)
+		}
+	}
+	if _, err := Lookup("4.2"); err != nil {
+		t.Errorf("Lookup(4.2): %v", err)
+	}
+	all, err := LookupAll([]string{"all"})
+	if err != nil || len(all) < 6 {
+		t.Errorf("LookupAll(all) = %d scenarios, %v", len(all), err)
+	}
+	if _, err := LookupAll([]string{"4.1", "nope"}); err == nil {
+		t.Errorf("LookupAll accepted an unknown name")
+	}
+}
+
+func TestRunMatrixValidation(t *testing.T) {
+	e := &Engine{}
+	ctx := context.Background()
+	one := []Scenario{fakeScenario("s")}
+	seeds := []uint64{1}
+	cases := []struct {
+		name      string
+		scenarios []Scenario
+		seeds     []uint64
+		workers   int
+		wantErr   string
+	}{
+		{name: "zero workers", scenarios: one, seeds: seeds, workers: 0, wantErr: "non-positive worker count"},
+		{name: "negative workers", scenarios: one, seeds: seeds, workers: -3, wantErr: "non-positive worker count"},
+		{name: "no scenarios", scenarios: nil, seeds: seeds, workers: 1, wantErr: "empty scenario list"},
+		{name: "no seeds", scenarios: one, seeds: nil, workers: 1, wantErr: "empty seed list"},
+		{name: "nil scenario", scenarios: []Scenario{nil}, seeds: seeds, workers: 1, wantErr: "nil scenario"},
+		{name: "duplicate scenario", scenarios: []Scenario{fakeScenario("s"), fakeScenario("s")}, seeds: seeds, workers: 1, wantErr: "appears twice"},
+		{name: "duplicate seed", scenarios: one, seeds: []uint64{1, 2, 1}, workers: 1, wantErr: "seed 1 appears twice"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := e.RunMatrix(ctx, c.scenarios, c.seeds, c.workers)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("RunMatrix = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// stripTimings clears the wall-clock fields, which are the only parts of a
+// MatrixResult allowed to differ between runs.
+func stripTimings(m *MatrixResult) {
+	m.Elapsed = 0
+	m.Workers = 0
+	for i := range m.Cells {
+		m.Cells[i].Elapsed = 0
+	}
+}
+
+func TestRunMatrixDeterministicAcrossWorkerCounts(t *testing.T) {
+	scenarios := []Scenario{fakeScenario("alpha"), fakeScenario("beta"), fakeScenario("gamma")}
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	e := &Engine{}
+	serial, err := e.RunMatrix(context.Background(), scenarios, seeds, 1)
+	if err != nil {
+		t.Fatalf("RunMatrix(workers=1): %v", err)
+	}
+	parallel, err := e.RunMatrix(context.Background(), scenarios, seeds, 8)
+	if err != nil {
+		t.Fatalf("RunMatrix(workers=8): %v", err)
+	}
+	stripTimings(serial)
+	stripTimings(parallel)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("workers=1 and workers=8 disagree:\n%v\nvs\n%v", serial, parallel)
+	}
+	// Result ordering is scenario-major, seed-minor.
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		for j, seed := range seeds {
+			cell := parallel.Cell(i, j)
+			if cell.Scenario != name || cell.Seed != seed {
+				t.Fatalf("cell (%d,%d) = %s@%d, want %s@%d", i, j, cell.Scenario, cell.Seed, name, seed)
+			}
+			if cell.Summary != fmt.Sprintf("%s@%d", name, seed) {
+				t.Fatalf("cell (%d,%d) summary = %q", i, j, cell.Summary)
+			}
+		}
+	}
+}
+
+func TestRunMatrixAggregates(t *testing.T) {
+	e := &Engine{}
+	res, err := e.RunMatrix(context.Background(), []Scenario{fakeScenario("s")}, []uint64{1, 3}, 2)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	// Metrics sorted: LinReg before M5P. LinReg MAE over seeds {1,3} is
+	// {202, 206}: mean 204, stddev 2, min 202, max 206.
+	if len(res.Aggregates) != 2 {
+		t.Fatalf("aggregates = %+v", res.Aggregates)
+	}
+	lin := res.Aggregates[0]
+	if lin.Scenario != "s" || lin.Metric != "LinReg" {
+		t.Fatalf("first aggregate = %+v", lin)
+	}
+	if lin.MAE.N != 2 || lin.MAE.Mean != 204 || lin.MAE.Stddev != 2 || lin.MAE.Min != 202 || lin.MAE.Max != 206 {
+		t.Fatalf("LinReg MAE stat = %+v", lin.MAE)
+	}
+	m5 := res.Aggregates[1]
+	if m5.Metric != "M5P" || m5.PostMAE.Mean != 12 {
+		t.Fatalf("M5P aggregate = %+v", m5)
+	}
+	if !strings.Contains(res.String(), "1 scenarios × 2 seeds") {
+		t.Fatalf("String() = %q", res.String())
+	}
+}
+
+func TestRunMatrixCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var runs atomic.Int32
+	cancelling := NewScenario("cancelling", "cancels the sweep after three cells",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			if runs.Add(1) == 3 {
+				cancel()
+			}
+			return &ScenarioResult{Metrics: Metrics{}, Summary: "ok"}, nil
+		})
+	e := &Engine{}
+	res, err := e.RunMatrix(ctx, []Scenario{cancelling}, []uint64{1, 2, 3, 4, 5, 6, 7, 8}, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunMatrix after cancel = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatalf("cancelled sweep returned no partial result")
+	}
+	var ok, cancelled int
+	for i := range res.Cells {
+		switch {
+		case res.Cells[i].Err == nil:
+			ok++
+		case errors.Is(res.Cells[i].Err, context.Canceled):
+			cancelled++
+		default:
+			t.Fatalf("cell %d has unexpected error %v", i, res.Cells[i].Err)
+		}
+	}
+	if ok != 3 {
+		t.Fatalf("%d cells completed before the cancellation, want 3", ok)
+	}
+	if cancelled != 5 {
+		t.Fatalf("%d cells cancelled, want 5", cancelled)
+	}
+}
+
+func TestRunMatrixIsolatesFailuresAndPanics(t *testing.T) {
+	failing := NewScenario("failing", "always errors",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			return nil, errors.New("boom")
+		})
+	panicking := NewScenario("panicking", "always panics",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			panic("kaboom")
+		})
+	e := &Engine{}
+	res, err := e.RunMatrix(context.Background(),
+		[]Scenario{failing, panicking, fakeScenario("healthy")}, []uint64{1, 2}, 2)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	if got := len(res.FailedCells()); got != 4 {
+		t.Fatalf("%d failed cells, want 4", got)
+	}
+	if cell := res.Cell(1, 0); cell.Err == nil || !strings.Contains(cell.Err.Error(), "panicked") {
+		t.Fatalf("panic not captured: %v", cell.Err)
+	}
+	// The healthy scenario still aggregated across both seeds.
+	found := false
+	for _, agg := range res.Aggregates {
+		if agg.Scenario == "healthy" && agg.Metric == "M5P" && agg.MAE.N == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("healthy scenario missing from aggregates: %+v", res.Aggregates)
+	}
+	if !strings.Contains(res.String(), "FAILED") {
+		t.Fatalf("String() does not mention failures: %q", res.String())
+	}
+}
+
+func TestParseSeedRange(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []uint64
+		wantErr bool
+	}{
+		{in: "1..8", want: []uint64{1, 2, 3, 4, 5, 6, 7, 8}},
+		{in: "5..5", want: []uint64{5}},
+		{in: "7", want: []uint64{7}},
+		{in: "1,5,9", want: []uint64{1, 5, 9}},
+		{in: " 2 .. 4 ", want: []uint64{2, 3, 4}},
+		{in: "", wantErr: true},
+		{in: "8..1", wantErr: true},
+		{in: "a..b", wantErr: true},
+		{in: "1,x", wantErr: true},
+		{in: "0..2000000", wantErr: true},
+	}
+	for _, c := range cases {
+		t.Run(c.in, func(t *testing.T) {
+			got, err := ParseSeedRange(c.in)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("ParseSeedRange(%q) = %v, want error", c.in, got)
+				}
+				return
+			}
+			if err != nil || !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("ParseSeedRange(%q) = %v, %v; want %v", c.in, got, err, c.want)
+			}
+		})
+	}
+}
+
+func TestStatOfEmptyAndSingle(t *testing.T) {
+	if s := newStat(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("newStat(nil) = %+v", s)
+	}
+	s := newStat([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Stddev != 0 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("newStat({42}) = %+v", s)
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"agingpred/internal/core"
 	"agingpred/internal/evalx"
 	"agingpred/internal/features"
-	"agingpred/internal/monitor"
 	"agingpred/internal/testbed"
 )
 
@@ -47,23 +46,9 @@ func Experiment41(opts Options) (*Experiment41Result, error) {
 	opts = opts.withDefaults()
 
 	// Training executions: 4 workloads, constant N=30 leak, run to crash.
-	var trainCfgs []testbed.RunConfig
-	for _, ebs := range []int{25, 50, 100, 200} {
-		trainCfgs = append(trainCfgs, testbed.RunConfig{
-			Name:        fmt.Sprintf("exp41-train-%dEB", ebs),
-			Seed:        opts.Seed + uint64(1000+ebs),
-			EBs:         ebs,
-			Phases:      testbed.ConstantLeakPhases(30),
-			MaxDuration: opts.MaxRunDuration,
-		})
-	}
-	trainSeries := make([]*monitor.Series, 0, len(trainCfgs))
-	for _, cfg := range trainCfgs {
-		res, err := runUntilCrash(cfg)
-		if err != nil {
-			return nil, err
-		}
-		trainSeries = append(trainSeries, res.Series)
+	trainSeries, err := constantLeakTrainingRuns(opts, "exp41", 1000)
+	if err != nil {
+		return nil, err
 	}
 
 	// The paper does not add the heap information in this experiment.
@@ -99,6 +84,7 @@ func Experiment41(opts Options) (*Experiment41Result, error) {
 			EBs:         ebs,
 			Phases:      testbed.ConstantLeakPhases(30),
 			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
 		})
 		if err != nil {
 			return nil, err

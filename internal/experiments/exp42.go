@@ -27,6 +27,7 @@ func training42Runs(opts Options) ([]*monitor.Series, error) {
 		EBs:         opts.TrainEBs,
 		Phases:      testbed.NoInjectionPhases(),
 		MaxDuration: time.Hour,
+		Ctx:         opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -43,6 +44,7 @@ func training42Runs(opts Options) ([]*monitor.Series, error) {
 			EBs:         opts.TrainEBs,
 			Phases:      testbed.ConstantLeakPhases(n),
 			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -189,6 +191,7 @@ func Experiment42(opts Options) (*Experiment42Result, error) {
 		EBs:         opts.TrainEBs,
 		Phases:      phases,
 		MaxDuration: opts.MaxRunDuration,
+		Ctx:         opts.Ctx,
 	}
 	testRes, err := runUntilCrash(testCfg)
 	if err != nil {

@@ -123,6 +123,7 @@ func Experiment43(opts Options) (*Experiment43Result, error) {
 		EBs:         opts.TrainEBs,
 		Phases:      experiment43Phases(cycles),
 		MaxDuration: 16 * time.Hour,
+		Ctx:         opts.Ctx,
 	})
 	if err != nil {
 		return nil, err

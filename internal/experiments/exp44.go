@@ -28,6 +28,7 @@ func training44Runs(opts Options) ([]*monitor.Series, error) {
 			EBs:         opts.TrainEBs,
 			Phases:      testbed.ConstantLeakPhases(n),
 			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -42,6 +43,7 @@ func training44Runs(opts Options) ([]*monitor.Series, error) {
 			EBs:         opts.TrainEBs,
 			Phases:      testbed.ConstantThreadLeakPhases(r.m, r.t),
 			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
 		})
 		if err != nil {
 			return nil, err
@@ -133,6 +135,7 @@ func Experiment44(opts Options) (*Experiment44Result, error) {
 		EBs:         opts.TrainEBs,
 		Phases:      phases,
 		MaxDuration: opts.MaxRunDuration,
+		Ctx:         opts.Ctx,
 	})
 	if err != nil {
 		return nil, err

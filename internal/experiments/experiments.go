@@ -12,10 +12,56 @@
 //
 // Absolute values cannot match the paper (the substrate is a simulator, not
 // the authors' 2010 testbed); the shape criteria listed in DESIGN.md are what
-// these experiments are expected to reproduce.
+// these experiments are expected to reproduce. The golden tests additionally
+// pin the reproduced seed-1 numbers so refactors cannot drift them silently.
+//
+// # The scenario engine
+//
+// Beyond the one-shot experiment functions, the package hosts a scenario
+// engine: experiments implement the Scenario interface, register themselves
+// in a registry, and Engine.RunMatrix sweeps scenario×seed matrices on a
+// worker pool with deterministic result ordering, per-cell failure isolation,
+// context cancellation, and cross-seed aggregate statistics (mean/stddev of
+// MAE, S-MAE, PRE/POST-MAE) that the paper's single-seed tables cannot give.
+// The built-in scenarios are the paper's experiments ("4.1".."4.4") plus two
+// extended workloads: "bursty" (aging hidden under traffic spikes) and
+// "trileak" (memory + threads + DB connections aging simultaneously).
+//
+// # Writing a new scenario
+//
+// A scenario is any type implementing Scenario; for the common case wrap a
+// function with NewScenario and register it at init time:
+//
+//	func init() {
+//		experiments.MustRegister(experiments.NewScenario("myscenario",
+//			"one-line description shown by agingbench -list",
+//			func(ctx context.Context, opts Options) (*experiments.ScenarioResult, error) {
+//				// 1. Run testbed executions. Derive every run's Seed from
+//				//    opts.Seed (plus a scenario-private offset) so the
+//				//    scenario is deterministic per seed, and forward
+//				//    opts.Ctx into each testbed.RunConfig so seed sweeps
+//				//    can be cancelled.
+//				// 2. Train predictors on the training series.
+//				// 3. Evaluate on the test series with internal/evalx.
+//				// 4. Return the named reports; keys become the aggregate
+//				//    rows ("M5P", "75EBs/LinReg", ...).
+//				return &experiments.ScenarioResult{
+//					Metrics: experiments.Metrics{"M5P": report},
+//					Summary: "human-readable tables",
+//				}, nil
+//			}))
+//	}
+//
+// The contract the engine relies on: Run must be deterministic in opts.Seed
+// (the same cell always yields bit-identical metrics, no wall-clock or
+// global state), must not retain state between calls (cells run concurrently
+// on sibling goroutines), and should honour ctx so cancellation reaches the
+// simulator. Nothing else is required — once registered, the scenario is
+// sweepable via agingbench -scenario and aggregated like the built-ins.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -39,6 +85,12 @@ type Options struct {
 	// experiments 4.2–4.4 (0 = 100, the workload of the paper's periodic
 	// experiment).
 	TrainEBs int
+	// Ctx optionally cancels the experiment between (and inside) testbed
+	// executions; the scenario engine sets it so a whole seed sweep can be
+	// aborted. A nil Ctx means the experiment runs to completion. The
+	// cancellation probe never perturbs the simulation, so runs with a live
+	// context reproduce exactly the numbers of runs without one.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +120,30 @@ type TracePoint struct {
 	HeapUsedMB float64
 	// NumThreads is the server thread count (Figure 5's extra line).
 	NumThreads float64
+}
+
+// constantLeakTrainingRuns builds the deterministic-aging training set of
+// experiment 4.1, shared with the bursty scenario: run-to-crash executions
+// with a constant N=30 leak at each of the four paper workloads. namePrefix
+// and seedBase keep different scenarios' runs distinguishable and their
+// random streams independent.
+func constantLeakTrainingRuns(opts Options, namePrefix string, seedBase uint64) ([]*monitor.Series, error) {
+	series := make([]*monitor.Series, 0, 4)
+	for _, ebs := range []int{25, 50, 100, 200} {
+		res, err := runUntilCrash(testbed.RunConfig{
+			Name:        fmt.Sprintf("%s-train-%dEB", namePrefix, ebs),
+			Seed:        opts.Seed + seedBase + uint64(ebs),
+			EBs:         ebs,
+			Phases:      testbed.ConstantLeakPhases(30),
+			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, res.Series)
+	}
+	return series, nil
 }
 
 // runUntilCrash executes one testbed run and fails if it did not crash.

@@ -68,6 +68,7 @@ func Figure1(opts Options) (*Figure1Result, error) {
 		EBs:         opts.TrainEBs,
 		Phases:      testbed.ConstantLeakPhases(30),
 		MaxDuration: opts.MaxRunDuration,
+		Ctx:         opts.Ctx,
 	})
 	if err != nil {
 		return nil, err
@@ -153,6 +154,7 @@ func Figure2(opts Options) (*Figure2Result, error) {
 		EBs:         100,
 		Phases:      phases,
 		MaxDuration: time.Duration(cycles) * time.Hour,
+		Ctx:         opts.Ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// goldenMetric pins one headline accuracy row of the reproduced experiments.
+type goldenMetric struct {
+	MAE, SMAE, PreMAE, PostMAE float64
+}
+
+// goldenSeed1 is the reproduced value of every Table 3/4- and Figure 3/5-
+// style metric at seed 1, keyed "scenario/metric". These are the numbers this
+// repository commits to: the simulation substrate is deterministic, so any
+// drift here means a refactor changed the reproduced results, not just the
+// code. Regenerate deliberately (run the scenarios at seed 1 and copy the
+// values) when a change is *supposed* to move them, and say so in the commit.
+var goldenSeed1 = map[string]goldenMetric{
+	"4.1" + "/" + "150EBs/LinReg": {MAE: 1336.3104142468237, SMAE: 1332.9063099981302, PreMAE: 1437.6813187917767, PostMAE: 905.4840699307763},
+	"4.1" + "/" + "150EBs/M5P":    {MAE: 434.39357479385177, SMAE: 426.29715719435313, PreMAE: 504.4382107754045, PostMAE: 136.70387187225228},
+	"4.1" + "/" + "75EBs/LinReg":  {MAE: 2487.123859682071, SMAE: 2483.6232706153564, PreMAE: 2674.0752457768426, PostMAE: 720.4332610864773},
+	"4.1" + "/" + "75EBs/M5P":     {MAE: 553.5124545359495, SMAE: 533.0851429370933, PreMAE: 599.6540525498496, PostMAE: 117.47435330459177},
+	"4.2" + "/" + "LinReg":        {MAE: 2060.61045650401, SMAE: 2043.9701913004542, PreMAE: 2105.6817645317105, PostMAE: 509.4062718839996},
+	"4.2" + "/" + "M5P":           {MAE: 1215.9558899842677, SMAE: 1174.639975013929, PreMAE: 1236.4851767087312, PostMAE: 509.4062718839996},
+	"4.3" + "/" + "LinReg":        {MAE: 1280.175993882713, SMAE: 1273.484183775448, PreMAE: 1393.1455001545628, PostMAE: 382.06841902150535},
+	"4.3" + "/" + "M5P":           {MAE: 1106.1120112790848, SMAE: 1086.3164003936333, PreMAE: 1202.2987857387639, PostMAE: 341.4271543246342},
+	"4.3" + "/" + "M5P-full":      {MAE: 1157.4138901313825, SMAE: 1147.5578466075438, PreMAE: 1262.0298762476004, PostMAE: 325.7168005074479},
+	"4.4" + "/" + "LinReg":        {MAE: 1995.1848527902057, SMAE: 1992.8101702713586, PreMAE: 2224.9508532729283, PostMAE: 294.91644921799934},
+	"4.4" + "/" + "M5P":           {MAE: 1250.6032427533555, SMAE: 1217.3413265702943, PreMAE: 1379.7501067446199, PostMAE: 294.91644921799934},
+}
+
+// closeEnough compares with a tiny tolerance: a genuine behaviour change
+// moves these metrics by whole seconds, eight orders of magnitude above the
+// gate. The tolerance does NOT absorb cross-architecture floating-point
+// differences — the simulation is chaotic, so a single FMA contraction on
+// arm64 diverges whole runs — which is why TestGoldenMetricsSeed1 only runs
+// on the architecture the goldens were pinned on.
+func closeEnough(got, want float64) bool {
+	return math.Abs(got-want) <= 1e-6+1e-9*math.Abs(want)
+}
+
+// goldenArch is the architecture the goldenSeed1 values were generated on.
+// Other architectures may legally contract floating-point expressions (FMA)
+// and reproduce different — equally valid — trajectories, so the exact pin
+// only holds here. CI runs this architecture.
+const goldenArch = "amd64"
+
+// TestGoldenMetricsSeed1 reruns experiments 4.1–4.4 at seed 1 through the
+// engine (all four concurrently) and compares every headline metric against
+// the pinned values.
+func TestGoldenMetricsSeed1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiments")
+	}
+	if runtime.GOARCH != goldenArch {
+		t.Skipf("golden values are pinned on %s; %s may contract FMAs and legally diverge", goldenArch, runtime.GOARCH)
+	}
+	scenarios, err := LookupAll([]string{"4.1", "4.2", "4.3", "4.4"})
+	if err != nil {
+		t.Fatalf("LookupAll: %v", err)
+	}
+	e := &Engine{}
+	res, err := e.RunMatrix(context.Background(), scenarios, []uint64{1}, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	covered := 0
+	for i := range res.Scenarios {
+		cell := res.Cell(i, 0)
+		if cell.Err != nil {
+			t.Fatalf("scenario %s failed: %v", cell.Scenario, cell.Err)
+		}
+		for _, metric := range cell.Metrics.Keys() {
+			key := cell.Scenario + "/" + metric
+			want, ok := goldenSeed1[key]
+			if !ok {
+				t.Errorf("metric %q has no golden value; add it deliberately", key)
+				continue
+			}
+			covered++
+			got := cell.Metrics[metric]
+			if !closeEnough(got.MAE, want.MAE) || !closeEnough(got.SMAE, want.SMAE) ||
+				!closeEnough(got.PreMAE, want.PreMAE) || !closeEnough(got.PostMAE, want.PostMAE) {
+				t.Errorf("%s drifted from golden:\n  got  MAE=%v S-MAE=%v PRE=%v POST=%v\n  want MAE=%v S-MAE=%v PRE=%v POST=%v",
+					key, got.MAE, got.SMAE, got.PreMAE, got.PostMAE,
+					want.MAE, want.SMAE, want.PreMAE, want.PostMAE)
+			}
+		}
+	}
+	if covered != len(goldenSeed1) {
+		t.Errorf("only %d of %d golden metrics were produced; a metric key changed or disappeared", covered, len(goldenSeed1))
+	}
+}
+
+// TestParallelMatchesSerial verifies the acceptance criterion that at a fixed
+// seed the concurrent engine reproduces byte-identical metrics to calling the
+// experiment function directly.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	const seed = 7
+	serial, err := Experiment41(Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("Experiment41: %v", err)
+	}
+	sc, err := Lookup("4.1")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	e := &Engine{}
+	res, err := e.RunMatrix(context.Background(), []Scenario{sc}, []uint64{seed}, 4)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	cell := res.Cell(0, 0)
+	if cell.Err != nil {
+		t.Fatalf("cell failed: %v", cell.Err)
+	}
+	for workload, reports := range serial.Table3 {
+		for i, model := range []string{"LinReg", "M5P"} {
+			key := workload + "/" + model
+			if got := cell.Metrics[key]; got != reports[i] {
+				t.Errorf("engine metric %q = %+v differs from the serial path %+v", key, got, reports[i])
+			}
+		}
+	}
+	if len(cell.Metrics) != 4 {
+		t.Errorf("engine produced %d metrics, want 4", len(cell.Metrics))
+	}
+}
+
+// TestBurstyScenarioShape checks the bursty scenario reproduces the paper's
+// core shape criteria even with the aging signal buried under load spikes.
+func TestBurstyScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := ExperimentBursty(Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("ExperimentBursty: %v", err)
+	}
+	if res.Spikes < 2 {
+		t.Errorf("run survived only %d complete spikes; the aging is supposed to hide under several bursts", res.Spikes)
+	}
+	if res.M5P.MAE >= res.LinReg.MAE {
+		t.Errorf("M5P MAE %.0f s not better than LinReg %.0f s", res.M5P.MAE, res.LinReg.MAE)
+	}
+	if res.M5P.MAE > res.CrashTimeSec/2 {
+		t.Errorf("M5P MAE %.0f s carries no signal on a %.0f s run", res.M5P.MAE, res.CrashTimeSec)
+	}
+	// The load bursts must actually have happened: spike half-cycles carry
+	// roughly 3× the baseline traffic.
+	if res.SpikeThroughput < 2*res.BaselineThroughput {
+		t.Errorf("spike throughput %.2f req/s not well above baseline %.2f req/s",
+			res.SpikeThroughput, res.BaselineThroughput)
+	}
+}
+
+// TestTriLeakScenarioShape checks the three-resource scenario: the run must
+// die from one of the three injected resources and the near-crash accuracy
+// must remain usable, as in experiment 4.4.
+func TestTriLeakScenarioShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	res, err := ExperimentTriLeak(Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("ExperimentTriLeak: %v", err)
+	}
+	if res.CrashTimeSec <= trileakWarmup.Seconds() {
+		t.Fatalf("crash at %.0f s, before the injectors even started", res.CrashTimeSec)
+	}
+	if res.M5P.MAE >= res.LinReg.MAE {
+		t.Errorf("M5P MAE %.0f s not better than LinReg %.0f s", res.M5P.MAE, res.LinReg.MAE)
+	}
+	if res.M5P.PostMAE >= res.M5P.PreMAE {
+		t.Errorf("POST-MAE %.0f s not better than PRE-MAE %.0f s", res.M5P.PostMAE, res.M5P.PreMAE)
+	}
+	if len(res.RootCause) == 0 {
+		t.Fatalf("no root-cause hints")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of scenarios. The package keeps a default
+// registry that the built-in scenarios register into at init time; tests can
+// build private registries.
+type Registry struct {
+	mu        sync.RWMutex
+	scenarios map[string]Scenario
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{scenarios: make(map[string]Scenario)}
+}
+
+// Register adds a scenario. It fails on a nil scenario, an empty name, or a
+// duplicate name: scenario names are stable identifiers (CLI flags, golden
+// tests) and silently replacing one is always a bug.
+func (r *Registry) Register(s Scenario) error {
+	if s == nil {
+		return fmt.Errorf("experiments: register nil scenario")
+	}
+	name := s.Name()
+	if name == "" {
+		return fmt.Errorf("experiments: scenario with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.scenarios[name]; ok {
+		return fmt.Errorf("experiments: scenario %q already registered", name)
+	}
+	r.scenarios[name] = s
+	return nil
+}
+
+// Lookup returns the scenario with the given name.
+func (r *Registry) Lookup(name string) (Scenario, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q (known: %s)",
+			name, strings.Join(r.namesLocked(), ", "))
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
+	names := make([]string, 0, len(r.scenarios))
+	for name := range r.scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered scenario, sorted by name.
+func (r *Registry) All() []Scenario {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Scenario, 0, len(r.scenarios))
+	for _, name := range r.namesLocked() {
+		out = append(out, r.scenarios[name])
+	}
+	return out
+}
+
+// defaultRegistry holds the built-in scenarios plus whatever callers add via
+// the package-level Register.
+var defaultRegistry = NewRegistry()
+
+// Register adds a scenario to the default registry.
+func Register(s Scenario) error { return defaultRegistry.Register(s) }
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a scenario in the default registry.
+func Lookup(name string) (Scenario, error) { return defaultRegistry.Lookup(name) }
+
+// ScenarioNames lists the default registry in sorted order.
+func ScenarioNames() []string { return defaultRegistry.Names() }
+
+// AllScenarios returns every scenario of the default registry, sorted by
+// name.
+func AllScenarios() []Scenario { return defaultRegistry.All() }
+
+// LookupAll resolves a list of scenario names against the default registry,
+// preserving the requested order. The single name "all" expands to every
+// registered scenario.
+func LookupAll(names []string) ([]Scenario, error) {
+	if len(names) == 1 && names[0] == "all" {
+		return AllScenarios(), nil
+	}
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		s, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

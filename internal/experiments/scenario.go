@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+
+	"agingpred/internal/evalx"
+)
+
+// Scenario is one self-contained aging experiment: it runs whatever testbed
+// executions it needs, trains its models, and reports named accuracy metrics.
+// The four experiments of the paper register themselves as scenarios, and new
+// workloads (bursty traffic, multi-resource leaks, ...) plug in the same way.
+//
+// Implementations must be stateless across Run calls and deterministic in
+// opts.Seed: the engine runs many (scenario, seed) cells concurrently and the
+// same cell must always produce the same metrics.
+type Scenario interface {
+	// Name is the registry key ("4.1", "bursty", ...). It must be non-empty
+	// and unique.
+	Name() string
+	// Description is a one-line summary shown by agingbench -list.
+	Description() string
+	// Run executes the scenario. The context cancels the underlying testbed
+	// executions; implementations should pass it down via Options.Ctx.
+	Run(ctx context.Context, opts Options) (*ScenarioResult, error)
+}
+
+// Metrics is the named accuracy reports of one scenario run — one entry per
+// (test workload, model) cell of the scenario's result table, e.g.
+// "75EBs/M5P" or "LinReg".
+type Metrics map[string]evalx.Report
+
+// Keys returns the metric names in sorted order, for deterministic
+// iteration.
+func (m Metrics) Keys() []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ScenarioResult is the outcome of one scenario run at one seed.
+type ScenarioResult struct {
+	// Metrics are the headline accuracy numbers, keyed as described on
+	// Metrics.
+	Metrics Metrics
+	// Summary is the human-readable rendering of the full result (tables,
+	// crash times, ...), as the single-experiment path prints it.
+	Summary string
+}
+
+// scenarioFunc adapts a plain function to the Scenario interface; all
+// built-in scenarios use it.
+type scenarioFunc struct {
+	name string
+	desc string
+	run  func(ctx context.Context, opts Options) (*ScenarioResult, error)
+}
+
+func (s scenarioFunc) Name() string        { return s.name }
+func (s scenarioFunc) Description() string { return s.desc }
+func (s scenarioFunc) Run(ctx context.Context, opts Options) (*ScenarioResult, error) {
+	opts.Ctx = ctx
+	return s.run(ctx, opts)
+}
+
+// NewScenario wraps a run function as a Scenario, for callers outside this
+// package that want to register custom scenarios without defining a type.
+func NewScenario(name, description string, run func(ctx context.Context, opts Options) (*ScenarioResult, error)) Scenario {
+	return scenarioFunc{name: name, desc: description, run: run}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+)
+
+// The paper's four evaluation experiments, registered as scenarios so the
+// engine can sweep them across seeds. The metric keys mirror the columns of
+// the corresponding table: "<workload>/<model>" where the experiment has
+// several test workloads, plain "<model>" otherwise.
+
+func init() {
+	MustRegister(NewScenario("4.1",
+		"deterministic aging (Table 3): constant leak, models tested on unseen workloads",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			res, err := Experiment41(opts)
+			if err != nil {
+				return nil, err
+			}
+			metrics := Metrics{}
+			for workload, reports := range res.Table3 {
+				metrics[workload+"/LinReg"] = reports[0]
+				metrics[workload+"/M5P"] = reports[1]
+			}
+			return &ScenarioResult{Metrics: metrics, Summary: res.String()}, nil
+		}))
+
+	MustRegister(NewScenario("4.2",
+		"dynamic and variable aging (Figure 3): changing leak rates under constant load",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			res, err := Experiment42(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ScenarioResult{
+				Metrics: Metrics{"LinReg": res.LinReg, "M5P": res.M5P},
+				Summary: res.String(),
+			}, nil
+		}))
+
+	MustRegister(NewScenario("4.3",
+		"aging hidden in a periodic pattern (Table 4, Figure 4): expert feature selection",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			res, err := Experiment43(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ScenarioResult{
+				Metrics: Metrics{
+					"LinReg":   res.Table4[0],
+					"M5P":      res.Table4[1],
+					"M5P-full": res.M5PFullSet,
+				},
+				Summary: res.String(),
+			}, nil
+		}))
+
+	MustRegister(NewScenario("4.4",
+		"aging due to two resources (Figure 5): memory + threads, single-resource training",
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			res, err := Experiment44(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ScenarioResult{
+				Metrics: Metrics{"LinReg": res.LinReg, "M5P": res.M5P},
+				Summary: res.String(),
+			}, nil
+		}))
+}

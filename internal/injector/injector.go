@@ -8,6 +8,11 @@
 //     exactly as in the paper.
 //   - A time-coupled thread injector: every U(0, T) seconds it leaks U(0, M)
 //     threads, independently of the workload.
+//   - A time-coupled database-connection injector: every U(0, T) seconds it
+//     leaks U(0, C) connections from the MySQL pool. This third resource goes
+//     beyond the paper's setup; the three-resource scenario of the experiment
+//     engine uses it to stress predictions when several unrelated resources
+//     age at once.
 //   - A phase schedule that changes the injector parameters at fixed times,
 //     used to reproduce the dynamic scenarios of experiments 4.2–4.4 and the
 //     periodic acquire/release patterns of Figure 2 and experiment 4.3.
@@ -143,50 +148,53 @@ func (m *MemoryInjector) Stats() (events uint64, injectedMB, releasedMB float64)
 	return m.injections, m.injectedMB, m.releasedMB
 }
 
-// ThreadInjector is the time-coupled thread-leak fault: every U(0, T) seconds
-// it leaks U(0, M) threads, independent of the workload.
-type ThreadInjector struct {
+// timedInjector is the shared loop of the time-coupled faults: every U(0, T)
+// seconds it leaks U(0, rate) units of some resource. The thread and
+// connection injectors differ only in which server resource the leak hits.
+type timedInjector struct {
 	server *appserver.Server
 	sched  *simclock.Scheduler
 	src    *rng.Source
+	leak   func(n int)
+	count  func() int // the server's leaked-units counter, for exact stats
+	what   string     // resource name, for error messages
 
-	m int // max threads per injection (paper's M)
-	t int // max seconds between injections (paper's T)
+	rate int // max units per injection (the paper's M; C for connections)
+	t    int // max seconds between injections (the paper's T)
 
 	started bool
 	leaked  uint64
 	events  uint64
 }
 
-// NewThreadInjector creates a thread injector that is initially off (M = 0).
-func NewThreadInjector(server *appserver.Server, sched *simclock.Scheduler, src *rng.Source) (*ThreadInjector, error) {
+func newTimedInjector(server *appserver.Server, sched *simclock.Scheduler, src *rng.Source, what string) (timedInjector, error) {
 	if server == nil {
-		return nil, errors.New("injector: nil server")
+		return timedInjector{}, errors.New("injector: nil server")
 	}
 	if sched == nil {
-		return nil, errors.New("injector: nil scheduler")
+		return timedInjector{}, errors.New("injector: nil scheduler")
 	}
 	if src == nil {
-		return nil, errors.New("injector: nil random source")
+		return timedInjector{}, errors.New("injector: nil random source")
 	}
-	return &ThreadInjector{server: server, sched: sched, src: src}, nil
+	return timedInjector{server: server, sched: sched, src: src, what: what}, nil
 }
 
-// SetRate changes the (M, T) parameters. M <= 0 turns injection off; T <= 0
-// defaults to 60 seconds.
-func (ti *ThreadInjector) SetRate(m, t int) {
-	ti.m = m
+// SetRate changes the (rate, T) parameters. rate <= 0 turns injection off;
+// T <= 0 defaults to 60 seconds.
+func (ti *timedInjector) SetRate(rate, t int) {
+	ti.rate = rate
 	ti.t = t
 	if ti.t <= 0 {
 		ti.t = 60
 	}
 }
 
-// Rate returns the current (M, T).
-func (ti *ThreadInjector) Rate() (m, t int) { return ti.m, ti.t }
+// Rate returns the current (rate, T).
+func (ti *timedInjector) Rate() (rate, t int) { return ti.rate, ti.t }
 
 // Start begins the injection loop. It is a no-op if already started.
-func (ti *ThreadInjector) Start() error {
+func (ti *timedInjector) Start() error {
 	if ti.started {
 		return nil
 	}
@@ -194,32 +202,37 @@ func (ti *ThreadInjector) Start() error {
 	return ti.scheduleNext()
 }
 
-func (ti *ThreadInjector) scheduleNext() error {
+func (ti *timedInjector) scheduleNext() error {
 	delay := time.Duration(ti.src.Float64Between(0, float64(ti.maxT()))) * time.Second
-	_, err := ti.sched.After(delay, ti.fire)
-	if err != nil {
-		return fmt.Errorf("injector: scheduling thread injection: %w", err)
+	if _, err := ti.sched.After(delay, ti.fire); err != nil {
+		return fmt.Errorf("injector: scheduling %s injection: %w", ti.what, err)
 	}
 	return nil
 }
 
-func (ti *ThreadInjector) maxT() int {
+func (ti *timedInjector) maxT() int {
 	if ti.t <= 0 {
 		return 60
 	}
 	return ti.t
 }
 
-func (ti *ThreadInjector) fire() {
+func (ti *timedInjector) fire() {
 	if ti.server.Crashed() {
 		return
 	}
-	if ti.m > 0 {
-		n := ti.src.Intn(ti.m + 1)
+	if ti.rate > 0 {
+		n := ti.src.Intn(ti.rate + 1)
 		if n > 0 {
-			ti.events++
-			ti.leaked += uint64(n)
-			ti.server.LeakThreads(n)
+			// Count what the server actually absorbed: a batch can stop
+			// partway when it crashes the server (e.g. the connection pool
+			// saturating mid-batch).
+			before := ti.count()
+			ti.leak(n)
+			if applied := ti.count() - before; applied > 0 {
+				ti.events++
+				ti.leaked += uint64(applied)
+			}
 		}
 	}
 	if ti.server.Crashed() {
@@ -229,13 +242,53 @@ func (ti *ThreadInjector) fire() {
 	_ = ti.scheduleNext()
 }
 
-// Stats returns the number of injection events and total threads leaked.
-func (ti *ThreadInjector) Stats() (events, threadsLeaked uint64) { return ti.events, ti.leaked }
+// Stats returns the number of injection events and total units leaked.
+func (ti *timedInjector) Stats() (events, leaked uint64) { return ti.events, ti.leaked }
+
+// ThreadInjector is the time-coupled thread-leak fault: every U(0, T) seconds
+// it leaks U(0, M) threads, independent of the workload.
+type ThreadInjector struct {
+	timedInjector
+}
+
+// NewThreadInjector creates a thread injector that is initially off (M = 0).
+func NewThreadInjector(server *appserver.Server, sched *simclock.Scheduler, src *rng.Source) (*ThreadInjector, error) {
+	base, err := newTimedInjector(server, sched, src, "thread")
+	if err != nil {
+		return nil, err
+	}
+	ti := &ThreadInjector{timedInjector: base}
+	ti.leak = server.LeakThreads
+	ti.count = server.LeakedThreads
+	return ti, nil
+}
+
+// ConnectionInjector is the time-coupled database-connection-leak fault:
+// every U(0, T) seconds it leaks U(0, C) connections from the server's MySQL
+// pool, independent of the workload. It follows the same (rate, period)
+// parameterisation as the thread injector.
+type ConnectionInjector struct {
+	timedInjector
+}
+
+// NewConnectionInjector creates a connection injector that is initially off
+// (C = 0).
+func NewConnectionInjector(server *appserver.Server, sched *simclock.Scheduler, src *rng.Source) (*ConnectionInjector, error) {
+	base, err := newTimedInjector(server, sched, src, "connection")
+	if err != nil {
+		return nil, err
+	}
+	ci := &ConnectionInjector{timedInjector: base}
+	ci.leak = server.LeakDBConnections
+	ci.count = server.LeakedDBConnections
+	return ci, nil
+}
 
 // Phase is one segment of an injection schedule: for Duration, the memory
-// injector runs with (MemoryMode, MemoryN) and the thread injector with
-// (ThreadM, ThreadT). A zero Duration means "until the end of the run" and
-// is only meaningful for the last phase.
+// injector runs with (MemoryMode, MemoryN), the thread injector with
+// (ThreadM, ThreadT) and the connection injector with (ConnC, ConnT). A zero
+// Duration means "until the end of the run" and is only meaningful for the
+// last phase.
 type Phase struct {
 	// Name labels the phase in logs and plots ("no injection", "N=30", ...).
 	Name string
@@ -250,22 +303,28 @@ type Phase struct {
 	// (ThreadM = 0 disables it).
 	ThreadM int
 	ThreadT int
+
+	// ConnC and ConnT configure the time-coupled connection injector
+	// (ConnC = 0 disables it).
+	ConnC int
+	ConnT int
 }
 
-// Schedule applies a sequence of phases to the two injectors at the right
+// Schedule applies a sequence of phases to the injectors at the right
 // simulated times.
 type Schedule struct {
 	phases []Phase
 	mem    *MemoryInjector
 	thr    *ThreadInjector
+	conn   *ConnectionInjector
 	sched  *simclock.Scheduler
 
 	current int
 }
 
-// NewSchedule creates a phase schedule. Either injector may be nil if the
+// NewSchedule creates a phase schedule. Any injector may be nil if the
 // corresponding fault is not used.
-func NewSchedule(phases []Phase, mem *MemoryInjector, thr *ThreadInjector, sched *simclock.Scheduler) (*Schedule, error) {
+func NewSchedule(phases []Phase, mem *MemoryInjector, thr *ThreadInjector, conn *ConnectionInjector, sched *simclock.Scheduler) (*Schedule, error) {
 	if sched == nil {
 		return nil, errors.New("injector: nil scheduler")
 	}
@@ -280,7 +339,7 @@ func NewSchedule(phases []Phase, mem *MemoryInjector, thr *ThreadInjector, sched
 			return nil, fmt.Errorf("injector: phase %d (%q) has negative duration", i, p.Name)
 		}
 	}
-	return &Schedule{phases: phases, mem: mem, thr: thr, sched: sched, current: -1}, nil
+	return &Schedule{phases: phases, mem: mem, thr: thr, conn: conn, sched: sched, current: -1}, nil
 }
 
 // Start applies the first phase immediately and schedules the transitions.
@@ -309,6 +368,9 @@ func (s *Schedule) applyPhase(i int) {
 	}
 	if s.thr != nil {
 		s.thr.SetRate(p.ThreadM, p.ThreadT)
+	}
+	if s.conn != nil {
+		s.conn.SetRate(p.ConnC, p.ConnT)
 	}
 }
 

@@ -215,16 +215,16 @@ func TestThreadInjectorStopsAfterCrash(t *testing.T) {
 
 func TestScheduleValidation(t *testing.T) {
 	_, sched := newServer(t)
-	if _, err := NewSchedule(nil, nil, nil, sched); err == nil {
+	if _, err := NewSchedule(nil, nil, nil, nil, sched); err == nil {
 		t.Fatalf("empty phase list accepted")
 	}
-	if _, err := NewSchedule([]Phase{{Duration: time.Minute}}, nil, nil, nil); err == nil {
+	if _, err := NewSchedule([]Phase{{Duration: time.Minute}}, nil, nil, nil, nil); err == nil {
 		t.Fatalf("nil scheduler accepted")
 	}
-	if _, err := NewSchedule([]Phase{{Duration: 0}, {Duration: time.Minute}}, nil, nil, sched); err == nil {
+	if _, err := NewSchedule([]Phase{{Duration: 0}, {Duration: time.Minute}}, nil, nil, nil, sched); err == nil {
 		t.Fatalf("zero-duration non-final phase accepted")
 	}
-	if _, err := NewSchedule([]Phase{{Duration: -time.Minute}}, nil, nil, sched); err == nil {
+	if _, err := NewSchedule([]Phase{{Duration: -time.Minute}}, nil, nil, nil, sched); err == nil {
 		t.Fatalf("negative duration accepted")
 	}
 }
@@ -240,7 +240,7 @@ func TestScheduleAppliesPhases(t *testing.T) {
 		{Name: "N=15 + threads", Duration: 20 * time.Minute, MemoryMode: MemoryLeak, MemoryN: 15, ThreadM: 30, ThreadT: 90},
 		{Name: "N=75", MemoryMode: MemoryLeak, MemoryN: 75},
 	}
-	s, err := NewSchedule(phases, mi, ti, sched)
+	s, err := NewSchedule(phases, mi, ti, nil, sched)
 	if err != nil {
 		t.Fatalf("NewSchedule: %v", err)
 	}
@@ -287,11 +287,103 @@ func TestScheduleTotalDuration(t *testing.T) {
 		{Duration: 20 * time.Minute},
 		{Duration: 40 * time.Minute},
 	}
-	s, err := NewSchedule(phases, nil, nil, sched)
+	s, err := NewSchedule(phases, nil, nil, nil, sched)
 	if err != nil {
 		t.Fatalf("NewSchedule: %v", err)
 	}
 	if got := s.TotalDuration(); got != time.Hour {
 		t.Fatalf("TotalDuration = %v, want 1h", got)
+	}
+}
+
+func TestConnectionInjectorValidationAndRate(t *testing.T) {
+	srv, sched := newServer(t)
+	if _, err := NewConnectionInjector(nil, sched, rng.New(1)); err == nil {
+		t.Fatalf("nil server accepted")
+	}
+	if _, err := NewConnectionInjector(srv, nil, rng.New(1)); err == nil {
+		t.Fatalf("nil scheduler accepted")
+	}
+	if _, err := NewConnectionInjector(srv, sched, nil); err == nil {
+		t.Fatalf("nil rng accepted")
+	}
+	ci, err := NewConnectionInjector(srv, sched, rng.New(1))
+	if err != nil {
+		t.Fatalf("NewConnectionInjector: %v", err)
+	}
+	ci.SetRate(8, 0)
+	if c, tt := ci.Rate(); c != 8 || tt != 60 {
+		t.Fatalf("Rate = (%d, %d), want (8, 60)", c, tt)
+	}
+}
+
+func TestConnectionInjectorLeaksOverTime(t *testing.T) {
+	srv, sched := newServer(t)
+	ci, _ := NewConnectionInjector(srv, sched, rng.New(21))
+	ci.SetRate(4, 90)
+	if err := ci.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := ci.Start(); err != nil {
+		t.Fatalf("second Start must be a no-op, got %v", err)
+	}
+	sched.RunUntil(30 * time.Minute)
+	events, leaked := ci.Stats()
+	if events == 0 || leaked == 0 {
+		t.Fatalf("no connection leaks after 30 minutes: events=%d leaked=%d", events, leaked)
+	}
+	if int(leaked) != srv.LeakedDBConnections() {
+		t.Fatalf("injector leaked %d, server reports %d", leaked, srv.LeakedDBConnections())
+	}
+	// One event per U(0,90) s (mean 45 s), each leaking U(0,4) connections
+	// (mean 2): about 80 connections in 30 min... unless the pool of 100
+	// dies first. Broad band either way.
+	if leaked < 20 || leaked > 160 {
+		t.Fatalf("leaked %d connections in 30 min with C=4 T=90, want roughly 80", leaked)
+	}
+}
+
+func TestConnectionInjectorExhaustsPoolAndCrashes(t *testing.T) {
+	srv, sched := newServer(t)
+	ci, _ := NewConnectionInjector(srv, sched, rng.New(22))
+	ci.SetRate(10, 30) // aggressive: the 100-connection pool dies quickly
+	if err := ci.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(4 * time.Hour)
+	if !srv.Crashed() {
+		t.Fatalf("server survived an aggressive connection leak (leaked %d)", srv.LeakedDBConnections())
+	}
+	if srv.CrashReason() != appserver.CrashConnectionExhaustion {
+		t.Fatalf("crash reason = %q, want connection exhaustion", srv.CrashReason())
+	}
+	// Even though the final batch stops partway at the crash, the injector's
+	// stats must agree with the server's count.
+	if _, leaked := ci.Stats(); int(leaked) != srv.LeakedDBConnections() {
+		t.Fatalf("after the exhaustion crash, injector reports %d leaked but the server %d",
+			leaked, srv.LeakedDBConnections())
+	}
+}
+
+func TestScheduleAppliesConnectionPhases(t *testing.T) {
+	srv, sched := newServer(t)
+	ci, _ := NewConnectionInjector(srv, sched, rng.New(23))
+	phases := []Phase{
+		{Name: "off", Duration: 10 * time.Minute},
+		{Name: "conn leak", ConnC: 6, ConnT: 45},
+	}
+	s, err := NewSchedule(phases, nil, nil, ci, sched)
+	if err != nil {
+		t.Fatalf("NewSchedule: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if c, _ := ci.Rate(); c != 0 {
+		t.Fatalf("phase 1 should leave the connection injector off, got C=%d", c)
+	}
+	sched.RunUntil(11 * time.Minute)
+	if c, tt := ci.Rate(); c != 6 || tt != 45 {
+		t.Fatalf("phase 2 rate = (%d, %d), want (6, 45)", c, tt)
 	}
 }

@@ -112,11 +112,18 @@ type Collector struct {
 	workload int
 	name     string
 
+	workloadFn  func() int
 	prev        appserver.Snapshot
 	checkpoints []Checkpoint
 	started     bool
 	cancel      func()
 }
+
+// SetWorkloadFn makes the collector sample the current EB population at
+// every checkpoint instead of reporting the constant passed to NewCollector.
+// Varying-load runs (testbed.WorkloadPhases) need it so the workload feature
+// tracks the load the server actually sees; it must be set before Start.
+func (c *Collector) SetWorkloadFn(fn func() int) { c.workloadFn = fn }
 
 // NewCollector creates a collector for the given server. workload is the EB
 // count of the run (the server does not know it). A non-positive interval
@@ -180,7 +187,11 @@ func (c *Collector) Last() (Checkpoint, bool) {
 // sample records one checkpoint.
 func (c *Collector) sample() {
 	snap := c.server.Snapshot()
-	cp := MakeCheckpoint(c.prev, snap, c.workload, c.interval.Seconds())
+	workload := c.workload
+	if c.workloadFn != nil {
+		workload = c.workloadFn()
+	}
+	cp := MakeCheckpoint(c.prev, snap, workload, c.interval.Seconds())
 	c.checkpoints = append(c.checkpoints, cp)
 	c.prev = snap
 }

@@ -11,6 +11,7 @@
 package testbed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +28,12 @@ import (
 // paper's "infinite time until crash" horizon.
 const DefaultMaxDuration = 3 * time.Hour
 
+// cancelCheckInterval is the simulated period on which a run with a context
+// probes for cancellation. Simulated hours execute in wall-clock
+// milliseconds, so this granularity reacts to cancellation almost instantly
+// in real time.
+const cancelCheckInterval = 15 * time.Second
+
 // RunConfig describes one testbed execution.
 type RunConfig struct {
 	// Name labels the run (used as the series and dataset relation name).
@@ -35,11 +42,17 @@ type RunConfig struct {
 	// seed produce identical series.
 	Seed uint64
 
-	// EBs is the number of concurrent emulated browsers. Required.
+	// EBs is the number of concurrent emulated browsers. Required. When
+	// WorkloadPhases is set, EBs is the maximum population the phases can
+	// scale up to.
 	EBs int
 	// Mix is the TPC-W navigation mix (zero value = shopping, as in the
 	// paper).
 	Mix tpcw.Mix
+	// WorkloadPhases optionally varies the active EB population over the
+	// run (bursty load). Empty means a constant EBs population, as in every
+	// experiment of the paper.
+	WorkloadPhases []WorkloadPhase
 
 	// Server configures the application server and its heap. The zero value
 	// reproduces the paper's Table 1 machine.
@@ -56,6 +69,25 @@ type RunConfig struct {
 	MaxDuration time.Duration
 	// CheckpointInterval is the monitoring interval (0 = 15 s).
 	CheckpointInterval time.Duration
+
+	// Ctx optionally allows cancelling the run from outside the simulation
+	// (the scenario engine uses it to abort seed sweeps). A nil Ctx means the
+	// run cannot be cancelled. Cancellation is checked on a coarse simulated
+	// period, so it adds no events that could perturb the simulation state:
+	// the check callback touches neither the random streams nor the server.
+	Ctx context.Context
+}
+
+// WorkloadPhase is one segment of a varying-load schedule: for Duration the
+// generator keeps EBs emulated browsers active. A zero Duration means "until
+// the end of the run" and is only meaningful for the last phase.
+type WorkloadPhase struct {
+	// Name labels the phase ("baseline", "spike", ...).
+	Name string
+	// Duration is how long the phase lasts. Zero = until the run ends.
+	Duration time.Duration
+	// EBs is the active population during the phase (1..RunConfig.EBs).
+	EBs int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -87,6 +119,17 @@ func (c RunConfig) Validate() error {
 	}
 	if c.CheckpointInterval < 0 {
 		return errors.New("testbed: negative checkpoint interval")
+	}
+	for i, p := range c.WorkloadPhases {
+		if p.EBs < 1 || p.EBs > c.EBs {
+			return fmt.Errorf("testbed: workload phase %d (%q) has %d EBs, want 1..%d", i, p.Name, p.EBs, c.EBs)
+		}
+		if p.Duration < 0 {
+			return fmt.Errorf("testbed: workload phase %d (%q) has negative duration", i, p.Name)
+		}
+		if p.Duration == 0 && i != len(c.WorkloadPhases)-1 {
+			return fmt.Errorf("testbed: workload phase %d (%q) has zero duration but is not last", i, p.Name)
+		}
 	}
 	return nil
 }
@@ -137,8 +180,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("testbed: creating thread injector: %w", err)
 	}
 
+	connInj, err := injector.NewConnectionInjector(srv, sched, rng.NewNamed(cfg.Seed, cfg.Name+"/conninj"))
+	if err != nil {
+		return nil, fmt.Errorf("testbed: creating connection injector: %w", err)
+	}
+
 	if len(cfg.Phases) > 0 {
-		schedule, err := injector.NewSchedule(cfg.Phases, memInj, thrInj, sched)
+		schedule, err := injector.NewSchedule(cfg.Phases, memInj, thrInj, connInj, sched)
 		if err != nil {
 			return nil, fmt.Errorf("testbed: building injection schedule: %w", err)
 		}
@@ -149,10 +197,24 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err := thrInj.Start(); err != nil {
 		return nil, fmt.Errorf("testbed: starting thread injector: %w", err)
 	}
+	if err := connInj.Start(); err != nil {
+		return nil, fmt.Errorf("testbed: starting connection injector: %w", err)
+	}
+
+	if len(cfg.WorkloadPhases) > 0 {
+		if err := scheduleWorkloadPhases(cfg.WorkloadPhases, gen, sched); err != nil {
+			return nil, err
+		}
+	}
 
 	coll, err := monitor.NewCollector(cfg.Name, srv, sched, cfg.EBs, cfg.CheckpointInterval)
 	if err != nil {
 		return nil, fmt.Errorf("testbed: creating collector: %w", err)
+	}
+	if len(cfg.WorkloadPhases) > 0 {
+		// Under a varying load the workload feature must track the active
+		// population, not the configured maximum.
+		coll.SetWorkloadFn(gen.ActiveEBs)
 	}
 	if err := coll.Start(); err != nil {
 		return nil, fmt.Errorf("testbed: starting collector: %w", err)
@@ -172,7 +234,26 @@ func Run(cfg RunConfig) (*Result, error) {
 	// split from it does not silently change existing runs' streams.
 	_ = master.Uint64()
 
+	// External cancellation: a coarse periodic probe that stops the event
+	// loop once the context is done. While the context is live the callback
+	// is a pure no-op (no random draws, no server state), so runs with and
+	// without a context produce identical series.
+	if cfg.Ctx != nil {
+		cancelProbe, err := sched.Every(cancelCheckInterval, func() {
+			if cfg.Ctx.Err() != nil {
+				sched.Stop()
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("testbed: scheduling cancellation probe: %w", err)
+		}
+		defer cancelProbe()
+	}
+
 	sched.RunUntil(cfg.MaxDuration)
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		return nil, fmt.Errorf("testbed: run %q cancelled: %w", cfg.Name, cfg.Ctx.Err())
+	}
 
 	res := &Result{
 		Series:        coll.Finish(),
@@ -229,4 +310,48 @@ func ConstantThreadLeakPhases(m, t int) []injector.Phase {
 		ThreadM: m,
 		ThreadT: t,
 	}}
+}
+
+// ConstantConnLeakPhases returns a single-phase schedule leaking database
+// connections at rate (C, T) for the whole run — the single-resource
+// connection training runs of the three-resource scenario.
+func ConstantConnLeakPhases(c, t int) []injector.Phase {
+	return []injector.Phase{{
+		Name:  fmt.Sprintf("connections C=%d T=%d", c, t),
+		ConnC: c,
+		ConnT: t,
+	}}
+}
+
+// BurstyWorkloadPhases builds an alternating baseline/spike load schedule:
+// cycles repetitions of (baseline for period, spike for period), ending with
+// an open-ended baseline phase so the schedule covers runs of any length.
+func BurstyWorkloadPhases(baseEBs, spikeEBs int, period time.Duration, cycles int) []WorkloadPhase {
+	var phases []WorkloadPhase
+	for i := 0; i < cycles; i++ {
+		phases = append(phases,
+			WorkloadPhase{Name: fmt.Sprintf("baseline-%d", i+1), Duration: period, EBs: baseEBs},
+			WorkloadPhase{Name: fmt.Sprintf("spike-%d", i+1), Duration: period, EBs: spikeEBs},
+		)
+	}
+	phases = append(phases, WorkloadPhase{Name: "baseline-tail", EBs: baseEBs})
+	return phases
+}
+
+// scheduleWorkloadPhases applies the first workload phase immediately and
+// schedules the population changes at the phase boundaries.
+func scheduleWorkloadPhases(phases []WorkloadPhase, gen *tpcw.Generator, sched *simclock.Scheduler) error {
+	gen.SetActiveEBs(phases[0].EBs)
+	at := time.Duration(0)
+	for i := 0; i < len(phases)-1; i++ {
+		if phases[i].Duration == 0 {
+			break
+		}
+		at += phases[i].Duration
+		ebs := phases[i+1].EBs
+		if _, err := sched.At(at, func() { gen.SetActiveEBs(ebs) }); err != nil {
+			return fmt.Errorf("testbed: scheduling workload phase %d: %w", i+1, err)
+		}
+	}
+	return nil
 }

@@ -1,7 +1,10 @@
 package testbed
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 	"time"
 
@@ -289,5 +292,158 @@ func TestPhaseHelpers(t *testing.T) {
 	}
 	if p := ConstantThreadLeakPhases(30, 90); len(p) != 1 || p[0].ThreadM != 30 || p[0].ThreadT != 90 {
 		t.Fatalf("ConstantThreadLeakPhases = %+v", p)
+	}
+}
+
+func TestWorkloadPhaseValidation(t *testing.T) {
+	base := RunConfig{Name: "wp", Seed: 1, EBs: 50, MaxDuration: time.Minute}
+	bad := []([]WorkloadPhase){
+		{{Name: "too big", EBs: 51}},
+		{{Name: "zero", EBs: 0}},
+		{{Name: "negative duration", EBs: 10, Duration: -time.Minute}},
+		{{Name: "open-ended not last", EBs: 10, Duration: 0}, {Name: "last", EBs: 20, Duration: time.Minute}},
+	}
+	for _, phases := range bad {
+		cfg := base
+		cfg.WorkloadPhases = phases
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted workload phases %+v", phases)
+		}
+	}
+	cfg := base
+	cfg.WorkloadPhases = []WorkloadPhase{{Name: "a", EBs: 10, Duration: time.Minute}, {Name: "b", EBs: 50}}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected good workload phases: %v", err)
+	}
+}
+
+func TestBurstyWorkloadPhasesShape(t *testing.T) {
+	phases := BurstyWorkloadPhases(60, 180, 10*time.Minute, 3)
+	if len(phases) != 7 {
+		t.Fatalf("BurstyWorkloadPhases returned %d phases, want 7", len(phases))
+	}
+	for i := 0; i < 6; i += 2 {
+		if phases[i].EBs != 60 || phases[i+1].EBs != 180 {
+			t.Fatalf("cycle %d = %+v, %+v", i/2, phases[i], phases[i+1])
+		}
+		if phases[i].Duration != 10*time.Minute || phases[i+1].Duration != 10*time.Minute {
+			t.Fatalf("cycle %d durations wrong", i/2)
+		}
+	}
+	last := phases[6]
+	if last.EBs != 60 || last.Duration != 0 {
+		t.Fatalf("tail phase = %+v, want open-ended baseline", last)
+	}
+}
+
+func TestWorkloadPhasesShapeTraffic(t *testing.T) {
+	// One hour, no injection, load alternating 10 vs 80 EBs every 15 min.
+	res, err := Run(RunConfig{
+		Name: "bursty-smoke",
+		Seed: 3,
+		EBs:  80,
+		WorkloadPhases: []WorkloadPhase{
+			{Name: "calm", Duration: 15 * time.Minute, EBs: 10},
+			{Name: "spike", Duration: 15 * time.Minute, EBs: 80},
+			{Name: "calm2", Duration: 15 * time.Minute, EBs: 10},
+			{Name: "spike2", EBs: 80},
+		},
+		Phases:      NoInjectionPhases(),
+		MaxDuration: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Crashed {
+		t.Fatalf("no-injection bursty run crashed: %v", res.CrashReason)
+	}
+	// Compare steady-state throughput inside the two halves of the second
+	// calm/spike cycle (skip 5 min of ramp at each boundary).
+	mean := func(fromSec, toSec float64) float64 {
+		sum, n := 0.0, 0
+		for _, cp := range res.Series.Checkpoints {
+			if cp.TimeSec > fromSec && cp.TimeSec <= toSec {
+				sum += cp.Throughput
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no checkpoints in (%v, %v]", fromSec, toSec)
+		}
+		return sum / float64(n)
+	}
+	calm := mean(35*60, 45*60)
+	spike := mean(50*60, 60*60)
+	if spike < 3*calm {
+		t.Fatalf("spike throughput %.2f req/s is not well above calm %.2f req/s", spike, calm)
+	}
+}
+
+func TestConnLeakRunCrashesWithPoolExhaustion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full aging run takes a second")
+	}
+	res, err := Run(RunConfig{
+		Name:        "conn-leak",
+		Seed:        4,
+		EBs:         50,
+		Phases:      ConstantConnLeakPhases(8, 45),
+		MaxDuration: 4 * time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed {
+		t.Fatalf("connection-leak run did not crash")
+	}
+	if res.CrashReason != appserver.CrashConnectionExhaustion {
+		t.Fatalf("crash reason = %q", res.CrashReason)
+	}
+	// The monitored connection gauge must rise toward the pool limit.
+	first := res.Series.Checkpoints[0].NumMySQLConns
+	lastCp := res.Series.Checkpoints[res.Series.Len()-1]
+	if lastCp.NumMySQLConns-first < 50 {
+		t.Fatalf("MySQL connection gauge rose only from %v to %v", first, lastCp.NumMySQLConns)
+	}
+	if p := ConstantConnLeakPhases(8, 45); len(p) != 1 || p[0].ConnC != 8 || p[0].ConnT != 45 {
+		t.Fatalf("ConstantConnLeakPhases = %+v", p)
+	}
+}
+
+func TestRunHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(RunConfig{
+		Name:        "cancelled",
+		Seed:        5,
+		EBs:         25,
+		Phases:      NoInjectionPhases(),
+		MaxDuration: time.Hour,
+		Ctx:         ctx,
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestContextDoesNotPerturbTheRun(t *testing.T) {
+	cfg := RunConfig{
+		Name:        "ctx-identical",
+		Seed:        6,
+		EBs:         40,
+		Phases:      NoInjectionPhases(),
+		MaxDuration: 30 * time.Minute,
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run without ctx: %v", err)
+	}
+	cfg.Ctx = context.Background()
+	withCtx, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run with ctx: %v", err)
+	}
+	if !reflect.DeepEqual(plain.Series, withCtx.Series) {
+		t.Fatalf("a live context changed the monitored series")
 	}
 }

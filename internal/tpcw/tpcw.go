@@ -283,15 +283,22 @@ type Stats struct {
 
 // Generator drives the EB population against a Server using a simulated
 // scheduler.
+//
+// The population can be resized at runtime with SetActiveEBs, which the
+// testbed uses for bursty workloads: EBs above the active count park
+// themselves at the end of their current think time and are woken again when
+// the active count grows. Config.EBs is the maximum population.
 type Generator struct {
 	cfg    Config
 	sched  *simclock.Scheduler
 	server Server
 	src    *rng.Source
 
-	running bool
-	stopped bool
-	stats   Stats
+	running   bool
+	stopped   bool
+	activeEBs int
+	parked    []bool
+	stats     Stats
 }
 
 // NewGenerator creates a workload generator. All arguments are required.
@@ -309,10 +316,12 @@ func NewGenerator(cfg Config, sched *simclock.Scheduler, server Server, src *rng
 		return nil, fmt.Errorf("tpcw: non-positive EB count %d", cfg.EBs)
 	}
 	return &Generator{
-		cfg:    cfg.withDefaults(),
-		sched:  sched,
-		server: server,
-		src:    src,
+		cfg:       cfg.withDefaults(),
+		sched:     sched,
+		server:    server,
+		src:       src,
+		activeEBs: cfg.EBs,
+		parked:    make([]bool, cfg.EBs),
 	}, nil
 }
 
@@ -341,6 +350,40 @@ func (g *Generator) Start() error {
 // normally.
 func (g *Generator) Stop() { g.stopped = true }
 
+// ActiveEBs returns the current active population size.
+func (g *Generator) ActiveEBs() int { return g.activeEBs }
+
+// SetActiveEBs resizes the active EB population to n, clamped to
+// [1, Config.EBs]. Shrinking takes effect lazily: EBs above the new count
+// park themselves when their next think time expires. Growing wakes parked
+// EBs after a fresh think time, staggering the burst the way real users
+// arrive.
+func (g *Generator) SetActiveEBs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > g.cfg.EBs {
+		n = g.cfg.EBs
+	}
+	prev := g.activeEBs
+	g.activeEBs = n
+	if !g.running || g.stopped || n <= prev {
+		return
+	}
+	for eb := prev; eb < n; eb++ {
+		if !g.parked[eb] {
+			continue
+		}
+		g.parked[eb] = false
+		eb := eb
+		if _, err := g.sched.After(g.thinkTime(), func() { g.issue(eb) }); err != nil {
+			// The run is over; nothing to wake.
+			g.stopped = true
+			return
+		}
+	}
+}
+
 // Stats returns a copy of the generator statistics.
 func (g *Generator) Stats() Stats { return g.stats }
 
@@ -357,6 +400,10 @@ func (g *Generator) thinkTime() time.Duration {
 // response arrives.
 func (g *Generator) issue(eb int) {
 	if g.stopped {
+		return
+	}
+	if eb >= g.activeEBs {
+		g.parked[eb] = true
 		return
 	}
 	interaction := g.cfg.Mix.Sample(g.src)

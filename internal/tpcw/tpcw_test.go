@@ -291,3 +291,64 @@ func TestWorkloadScalesWithEBsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSetActiveEBsClampsAndReports(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched, serviceTime: 50 * time.Millisecond}
+	g, err := NewGenerator(Config{EBs: 40}, sched, srv, rng.New(7))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if g.ActiveEBs() != 40 {
+		t.Fatalf("initial active EBs = %d, want 40", g.ActiveEBs())
+	}
+	g.SetActiveEBs(0)
+	if g.ActiveEBs() != 1 {
+		t.Fatalf("SetActiveEBs(0) clamped to %d, want 1", g.ActiveEBs())
+	}
+	g.SetActiveEBs(999)
+	if g.ActiveEBs() != 40 {
+		t.Fatalf("SetActiveEBs(999) clamped to %d, want 40 (Config.EBs)", g.ActiveEBs())
+	}
+}
+
+func TestSetActiveEBsScalesTraffic(t *testing.T) {
+	sched := simclock.NewScheduler(nil)
+	srv := &fakeServer{sched: sched, serviceTime: 50 * time.Millisecond}
+	g, err := NewGenerator(Config{EBs: 60}, sched, srv, rng.New(9))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	// Phase 1: 10 active EBs out of 60 for 10 minutes.
+	g.SetActiveEBs(10)
+	if err := g.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	sched.RunUntil(10 * time.Minute)
+	low := len(srv.received)
+	// Phase 2: all 60 EBs wake up for another 10 minutes.
+	g.SetActiveEBs(60)
+	sched.RunUntil(20 * time.Minute)
+	high := len(srv.received) - low
+	// Think times dominate the request rate, so traffic should scale
+	// roughly with the population: 6x more EBs, demand at least 3x more
+	// requests to leave room for ramp-up.
+	if high < 3*low {
+		t.Fatalf("scaling 10→60 EBs raised traffic only from %d to %d requests per 10 min", low, high)
+	}
+	// Phase 3: shrink back; parked EBs must stop issuing.
+	g.SetActiveEBs(10)
+	sched.RunUntil(25 * time.Minute) // let in-flight think times drain
+	mid := len(srv.received)
+	sched.RunUntil(35 * time.Minute)
+	tail := len(srv.received) - mid
+	if tail > 2*low {
+		t.Fatalf("after shrinking back to 10 EBs, got %d requests per 10 min vs %d at the start", tail, low)
+	}
+	// The EB indices seen while shrunk must be the low ones.
+	for _, req := range srv.received[mid:] {
+		if req.EB >= 10 {
+			t.Fatalf("parked EB %d issued a request after the population shrank", req.EB)
+		}
+	}
+}
