@@ -13,6 +13,7 @@ package agingpred
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"agingpred/internal/evalx"
 	"agingpred/internal/experiments"
 	"agingpred/internal/features"
+	"agingpred/internal/fleet"
 	"agingpred/internal/monitor"
 	"agingpred/internal/testbed"
 )
@@ -131,6 +133,47 @@ func BenchmarkScenarioMatrix(b *testing.B) {
 		cells += len(res.Cells)
 	}
 	b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+}
+
+// BenchmarkFleet measures the fleet subsystem's serving throughput in
+// instance-checkpoints/sec at 1 shard, 4 shards and one shard per available
+// CPU. The shared model is trained once outside the timed loop; every run
+// streams the same deterministic 256-instance fleet through the sharded
+// predictor workers, so the shard axis isolates the scaling of the
+// prediction layer itself.
+func BenchmarkFleet(b *testing.B) {
+	pred, _, err := fleet.TrainPredictor(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, shards := range shardCounts {
+		if shards < 1 || seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			checkpoints := int64(0)
+			for i := 0; i < b.N; i++ {
+				rep, err := fleet.Run(fleet.Config{
+					Instances: 256,
+					Shards:    shards,
+					Duration:  45 * time.Minute,
+					Seed:      benchSeed,
+					Predictor: pred,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Checkpoints == 0 {
+					b.Fatal("fleet predicted no checkpoints")
+				}
+				checkpoints += rep.Checkpoints
+			}
+			b.ReportMetric(float64(checkpoints)/b.Elapsed().Seconds(), "instance-checkpoints/sec")
+		})
+	}
 }
 
 // --- ablation benchmarks -------------------------------------------------

@@ -32,8 +32,10 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -63,6 +65,7 @@ func run(args []string) error {
 		scenario   = fs.String("scenario", "", "matrix mode: comma-separated scenario names, or \"all\" (default: derived from -experiment)")
 		parallel   = fs.Int("parallel", 0, "matrix mode: worker pool size (default: number of CPUs)")
 		verbose    = fs.Bool("v", false, "matrix mode: print every cell summary, not just the aggregate table")
+		jsonOut    = fs.Bool("json", false, "matrix mode: emit machine-readable JSON (cells + aggregates) on stdout")
 		list       = fs.Bool("list", false, "list the registered scenarios and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -83,11 +86,11 @@ func run(args []string) error {
 			parallelSet = true
 		}
 	})
-	if *seeds != "" || *scenario != "" || parallelSet {
+	if *seeds != "" || *scenario != "" || parallelSet || *jsonOut {
 		if *figuresDir != "" {
-			return fmt.Errorf("-figures-dir is only supported on the single-seed path; drop -seeds/-scenario/-parallel to dump figure CSVs")
+			return fmt.Errorf("-figures-dir is only supported on the single-seed path; drop -seeds/-scenario/-parallel/-json to dump figure CSVs")
 		}
-		return runMatrix(*which, *scenario, *seeds, *seed, *parallel, *verbose)
+		return runMatrix(*which, *scenario, *seeds, *seed, *parallel, *verbose, *jsonOut)
 	}
 	switch *which {
 	case "all", "fig1", "fig2", "4.1", "4.2", "4.3", "4.4":
@@ -98,7 +101,7 @@ func run(args []string) error {
 			if *figuresDir != "" {
 				return fmt.Errorf("-figures-dir is not supported for scenario %q; it applies to fig1/fig2 and experiments 4.1-4.4 on the single-seed path", *which)
 			}
-			return runMatrix(*which, "", "", *seed, 1, true)
+			return runMatrix(*which, "", "", *seed, 1, true, false)
 		}
 		return fmt.Errorf("unknown experiment %q: want all, fig1, fig2, 4.1, 4.2, 4.3, 4.4 or a registered scenario (see -list)", *which)
 	}
@@ -142,12 +145,12 @@ func run(args []string) error {
 
 // runMatrix is the scenario-engine path: it resolves the scenario list and
 // seed sweep, runs every cell on a worker pool, and prints the cross-seed
-// aggregate statistics.
-func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verbose bool) error {
+// aggregate statistics (human table, or machine-readable JSON with -json).
+func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verbose, jsonOut bool) error {
 	names := scenarioNames(which, scenario)
 	for _, name := range names {
 		if name == "fig1" || name == "fig2" {
-			return fmt.Errorf("%s is a figure example without accuracy metrics and cannot be swept; run it on the single-seed path (-experiment %s without -seeds/-scenario/-parallel)", name, name)
+			return fmt.Errorf("%s is a figure example without accuracy metrics and cannot be swept; run it on the single-seed path (-experiment %s without -seeds/-scenario/-parallel/-json)", name, name)
 		}
 	}
 	scenarios, err := experiments.LookupAll(names)
@@ -168,10 +171,21 @@ func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verb
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Printf("running %d scenarios × %d seeds on %d workers...\n", len(scenarios), len(seedList), workers)
+	// With -json stdout carries only the JSON document; progress goes to
+	// stderr so pipelines stay clean.
+	progress := os.Stdout
+	if jsonOut {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "running %d scenarios × %d seeds on %d workers...\n", len(scenarios), len(seedList), workers)
 	engine := &experiments.Engine{}
 	res, err := engine.RunMatrix(ctx, scenarios, seedList, workers)
-	if res != nil {
+	if res != nil && jsonOut {
+		if jerr := writeMatrixJSON(os.Stdout, res); jerr != nil {
+			return jerr
+		}
+	}
+	if res != nil && !jsonOut {
 		if verbose {
 			for i := range res.Cells {
 				cell := &res.Cells[i]
@@ -197,6 +211,101 @@ func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verb
 		return fmt.Errorf("%d of %d cells failed", len(failed), len(res.Cells))
 	}
 	return nil
+}
+
+// The -json document mirrors MatrixResult with stable snake_case keys, so
+// bench trajectories (BENCH_*.json) are parsed, not scraped from the human
+// table.
+type matrixJSON struct {
+	Scenarios   []string        `json:"scenarios"`
+	Seeds       []uint64        `json:"seeds"`
+	Workers     int             `json:"workers"`
+	ElapsedSec  float64         `json:"elapsed_sec"`
+	CellsPerSec float64         `json:"cells_per_sec"`
+	Cells       []cellJSON      `json:"cells"`
+	Aggregates  []aggregateJSON `json:"aggregates"`
+}
+
+type cellJSON struct {
+	Scenario   string                  `json:"scenario"`
+	Seed       uint64                  `json:"seed"`
+	ElapsedSec float64                 `json:"elapsed_sec"`
+	Error      string                  `json:"error,omitempty"`
+	Metrics    map[string]metricReport `json:"metrics,omitempty"`
+}
+
+type metricReport struct {
+	N          int     `json:"n"`
+	MAESec     float64 `json:"mae_sec"`
+	SMAESec    float64 `json:"smae_sec"`
+	PreMAESec  float64 `json:"pre_mae_sec"`
+	PostMAESec float64 `json:"post_mae_sec"`
+}
+
+type aggregateJSON struct {
+	Scenario string   `json:"scenario"`
+	Metric   string   `json:"metric"`
+	MAE      statJSON `json:"mae"`
+	SMAE     statJSON `json:"smae"`
+	PreMAE   statJSON `json:"pre_mae"`
+	PostMAE  statJSON `json:"post_mae"`
+}
+
+type statJSON struct {
+	N         int     `json:"n"`
+	MeanSec   float64 `json:"mean_sec"`
+	StddevSec float64 `json:"stddev_sec"`
+	MinSec    float64 `json:"min_sec"`
+	MaxSec    float64 `json:"max_sec"`
+}
+
+func toStatJSON(s experiments.Stat) statJSON {
+	return statJSON{N: s.N, MeanSec: s.Mean, StddevSec: s.Stddev, MinSec: s.Min, MaxSec: s.Max}
+}
+
+// writeMatrixJSON renders the whole matrix result — per-cell metrics and
+// cross-seed aggregates — as one indented JSON document.
+func writeMatrixJSON(w io.Writer, res *experiments.MatrixResult) error {
+	doc := matrixJSON{
+		Scenarios:  res.Scenarios,
+		Seeds:      res.Seeds,
+		Workers:    res.Workers,
+		ElapsedSec: res.Elapsed.Seconds(),
+		Cells:      make([]cellJSON, 0, len(res.Cells)),
+		Aggregates: make([]aggregateJSON, 0, len(res.Aggregates)),
+	}
+	if done := len(res.Cells) - len(res.FailedCells()); done > 0 && res.Elapsed > 0 {
+		doc.CellsPerSec = float64(done) / res.Elapsed.Seconds()
+	}
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		cj := cellJSON{Scenario: cell.Scenario, Seed: cell.Seed, ElapsedSec: cell.Elapsed.Seconds()}
+		if cell.Err != nil {
+			cj.Error = cell.Err.Error()
+		} else {
+			cj.Metrics = make(map[string]metricReport, len(cell.Metrics))
+			for name, rep := range cell.Metrics {
+				cj.Metrics[name] = metricReport{
+					N: rep.N, MAESec: rep.MAE, SMAESec: rep.SMAE,
+					PreMAESec: rep.PreMAE, PostMAESec: rep.PostMAE,
+				}
+			}
+		}
+		doc.Cells = append(doc.Cells, cj)
+	}
+	for _, agg := range res.Aggregates {
+		doc.Aggregates = append(doc.Aggregates, aggregateJSON{
+			Scenario: agg.Scenario,
+			Metric:   agg.Metric,
+			MAE:      toStatJSON(agg.MAE),
+			SMAE:     toStatJSON(agg.SMAE),
+			PreMAE:   toStatJSON(agg.PreMAE),
+			PostMAE:  toStatJSON(agg.PostMAE),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // scenarioNames derives the scenario list from the -scenario flag, falling

@@ -14,13 +14,34 @@
 // any number of new workloads register as scenarios, and seed sweeps run
 // concurrently on a worker pool with cross-seed aggregate statistics — see
 // the internal/experiments package comment for how to write and register a
-// scenario. See README.md for the layout, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the paper-vs-measured comparison.
+// scenario. See README.md for the layout and EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+//
+// # The fleet subsystem
+//
+// Beyond the paper's single-server evaluation, internal/fleet scales the
+// predictor into an online prediction service over thousands of
+// concurrently-simulated application-server instances: heterogeneous leak
+// profiles, workloads and phase offsets drawn deterministically from one
+// seed; every instance's 15-second checkpoints streamed through sharded
+// predictor workers (consistent instance→shard assignment, bounded queues
+// with backpressure); and a fleet-level controller that closes the monitor →
+// predict → rejuvenate loop under a concurrency-capped rejuvenation budget.
+// The shared M5P model is trained once and fanned out read-only via
+// core.Predictor.Clone — Observe itself is not goroutine-safe, clones are
+// the concurrency mechanism. Shard count changes wall-clock speed only: the
+// same seed yields a byte-identical JSON summary, and changing the shard
+// count changes nothing but the echoed shard-count field. The
+// "fleet" scenario exposes the per-class prediction accuracy to agingbench
+// matrix sweeps, and BenchmarkFleet tracks serving throughput in
+// instance-checkpoints/sec at 1, 4 and per-CPU shard counts.
 //
 // The root package intentionally contains no code: the public entry point is
 // internal/core (the Predictor), the runnable entry points are cmd/agingsim,
-// cmd/agingpredict and cmd/agingbench (including the scenario-matrix mode,
-// e.g. `agingbench -experiment all -parallel 8 -seeds 1..8`), and the
+// cmd/agingpredict, cmd/agingbench (including the scenario-matrix mode,
+// e.g. `agingbench -experiment all -parallel 8 -seeds 1..8`, with -json for
+// machine-readable aggregates) and cmd/agingfleet (a simulated day over a
+// thousand servers: `agingfleet -instances 1000 -shards 8`), and the
 // top-level benchmarks in bench_test.go regenerate the paper's results via
 // `go test -bench`.
 package agingpred

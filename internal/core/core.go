@@ -266,7 +266,34 @@ func (p *Predictor) ResetOnline() {
 	p.online = features.NewOnlineExtractor(p.cfg.WindowLength, p.cfg.Variables)
 }
 
+// Clone returns a new Predictor that shares the receiver's trained model but
+// owns fresh on-line sliding-window state.
+//
+// The learned model is immutable once Train returns and its Predict path is
+// read-only, so any number of clones may call Observe concurrently with each
+// other and with the receiver: train once, then fan read-only clones out to
+// per-server goroutines (the fleet subsystem gives every simulated instance
+// its own clone). A clone captures the receiver's model at call time —
+// re-training the receiver later does not affect existing clones. Cloning an
+// untrained predictor yields an untrained predictor.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		cfg:     p.cfg,
+		attrs:   p.attrs,
+		model:   p.model,
+		m5pTree: p.m5pTree,
+		online:  features.NewOnlineExtractor(p.cfg.WindowLength, p.cfg.Variables),
+		trained: p.trained,
+	}
+}
+
 // Observe consumes one live checkpoint and returns the prediction for it.
+//
+// Observe is NOT safe for concurrent use: every call mutates the predictor's
+// sliding-window feature state, so two goroutines observing through the same
+// Predictor race and corrupt the derived speed features. To serve many
+// checkpoint streams concurrently, give each stream its own Clone — the
+// trained model is shared read-only, only the on-line state is per-clone.
 func (p *Predictor) Observe(cp monitor.Checkpoint) (Prediction, error) {
 	if !p.trained {
 		return Prediction{}, errors.New("core: predictor is not trained")

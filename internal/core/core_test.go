@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -345,5 +347,78 @@ func TestPredictSeriesValidation(t *testing.T) {
 	}
 	if _, err := p.Evaluate(&monitor.Series{}, evalx.Options{}); err == nil {
 		t.Fatalf("Evaluate of empty series succeeded")
+	}
+}
+
+// TestCloneUntrained verifies a clone of an untrained predictor is itself
+// untrained and rejects Observe.
+func TestCloneUntrained(t *testing.T) {
+	p, err := NewPredictor(Config{})
+	if err != nil {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	c := p.Clone()
+	if c.Trained() {
+		t.Fatalf("clone of an untrained predictor claims to be trained")
+	}
+	if _, err := c.Observe(monitor.Checkpoint{}); err == nil {
+		t.Fatalf("untrained clone accepted Observe")
+	}
+}
+
+// TestCloneConcurrentObserve is the race-detector test behind the fleet
+// subsystem: one predictor is trained once, then read-only clones replay the
+// same checkpoint stream concurrently on sibling goroutines. Under
+// `go test -race` this proves the trained model is safe to share; the test
+// additionally asserts every clone reproduces the single-threaded
+// predictions bit-for-bit.
+func TestCloneConcurrentObserve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training is a multi-second test")
+	}
+	train, test := agingSeries(t)
+	p, err := NewPredictor(Config{})
+	if err != nil {
+		t.Fatalf("NewPredictor: %v", err)
+	}
+	if _, err := p.Train(train); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	want, err := p.PredictSeries(test)
+	if err != nil {
+		t.Fatalf("PredictSeries: %v", err)
+	}
+
+	const clones = 8
+	errs := make([]error, clones)
+	var wg sync.WaitGroup
+	for g := 0; g < clones; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := p.Clone()
+			if !c.Trained() {
+				errs[g] = fmt.Errorf("clone %d is not trained", g)
+				return
+			}
+			for i, cp := range test.Checkpoints {
+				pred, err := c.Observe(cp)
+				if err != nil {
+					errs[g] = fmt.Errorf("clone %d checkpoint %d: %v", g, i, err)
+					return
+				}
+				if pred.TTFSec != want[i].PredictedTTF {
+					errs[g] = fmt.Errorf("clone %d checkpoint %d: predicted %v, single-threaded path predicted %v",
+						g, i, pred.TTFSec, want[i].PredictedTTF)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,452 @@
+// Package fleet is the fleet-scale serving layer on top of the single-server
+// aging predictor: it simulates N application-server instances with
+// heterogeneous leak profiles, workloads and phase offsets (all drawn
+// deterministically from one seed), streams every instance's 15-second
+// checkpoints through sharded predictor workers, and closes the monitor →
+// predict → rejuvenate loop with a fleet-level controller that acts on the
+// predicted time to failure under a concurrency-capped rejuvenation budget.
+//
+// The paper validates its adaptive M5P predictor against one three-tier
+// testbed instance; this package is the layer that turns that single
+// predictor into an online prediction service over thousands of concurrent
+// instances. The architecture:
+//
+//	          ┌──────────── driver (one tick = one checkpoint interval) ───────────┐
+//	instances │ step instance model, emit Table 2 checkpoints (ID order)           │
+//	          └──┬───────────────────────────────────────────────────────────┬─────┘
+//	             │ consistent instance→shard hash, bounded queues             │
+//	        ┌────▼────┐   ┌─────────┐        ┌─────────┐                      │
+//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  Observe on clones   │
+//	        └────┬────┘   └────┬────┘        └────┬────┘                      │
+//	             └─────────────┴── tick barrier ──┴───────────────────────────┘
+//	          controller: per-instance predictive policies → budgeted
+//	          rejuvenations, crash handling, fleet aggregates
+//
+// Every instance owns a Clone of one shared trained model (train once, fan
+// out read-only), and each clone is touched only by its instance's shard.
+// Decisions happen on the driver goroutine in instance-ID order after the
+// tick barrier, so the whole run — including the -json summary — is a pure
+// function of (seed, instances, duration): byte-identical across
+// repetitions, and identical across shard counts apart from the echoed
+// "shards" field of the report.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/evalx"
+	"agingpred/internal/monitor"
+	"agingpred/internal/rejuv"
+)
+
+// Config describes one fleet run. The zero value is not runnable; Instances
+// and Duration are required.
+type Config struct {
+	// Instances is the fleet size. Required.
+	Instances int
+	// Shards is the number of predictor workers (0 = GOMAXPROCS). Shard
+	// count affects wall-clock speed only, never the results.
+	Shards int
+	// Duration is the simulated time to serve. Required.
+	Duration time.Duration
+	// Seed makes the whole run reproducible.
+	Seed uint64
+	// CheckpointInterval is the monitoring interval (0 = 15 s).
+	CheckpointInterval time.Duration
+	// TTFThreshold is the predicted time to failure below which an instance
+	// raises a rejuvenation alert (0 = 10 min).
+	TTFThreshold time.Duration
+	// Confirmations is how many consecutive checkpoints must agree before
+	// the alert fires (0 = 3).
+	Confirmations int
+	// RejuvenationBudget caps concurrent controlled restarts
+	// (0 = max(1, Instances/10)).
+	RejuvenationBudget int
+	// RejuvenationDowntime is how long a controlled restart takes (0 = 2 min).
+	RejuvenationDowntime time.Duration
+	// CrashDowntime is how long recovering from a crash takes — detection,
+	// restart, cache warm-up (0 = 10 min). Crashing must hurt more than
+	// rejuvenating, or predicting would be pointless.
+	CrashDowntime time.Duration
+	// QueueDepth is the per-shard checkpoint queue bound (0 = 128). Smaller
+	// values apply backpressure to the driver sooner.
+	QueueDepth int
+	// Predictor optionally supplies the shared trained model (it is cloned
+	// per instance and never mutated). Nil trains one with TrainPredictor,
+	// which costs a few wall-clock seconds.
+	Predictor *core.Predictor
+	// Ctx optionally cancels the run between ticks.
+	Ctx context.Context
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = monitor.DefaultInterval
+	}
+	if c.TTFThreshold <= 0 {
+		c.TTFThreshold = 10 * time.Minute
+	}
+	if c.Confirmations <= 0 {
+		c.Confirmations = 3
+	}
+	if c.RejuvenationBudget <= 0 {
+		// Default cap: at most a tenth of the fleet restarting at once.
+		// Rejuvenations are short, so this clears alert waves quickly while
+		// still bounding the capacity dip.
+		c.RejuvenationBudget = c.Instances / 10
+		if c.RejuvenationBudget < 1 {
+			c.RejuvenationBudget = 1
+		}
+	}
+	if c.RejuvenationDowntime <= 0 {
+		c.RejuvenationDowntime = 2 * time.Minute
+	}
+	if c.CrashDowntime <= 0 {
+		c.CrashDowntime = 10 * time.Minute
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Instances <= 0 {
+		return fmt.Errorf("fleet: non-positive instance count %d", c.Instances)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("fleet: non-positive duration %v", c.Duration)
+	}
+	if c.Predictor != nil && !c.Predictor.Trained() {
+		return fmt.Errorf("fleet: supplied predictor is not trained")
+	}
+	return nil
+}
+
+// ClassReport aggregates one instance class of the fleet.
+type ClassReport struct {
+	// Class is the aging-fault bucket ("healthy", "mem-leak", ...).
+	Class string `json:"class"`
+	// Instances is how many fleet members drew this class.
+	Instances int `json:"instances"`
+	// Checkpoints counts the class's processed (and predicted) stream.
+	Checkpoints int64 `json:"checkpoints"`
+	// Crashes and Rejuvenations count the class's outcomes.
+	Crashes       int `json:"crashes"`
+	Rejuvenations int `json:"rejuvenations"`
+	// MAESec, SMAESec, PreMAESec and PostMAESec are the paper's accuracy
+	// metrics of the on-line predictions against the analytic reference TTF
+	// (current leak rates frozen, as in experiment 4.2).
+	MAESec     float64 `json:"mae_sec"`
+	SMAESec    float64 `json:"smae_sec"`
+	PreMAESec  float64 `json:"pre_mae_sec"`
+	PostMAESec float64 `json:"post_mae_sec"`
+}
+
+// Report is the outcome of one fleet run. It contains no wall-clock values:
+// the same (seed, instances, duration) produces byte-identical JSON — and
+// changing only the shard count changes nothing but the echoed Shards field
+// — which the regression tests rely on.
+type Report struct {
+	Instances   int     `json:"instances"`
+	Shards      int     `json:"shards"`
+	Seed        uint64  `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	IntervalSec float64 `json:"interval_sec"`
+	// Model describes the shared predictor.
+	Model string `json:"model"`
+	// Checkpoints is the total number of instance-checkpoints predicted.
+	Checkpoints int64 `json:"checkpoints"`
+	// Rejuvenations counts the controlled restarts; CrashesAvoided those
+	// whose instance was genuinely on a crash trajectory (finite reference
+	// TTF), FalseAlarms the rest.
+	Rejuvenations  int `json:"rejuvenations"`
+	CrashesAvoided int `json:"crashes_avoided"`
+	FalseAlarms    int `json:"false_alarms"`
+	// CrashesSuffered counts the instances that died before the controller
+	// acted.
+	CrashesSuffered int `json:"crashes_suffered"`
+	// BudgetDenied counts alerts deferred because the rejuvenation budget
+	// was exhausted; MaxConcurrentRejuvenations is the observed peak (never
+	// above RejuvenationBudget).
+	BudgetDenied               int64 `json:"budget_denied"`
+	RejuvenationBudget         int   `json:"rejuvenation_budget"`
+	MaxConcurrentRejuvenations int   `json:"max_concurrent_rejuvenations"`
+	// DowntimeSec is total instance-seconds spent down; Availability is
+	// 1 − downtime/(instances·duration).
+	DowntimeSec  float64 `json:"downtime_sec"`
+	Availability float64 `json:"availability"`
+	// ServedRequests and LostRequests total the fleet's traffic; requests
+	// offered while an instance is down are lost.
+	ServedRequests float64 `json:"served_requests"`
+	LostRequests   float64 `json:"lost_requests"`
+	// Classes breaks the fleet down per instance class, in Class order.
+	Classes []ClassReport `json:"classes"`
+}
+
+// JSON renders the report as deterministic, machine-readable JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the report for humans.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d instances, %d shards, %s simulated, seed %d\n",
+		r.Instances, r.Shards, time.Duration(r.DurationSec*float64(time.Second)), r.Seed)
+	fmt.Fprintf(&b, "  model: %s\n", r.Model)
+	fmt.Fprintf(&b, "  checkpoints predicted: %d\n", r.Checkpoints)
+	fmt.Fprintf(&b, "  rejuvenations: %d (%d crashes avoided, %d false alarms; budget %d, peak %d concurrent, %d alerts deferred)\n",
+		r.Rejuvenations, r.CrashesAvoided, r.FalseAlarms, r.RejuvenationBudget, r.MaxConcurrentRejuvenations, r.BudgetDenied)
+	fmt.Fprintf(&b, "  crashes suffered: %d\n", r.CrashesSuffered)
+	fmt.Fprintf(&b, "  downtime: %s instance-time, availability %.4f%%\n",
+		evalx.FormatDuration(r.DowntimeSec), 100*r.Availability)
+	lostPct := 0.0
+	if offered := r.ServedRequests + r.LostRequests; offered > 0 {
+		lostPct = 100 * r.LostRequests / offered
+	}
+	fmt.Fprintf(&b, "  requests: %.0f served, %.0f lost (%.3f%%)\n",
+		r.ServedRequests, r.LostRequests, lostPct)
+	fmt.Fprintf(&b, "  %-12s %5s %9s %8s %6s %10s %10s %10s %10s\n",
+		"class", "inst", "ckpts", "crashes", "rejuv", "MAE", "S-MAE", "PRE-MAE", "POST-MAE")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "  %-12s %5d %9d %8d %6d %10s %10s %10s %10s\n",
+			c.Class, c.Instances, c.Checkpoints, c.Crashes, c.Rejuvenations,
+			evalx.FormatDuration(c.MAESec), evalx.FormatDuration(c.SMAESec),
+			evalx.FormatDuration(c.PreMAESec), evalx.FormatDuration(c.PostMAESec))
+	}
+	return b.String()
+}
+
+// classStats accumulates accuracy sums online so the run never has to retain
+// per-prediction slices (a simulated day over 1000 instances is millions of
+// predictions).
+type classStats struct {
+	instances     int
+	checkpoints   int64
+	crashes       int
+	rejuvenations int
+
+	absSum, softSum float64
+	n               int64
+	preSum, postSum float64
+	preN, postN     int64
+}
+
+func (s *classStats) observe(refSec, predSec float64) {
+	pr := evalx.Prediction{TrueTTF: refSec, PredictedTTF: predSec}
+	err := pr.AbsError()
+	s.absSum += err
+	s.n++
+	s.softSum += pr.SoftAbsError(evalx.DefaultSecurityMargin)
+	if refSec <= evalx.DefaultPostWindow.Seconds() {
+		s.postSum += err
+		s.postN++
+	} else {
+		s.preSum += err
+		s.preN++
+	}
+}
+
+func (s *classStats) report(class Class) ClassReport {
+	rep := ClassReport{
+		Class:         class.String(),
+		Instances:     s.instances,
+		Checkpoints:   s.checkpoints,
+		Crashes:       s.crashes,
+		Rejuvenations: s.rejuvenations,
+	}
+	if s.n > 0 {
+		rep.MAESec = s.absSum / float64(s.n)
+		rep.SMAESec = s.softSum / float64(s.n)
+	}
+	if s.preN > 0 {
+		rep.PreMAESec = s.preSum / float64(s.preN)
+	}
+	if s.postN > 0 {
+		rep.PostMAESec = s.postSum / float64(s.postN)
+	}
+	return rep
+}
+
+// Run executes one fleet serving run to completion and returns its report.
+//
+// The run proceeds in checkpoint-interval ticks. Every tick the driver steps
+// each live instance (emitting its checkpoint), dispatches the checkpoints
+// to the sharded predictor workers, waits for the tick's predictions, and
+// then — sequentially, in instance-ID order — feeds each prediction to the
+// instance's predictive policy and arbitrates the resulting alerts through
+// the budgeted rejuvenation controller. Crashed instances recover after
+// Config.CrashDowntime, rejuvenated ones after Config.RejuvenationDowntime;
+// both come back with fresh aging state and a reset predictor window.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	base := cfg.Predictor
+	model := "caller-supplied predictor"
+	if base == nil {
+		var trainRep core.TrainReport
+		var err error
+		base, trainRep, err = TrainPredictor(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		model = trainRep.String()
+	}
+
+	specs := Specs(cfg.Seed, cfg.Instances)
+	instances := make([]*instance, cfg.Instances)
+	clones := make([]*core.Predictor, cfg.Instances)
+	policies := make([]*rejuv.Predictive, cfg.Instances)
+	for i, spec := range specs {
+		instances[i] = newInstance(cfg.Seed, spec)
+		clones[i] = base.Clone()
+		policies[i] = &rejuv.Predictive{Threshold: cfg.TTFThreshold, Confirmations: cfg.Confirmations}
+	}
+
+	ctrl, err := rejuv.NewController(cfg.RejuvenationBudget)
+	if err != nil {
+		return nil, err
+	}
+	p := newPool(cfg.Shards, cfg.QueueDepth, clones)
+	defer p.close()
+
+	dt := cfg.CheckpointInterval.Seconds()
+	ticks := int(cfg.Duration / cfg.CheckpointInterval)
+	if ticks == 0 {
+		return nil, fmt.Errorf("fleet: duration %v is shorter than the %v checkpoint interval",
+			cfg.Duration, cfg.CheckpointInterval)
+	}
+	rep := &Report{
+		Instances: cfg.Instances,
+		Shards:    cfg.Shards,
+		Seed:      cfg.Seed,
+		// Echo the simulated time actually served (whole ticks), so the
+		// report's own downtime/availability arithmetic checks out even for
+		// durations that are not a multiple of the interval.
+		DurationSec:        float64(ticks) * dt,
+		IntervalSec:        dt,
+		Model:              model,
+		RejuvenationBudget: cfg.RejuvenationBudget,
+	}
+	var stats [numClasses]classStats
+	for _, spec := range specs {
+		stats[spec.Class].instances++
+	}
+	horizon := monitor.InfiniteTTFSec * 0.999
+	dispatched := make([]int, 0, cfg.Instances)
+
+	cancelled := func() error {
+		if cfg.Ctx == nil {
+			return nil
+		}
+		return cfg.Ctx.Err()
+	}
+
+	for tick := 1; tick <= ticks; tick++ {
+		t := float64(tick) * dt
+		if err := cancelled(); err != nil {
+			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
+		}
+
+		// Step the live instances and stream their checkpoints to the
+		// shards. Down instances emit nothing and keep losing the traffic
+		// their users offer.
+		dispatched = dispatched[:0]
+		for i, in := range instances {
+			if ctrl.State(i) != rejuv.StateHealthy {
+				rep.DowntimeSec += dt
+				rep.LostRequests += in.expectedThroughput(t) * dt
+				continue
+			}
+			cp, crashed := in.step(t, dt)
+			if crashed {
+				ctrl.Crash(i, t, cfg.CrashDowntime.Seconds())
+				rep.CrashesSuffered++
+				stats[in.spec.Class].crashes++
+				// The crash interval itself served nothing: its offered
+				// traffic is lost and its time is downtime, on top of the
+				// recovery the controller just scheduled.
+				rep.DowntimeSec += dt
+				rep.LostRequests += in.expectedThroughput(t) * dt
+				continue
+			}
+			rep.ServedRequests += cp.Throughput * dt
+			rep.Checkpoints++
+			stats[in.spec.Class].checkpoints++
+			if !p.dispatch(cfg.Ctx, i, cp) {
+				break // cancelled mid-tick; the top of the loop reports it
+			}
+			dispatched = append(dispatched, i)
+		}
+		p.wait()
+		if err := cancelled(); err != nil {
+			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
+		}
+
+		// Control pass, in instance-ID order: accuracy accounting, then the
+		// per-instance policy, then the fleet-level budget arbitration.
+		for _, i := range dispatched {
+			res := p.results[i]
+			if res.err != nil {
+				return nil, fmt.Errorf("fleet: predicting instance %d at simulated %s: %w",
+					i, evalx.FormatDuration(t), res.err)
+			}
+			in := instances[i]
+			st := &stats[in.spec.Class]
+			st.observe(in.refTTFSec, res.ttfSec)
+			if !policies[i].Decide(t, res.ttfSec) {
+				continue
+			}
+			if !ctrl.Alert(i, t, cfg.RejuvenationDowntime.Seconds()) {
+				// The instance is healthy (we just stepped it), so a denial
+				// is the budget: the policy stays primed and will re-raise.
+				rep.BudgetDenied++
+				continue
+			}
+			rep.Rejuvenations++
+			st.rejuvenations++
+			if in.refTTFSec < horizon {
+				rep.CrashesAvoided++
+			} else {
+				rep.FalseAlarms++
+			}
+		}
+
+		// Finished downtimes, at the end of the tick so every outage is
+		// charged for each interval it overlaps (an instance released here
+		// resumes serving on the next tick). The instance returns with a
+		// fresh JVM, a fresh prediction window and a reset policy.
+		for _, id := range ctrl.Advance(t) {
+			instances[id].reset()
+			clones[id].ResetOnline()
+			policies[id].Reset()
+		}
+	}
+
+	rep.MaxConcurrentRejuvenations = ctrl.MaxInFlight()
+	rep.Availability = 1
+	if total := float64(cfg.Instances) * float64(ticks) * dt; total > 0 {
+		rep.Availability = 1 - rep.DowntimeSec/total
+	}
+	for c := Class(0); c < numClasses; c++ {
+		if stats[c].instances == 0 {
+			continue
+		}
+		rep.Classes = append(rep.Classes, stats[c].report(c))
+	}
+	return rep, nil
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"agingpred/internal/core"
+	"agingpred/internal/monitor"
+)
+
+// job asks a shard worker to run one instance's checkpoint through that
+// instance's predictor clone.
+type job struct {
+	id int
+	cp monitor.Checkpoint
+}
+
+// obsResult is one worker's answer, written into the pool's results slot for
+// the instance.
+type obsResult struct {
+	ttfSec float64
+	err    error
+}
+
+// pool is the sharded prediction layer: every instance is consistently
+// assigned to one shard (an FNV hash of its ID), each shard is one worker
+// goroutine draining a bounded channel, and each instance's predictor clone
+// is touched only by its own shard — so no locks are needed around the
+// clones' mutable sliding-window state.
+//
+// The driver dispatches one tick's checkpoints (blocking on a full shard
+// queue: natural backpressure), then waits on the tick barrier before
+// reading results. Result slots are indexed by instance, each written by
+// exactly one worker per tick, and the WaitGroup barrier orders those writes
+// before the driver's reads.
+type pool struct {
+	shards  []chan job
+	clones  []*core.Predictor
+	results []obsResult
+
+	tick    sync.WaitGroup // per-tick barrier
+	workers sync.WaitGroup // worker lifetime, for close
+}
+
+// newPool starts one worker per shard. clones[i] is instance i's private
+// predictor; results has one slot per instance.
+func newPool(shards, queue int, clones []*core.Predictor) *pool {
+	p := &pool{
+		shards:  make([]chan job, shards),
+		clones:  clones,
+		results: make([]obsResult, len(clones)),
+	}
+	for s := range p.shards {
+		ch := make(chan job, queue)
+		p.shards[s] = ch
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for jb := range ch {
+				pred, err := p.clones[jb.id].Observe(jb.cp)
+				p.results[jb.id] = obsResult{ttfSec: pred.TTFSec, err: err}
+				p.tick.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// shardOf is the consistent instance→shard assignment: a 64-bit FNV-1a hash
+// of the instance ID. Stable across runs and independent of dispatch order.
+func (p *pool) shardOf(id int) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	x := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= prime
+		x >>= 8
+	}
+	return int(h % uint64(len(p.shards)))
+}
+
+// dispatch queues one checkpoint on the instance's shard, blocking while the
+// shard's queue is full (backpressure). It returns false without queueing if
+// ctx is cancelled first; a nil ctx never cancels.
+func (p *pool) dispatch(ctx context.Context, id int, cp monitor.Checkpoint) bool {
+	p.tick.Add(1)
+	ch := p.shards[p.shardOf(id)]
+	if ctx == nil {
+		ch <- job{id: id, cp: cp}
+		return true
+	}
+	select {
+	case ch <- job{id: id, cp: cp}:
+		return true
+	case <-ctx.Done():
+		p.tick.Done()
+		return false
+	}
+}
+
+// wait blocks until every dispatched checkpoint of the tick is predicted.
+func (p *pool) wait() { p.tick.Wait() }
+
+// close shuts the shard channels down and waits for the workers to exit.
+// Call only after wait (no in-flight jobs).
+func (p *pool) close() {
+	for _, ch := range p.shards {
+		close(ch)
+	}
+	p.workers.Wait()
+}

@@ -1,0 +1,136 @@
+package injector
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Profile bundles the per-instance aging parameterisation of all three fault
+// injectors into one value: the request-coupled memory leak (the paper's N),
+// the time-coupled thread leak (M, T) and the time-coupled connection leak
+// (C, T). The fleet subsystem draws one heterogeneous Profile per simulated
+// server instance; Phase converts the same profile into a regular injection
+// phase so any fleet instance can be replayed as a full-fidelity single-server
+// testbed execution.
+type Profile struct {
+	// MemoryN is the request-coupled memory-leak parameter: one injection
+	// after every U(0, N) search-servlet executions. 0 disables the memory
+	// leak.
+	MemoryN int
+	// LeakMB is the size of each memory injection (0 = 1 MB, the paper's
+	// value). Testbed runs carry this on RunConfig.LeakAmountMB.
+	LeakMB float64
+	// ThreadM and ThreadT parameterise the thread leak: U(0, ThreadM)
+	// threads every U(0, ThreadT) seconds. ThreadM = 0 disables it;
+	// ThreadT <= 0 defaults to 60 s, as in the injector itself.
+	ThreadM int
+	ThreadT int
+	// ConnC and ConnT parameterise the database-connection leak the same
+	// way. ConnC = 0 disables it.
+	ConnC int
+	ConnT int
+}
+
+// Validate checks the profile for negative parameters.
+func (p Profile) Validate() error {
+	if p.MemoryN < 0 {
+		return fmt.Errorf("injector: negative memory-leak parameter N %d", p.MemoryN)
+	}
+	if p.LeakMB < 0 {
+		return fmt.Errorf("injector: negative leak amount %g MB", p.LeakMB)
+	}
+	if p.ThreadM < 0 || p.ThreadT < 0 {
+		return fmt.Errorf("injector: negative thread-leak parameters M=%d T=%d", p.ThreadM, p.ThreadT)
+	}
+	if p.ConnC < 0 || p.ConnT < 0 {
+		return fmt.Errorf("injector: negative connection-leak parameters C=%d T=%d", p.ConnC, p.ConnT)
+	}
+	return nil
+}
+
+// Aging reports whether any fault of the profile is active.
+func (p Profile) Aging() bool {
+	return p.MemoryN > 0 || p.ThreadM > 0 || p.ConnC > 0
+}
+
+// Phase converts the profile into one open-ended injection phase applying
+// all its faults for the whole run.
+func (p Profile) Phase(name string) Phase {
+	if name == "" {
+		name = p.String()
+	}
+	ph := Phase{
+		Name:    name,
+		ThreadM: p.ThreadM,
+		ThreadT: p.ThreadT,
+		ConnC:   p.ConnC,
+		ConnT:   p.ConnT,
+	}
+	if p.MemoryN > 0 {
+		ph.MemoryMode = MemoryLeak
+		ph.MemoryN = p.MemoryN
+	}
+	return ph
+}
+
+// leakMB returns the effective per-injection memory amount.
+func (p Profile) leakMB() float64 {
+	if p.LeakMB <= 0 {
+		return 1
+	}
+	return p.LeakMB
+}
+
+// MemoryMBPerHit is the expected memory leaked per search-servlet execution:
+// the injector draws a fresh U(0, N) countdown after every injection, so one
+// injection of LeakMB happens every N/2 + 1 executions on average.
+func (p Profile) MemoryMBPerHit() float64 {
+	if p.MemoryN <= 0 {
+		return 0
+	}
+	return p.leakMB() / (float64(p.MemoryN)/2 + 1)
+}
+
+// ThreadsPerSec is the expected thread-leak rate: U(0, M) threads (mean M/2)
+// every U(0, T) seconds (mean T/2), i.e. M/T threads per second.
+func (p Profile) ThreadsPerSec() float64 {
+	if p.ThreadM <= 0 {
+		return 0
+	}
+	return float64(p.ThreadM) / float64(effectiveT(p.ThreadT))
+}
+
+// ConnsPerSec is the expected connection-leak rate, C/T connections per
+// second by the same argument as ThreadsPerSec.
+func (p Profile) ConnsPerSec() float64 {
+	if p.ConnC <= 0 {
+		return 0
+	}
+	return float64(p.ConnC) / float64(effectiveT(p.ConnT))
+}
+
+// effectiveT mirrors timedInjector.SetRate: a non-positive period means 60 s.
+func effectiveT(t int) int {
+	if t <= 0 {
+		return 60
+	}
+	return t
+}
+
+// String renders the profile compactly ("mem N=30, threads M=5 T=60").
+func (p Profile) String() string {
+	var parts []string
+	if p.MemoryN > 0 {
+		parts = append(parts, fmt.Sprintf("mem N=%d (%g MB)", p.MemoryN, p.leakMB()))
+	}
+	if p.ThreadM > 0 {
+		parts = append(parts, fmt.Sprintf("threads M=%d T=%d", p.ThreadM, effectiveT(p.ThreadT)))
+	}
+	if p.ConnC > 0 {
+		parts = append(parts, fmt.Sprintf("conns C=%d T=%d", p.ConnC, effectiveT(p.ConnT)))
+	}
+	if len(parts) == 0 {
+		return "no injection"
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,87 @@
+package injector
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := []Profile{
+		{},
+		{MemoryN: 30},
+		{ThreadM: 5, ThreadT: 60},
+		{MemoryN: 40, LeakMB: 2, ThreadM: 3, ThreadT: 90, ConnC: 4, ConnT: 120},
+	}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", p, err)
+		}
+	}
+	bad := []Profile{
+		{MemoryN: -1},
+		{LeakMB: -2},
+		{ThreadM: -5},
+		{ConnT: -60},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a negative parameter", p)
+		}
+	}
+}
+
+func TestProfileExpectedRates(t *testing.T) {
+	p := Profile{MemoryN: 30, ThreadM: 6, ThreadT: 40, ConnC: 3, ConnT: 120}
+	// One 1 MB injection every N/2+1 = 16 servlet hits.
+	if got, want := p.MemoryMBPerHit(), 1.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MemoryMBPerHit = %v, want %v", got, want)
+	}
+	if got, want := p.ThreadsPerSec(), 6.0/40; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ThreadsPerSec = %v, want %v", got, want)
+	}
+	if got, want := p.ConnsPerSec(), 3.0/120; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ConnsPerSec = %v, want %v", got, want)
+	}
+	// Disabled faults have zero rate; a zero period defaults to 60 s.
+	var off Profile
+	if off.MemoryMBPerHit() != 0 || off.ThreadsPerSec() != 0 || off.ConnsPerSec() != 0 {
+		t.Errorf("inactive profile has non-zero rates: %+v", off)
+	}
+	if off.Aging() {
+		t.Errorf("inactive profile claims to be aging")
+	}
+	defT := Profile{ThreadM: 6}
+	if got, want := defT.ThreadsPerSec(), 6.0/60; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ThreadsPerSec with default T = %v, want %v", got, want)
+	}
+	// Doubling the leak amount doubles the memory rate.
+	double := Profile{MemoryN: 30, LeakMB: 2}
+	if got, want := double.MemoryMBPerHit(), 2.0/16; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MemoryMBPerHit with 2 MB leaks = %v, want %v", got, want)
+	}
+}
+
+func TestProfilePhase(t *testing.T) {
+	p := Profile{MemoryN: 30, ThreadM: 5, ThreadT: 60, ConnC: 2, ConnT: 90}
+	ph := p.Phase("test")
+	if ph.Name != "test" || ph.MemoryMode != MemoryLeak || ph.MemoryN != 30 ||
+		ph.ThreadM != 5 || ph.ThreadT != 60 || ph.ConnC != 2 || ph.ConnT != 90 {
+		t.Fatalf("Phase mapping wrong: %+v", ph)
+	}
+	if ph.Duration != 0 {
+		t.Fatalf("profile phase is not open-ended: %v", ph.Duration)
+	}
+	// No memory leak: the phase must keep the memory injector off.
+	noMem := Profile{ThreadM: 5}
+	if got := noMem.Phase("t"); got.MemoryMode != MemoryOff || got.MemoryN != 0 {
+		t.Fatalf("memory injector not off: %+v", got)
+	}
+	// A default name is derived from the profile.
+	if got := p.Phase(""); !strings.Contains(got.Name, "N=30") {
+		t.Fatalf("default phase name %q does not describe the profile", got.Name)
+	}
+	if got := (Profile{}).String(); got != "no injection" {
+		t.Fatalf("empty profile String() = %q", got)
+	}
+}

@@ -1,0 +1,159 @@
+package rejuv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstanceState is the lifecycle state of one server instance as seen by the
+// fleet-level rejuvenation Controller.
+type InstanceState int
+
+const (
+	// StateHealthy: the instance is up and serving traffic.
+	StateHealthy InstanceState = iota
+	// StateRejuvenating: the instance is down for a controlled restart
+	// triggered by a TTF alert.
+	StateRejuvenating
+	// StateCrashed: the instance failed on its own and is recovering.
+	StateCrashed
+)
+
+// String names the state.
+func (s InstanceState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateRejuvenating:
+		return "rejuvenating"
+	case StateCrashed:
+		return "crashed"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
+
+// Controller is the fleet-level budgeted rejuvenation state machine: it
+// tracks which instances are down (rejuvenating or crash-recovering) and
+// enforces a cap on how many controlled restarts may be in flight at once,
+// so a wave of simultaneous TTF alerts cannot take a whole fleet off-line.
+//
+// The per-instance *decision* of when to restart stays with a Policy (one
+// Predictive policy per instance); the Controller arbitrates the resulting
+// alerts. The two edge cases a live fleet hits constantly are defined here
+// once and for all:
+//
+//   - an alert for an instance that is already rejuvenating (or still
+//     recovering from a crash) is ignored — a restart of a down instance is
+//     meaningless and must not consume budget; and
+//   - an alert arriving after the instance has crashed is ignored — the
+//     prediction came too late, the crash is already being handled.
+//
+// Crash recoveries are not charged against the budget: a crash is not a
+// choice, and refusing to recover a crashed instance would only add
+// downtime.
+//
+// The Controller is deliberately single-goroutine (the fleet engine drives
+// it from its deterministic per-tick control loop); it is not safe for
+// concurrent use.
+type Controller struct {
+	budget int
+	down   map[int]downEntry
+
+	inFlight    int
+	maxInFlight int
+}
+
+// downEntry records why an instance is down and when it comes back.
+type downEntry struct {
+	state  InstanceState
+	endSec float64
+}
+
+// NewController creates a controller with the given concurrent-rejuvenation
+// budget. The budget must be at least 1.
+func NewController(budget int) (*Controller, error) {
+	if budget < 1 {
+		return nil, fmt.Errorf("rejuv: non-positive rejuvenation budget %d", budget)
+	}
+	return &Controller{budget: budget, down: make(map[int]downEntry)}, nil
+}
+
+// Budget returns the concurrent-rejuvenation cap.
+func (c *Controller) Budget() int { return c.budget }
+
+// InFlight returns how many controlled rejuvenations are in progress now.
+func (c *Controller) InFlight() int { return c.inFlight }
+
+// MaxInFlight returns the highest number of concurrent rejuvenations ever
+// observed — by construction never above Budget.
+func (c *Controller) MaxInFlight() int { return c.maxInFlight }
+
+// Down returns how many instances are currently down for any reason.
+func (c *Controller) Down() int { return len(c.down) }
+
+// State returns the instance's current lifecycle state.
+func (c *Controller) State(id int) InstanceState {
+	if e, ok := c.down[id]; ok {
+		return e.state
+	}
+	return StateHealthy
+}
+
+// Alert reports a TTF alert for an instance at nowSec and returns whether a
+// rejuvenation was started. It returns false — and changes nothing — when
+// the instance is already down (rejuvenating or crashed) or when the budget
+// is exhausted; a denied alert may simply be raised again on a later
+// checkpoint. On success the instance stays down for downtimeSec.
+func (c *Controller) Alert(id int, nowSec, downtimeSec float64) bool {
+	if _, isDown := c.down[id]; isDown {
+		return false
+	}
+	if c.inFlight >= c.budget {
+		return false
+	}
+	if downtimeSec < 0 {
+		downtimeSec = 0
+	}
+	c.down[id] = downEntry{state: StateRejuvenating, endSec: nowSec + downtimeSec}
+	c.inFlight++
+	if c.inFlight > c.maxInFlight {
+		c.maxInFlight = c.inFlight
+	}
+	return true
+}
+
+// Crash reports that an instance failed on its own at nowSec and returns
+// whether the crash was recorded. A crash of an instance that is already
+// down is ignored (a down instance serves nothing and cannot fail again).
+// Recovery takes recoverySec and is not charged against the budget.
+func (c *Controller) Crash(id int, nowSec, recoverySec float64) bool {
+	if _, isDown := c.down[id]; isDown {
+		return false
+	}
+	if recoverySec < 0 {
+		recoverySec = 0
+	}
+	c.down[id] = downEntry{state: StateCrashed, endSec: nowSec + recoverySec}
+	return true
+}
+
+// Advance completes every rejuvenation and crash recovery whose downtime has
+// elapsed by nowSec and returns the IDs of the instances that came back up,
+// in ascending order (so callers iterating the result stay deterministic).
+func (c *Controller) Advance(nowSec float64) []int {
+	var up []int
+	for id, e := range c.down {
+		if e.endSec <= nowSec {
+			up = append(up, id)
+		}
+	}
+	sort.Ints(up)
+	for _, id := range up {
+		if c.down[id].state == StateRejuvenating {
+			c.inFlight--
+		}
+		delete(c.down, id)
+	}
+	return up
+}

@@ -1,0 +1,141 @@
+package rejuv
+
+import "testing"
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0); err == nil {
+		t.Fatalf("NewController(0) succeeded")
+	}
+	if _, err := NewController(-3); err == nil {
+		t.Fatalf("NewController(-3) succeeded")
+	}
+	c, err := NewController(2)
+	if err != nil {
+		t.Fatalf("NewController(2): %v", err)
+	}
+	if c.Budget() != 2 || c.InFlight() != 0 || c.Down() != 0 {
+		t.Fatalf("fresh controller: budget %d, in-flight %d, down %d", c.Budget(), c.InFlight(), c.Down())
+	}
+}
+
+// TestAlertDuringInFlightRejuvenation is the first fleet edge case: a second
+// TTF alert for an instance that is already rejuvenating must be ignored and
+// must not consume budget or extend the downtime.
+func TestAlertDuringInFlightRejuvenation(t *testing.T) {
+	c, err := NewController(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Alert(7, 100, 120) {
+		t.Fatalf("first alert denied")
+	}
+	if got := c.State(7); got != StateRejuvenating {
+		t.Fatalf("state after alert = %v", got)
+	}
+	// The same instance alerts again mid-rejuvenation: ignored, budget intact.
+	if c.Alert(7, 130, 120) {
+		t.Fatalf("alert during in-flight rejuvenation was accepted")
+	}
+	if c.InFlight() != 1 {
+		t.Fatalf("in-flight = %d after duplicate alert, want 1", c.InFlight())
+	}
+	// The duplicate alert must not have extended the downtime: the original
+	// rejuvenation still completes at 220.
+	if up := c.Advance(219); len(up) != 0 {
+		t.Fatalf("Advance(219) completed %v early", up)
+	}
+	if up := c.Advance(220); len(up) != 1 || up[0] != 7 {
+		t.Fatalf("Advance(220) = %v, want [7]", up)
+	}
+	if c.State(7) != StateHealthy || c.InFlight() != 0 {
+		t.Fatalf("instance not healthy after recovery: state %v, in-flight %d", c.State(7), c.InFlight())
+	}
+	// Once healthy again, a new alert is accepted.
+	if !c.Alert(7, 250, 120) {
+		t.Fatalf("alert after recovery denied")
+	}
+}
+
+// TestAlertAfterCrash is the second fleet edge case: predictions lag the
+// system by the sliding-window delay, so a TTF alert can arrive after the
+// instance has already crashed. It must be ignored — the crash is already
+// being handled — and must not consume rejuvenation budget.
+func TestAlertAfterCrash(t *testing.T) {
+	c, err := NewController(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Crash(3, 100, 600) {
+		t.Fatalf("crash not recorded")
+	}
+	if got := c.State(3); got != StateCrashed {
+		t.Fatalf("state after crash = %v", got)
+	}
+	// The late alert for the crashed instance: ignored.
+	if c.Alert(3, 115, 120) {
+		t.Fatalf("alert after crash was accepted")
+	}
+	// Crash recovery does not consume budget, so another instance can still
+	// be rejuvenated even with budget 1.
+	if c.InFlight() != 0 {
+		t.Fatalf("crash consumed rejuvenation budget: in-flight %d", c.InFlight())
+	}
+	if !c.Alert(4, 115, 120) {
+		t.Fatalf("healthy instance denied while another is crash-recovering")
+	}
+	// A second crash of the same (already down) instance is ignored too.
+	if c.Crash(3, 130, 600) {
+		t.Fatalf("crash of a down instance was recorded")
+	}
+	// Recovery completes at 700; the instance is healthy and alertable again.
+	up := c.Advance(700)
+	if len(up) != 2 || up[0] != 3 || up[1] != 4 {
+		t.Fatalf("Advance(700) = %v, want [3 4]", up)
+	}
+	if !c.Alert(3, 710, 120) {
+		t.Fatalf("alert after crash recovery denied")
+	}
+}
+
+// TestBudgetCap verifies the concurrency cap: alerts beyond the budget are
+// denied without state changes and succeed once capacity frees up.
+func TestBudgetCap(t *testing.T) {
+	c, err := NewController(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Alert(1, 0, 100) || !c.Alert(2, 0, 200) {
+		t.Fatalf("alerts within budget denied")
+	}
+	if c.Alert(3, 10, 100) {
+		t.Fatalf("alert beyond budget accepted")
+	}
+	if c.State(3) != StateHealthy {
+		t.Fatalf("denied alert changed instance state: %v", c.State(3))
+	}
+	if c.InFlight() != 2 || c.MaxInFlight() != 2 {
+		t.Fatalf("in-flight %d, max %d, want 2, 2", c.InFlight(), c.MaxInFlight())
+	}
+	// Instance 1 completes at 100; the denied instance can now be admitted.
+	if up := c.Advance(100); len(up) != 1 || up[0] != 1 {
+		t.Fatalf("Advance(100) = %v, want [1]", up)
+	}
+	if !c.Alert(3, 110, 100) {
+		t.Fatalf("alert denied after budget freed up")
+	}
+	if c.MaxInFlight() != 2 {
+		t.Fatalf("max in-flight drifted to %d", c.MaxInFlight())
+	}
+}
+
+func TestControllerStateString(t *testing.T) {
+	for state, want := range map[InstanceState]string{
+		StateHealthy:      "healthy",
+		StateRejuvenating: "rejuvenating",
+		StateCrashed:      "crashed",
+	} {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(state), got, want)
+		}
+	}
+}

@@ -323,6 +323,26 @@ func ConstantConnLeakPhases(c, t int) []injector.Phase {
 	}}
 }
 
+// ProfilePhases converts a per-instance aging profile into an open-ended
+// single-phase injection schedule applying all its faults for the whole run.
+func ProfilePhases(p injector.Profile) []injector.Phase {
+	return []injector.Phase{p.Phase("")}
+}
+
+// ProfileRunConfig builds the RunConfig that replays one fleet instance's
+// aging profile as a full-fidelity single-server testbed execution: same
+// faults, same leak amount, constant workload. Callers typically only add
+// MaxDuration, Seed tweaks or a Ctx before running it.
+func ProfileRunConfig(name string, seed uint64, ebs int, p injector.Profile) RunConfig {
+	return RunConfig{
+		Name:         name,
+		Seed:         seed,
+		EBs:          ebs,
+		Phases:       ProfilePhases(p),
+		LeakAmountMB: p.LeakMB,
+	}
+}
+
 // BurstyWorkloadPhases builds an alternating baseline/spike load schedule:
 // cycles repetitions of (baseline for period, spike for period), ending with
 // an open-ended baseline phase so the schedule covers runs of any length.

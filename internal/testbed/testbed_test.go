@@ -447,3 +447,28 @@ func TestContextDoesNotPerturbTheRun(t *testing.T) {
 		t.Fatalf("a live context changed the monitored series")
 	}
 }
+
+// TestProfileRunConfig replays a fleet-style aging profile as a regular
+// testbed execution and checks the configured faults actually age the
+// server to a crash.
+func TestProfileRunConfig(t *testing.T) {
+	p := injector.Profile{MemoryN: 10, LeakMB: 2}
+	cfg := ProfileRunConfig("profile-run", 4, 100, p)
+	if cfg.LeakAmountMB != 2 {
+		t.Fatalf("LeakAmountMB = %g, want the profile's leak amount", cfg.LeakAmountMB)
+	}
+	if len(cfg.Phases) != 1 || cfg.Phases[0].MemoryMode != injector.MemoryLeak || cfg.Phases[0].MemoryN != 10 {
+		t.Fatalf("phases do not apply the profile: %+v", cfg.Phases)
+	}
+	cfg.MaxDuration = 4 * time.Hour
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Crashed {
+		t.Fatalf("aggressive memory-leak profile did not crash the server within %v", cfg.MaxDuration)
+	}
+	if res.CrashReason != appserver.CrashOutOfMemory {
+		t.Fatalf("crash reason = %q, want heap exhaustion", res.CrashReason)
+	}
+}
