@@ -26,7 +26,10 @@
 //
 // Matrix mode engages whenever -seeds, -scenario or -parallel is given; the
 // registered scenarios are the four paper experiments (4.1–4.4) plus the
-// extended workloads ("bursty", "trileak").
+// extended workloads ("bursty", "trileak", "connleak", "fleet"). -list also
+// shows the feature schema each scenario's models are built on, and -schema
+// overrides that schema with any name from the features schema registry
+// (e.g. "full+conn" to give every model the connection-speed derivatives).
 package main
 
 import (
@@ -46,6 +49,7 @@ import (
 
 	"agingpred/internal/evalx"
 	"agingpred/internal/experiments"
+	"agingpred/internal/features"
 )
 
 func main() {
@@ -63,6 +67,7 @@ func run(args []string) error {
 		figuresDir = fs.String("figures-dir", "", "if set, write the figure series (CSV, one file per figure) into this directory")
 		seeds      = fs.String("seeds", "", "matrix mode: seed sweep, \"N..M\" or comma list (e.g. 1..8)")
 		scenario   = fs.String("scenario", "", "matrix mode: comma-separated scenario names, or \"all\" (default: derived from -experiment)")
+		schema     = fs.String("schema", "", "feature schema overriding each experiment's default variable set (see -list for the registered names)")
 		parallel   = fs.Int("parallel", 0, "matrix mode: worker pool size (default: number of CPUs)")
 		verbose    = fs.Bool("v", false, "matrix mode: print every cell summary, not just the aggregate table")
 		jsonOut    = fs.Bool("json", false, "matrix mode: emit machine-readable JSON (cells + aggregates) on stdout")
@@ -72,13 +77,22 @@ func run(args []string) error {
 		return err
 	}
 	if *list {
+		fmt.Printf("%-10s %-11s %s\n", "SCENARIO", "SCHEMA", "DESCRIPTION")
 		for _, sc := range experiments.AllScenarios() {
-			fmt.Printf("%-10s %s\n", sc.Name(), sc.Description())
+			fmt.Printf("%-10s %-11s %s\n", sc.Name(), experiments.ScenarioSchema(sc), sc.Description())
 		}
+		fmt.Printf("\nregistered feature schemas: %s\n", strings.Join(features.SchemaNames(), ", "))
 		return nil
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("negative -parallel %d", *parallel)
+	}
+	// Fail fast on an unknown schema, before any simulation runs, with the
+	// list of valid names (LookupSchema's error carries it).
+	if *schema != "" {
+		if _, err := features.LookupSchema(*schema); err != nil {
+			return fmt.Errorf("invalid -schema: %w", err)
+		}
 	}
 	parallelSet := false
 	fs.Visit(func(f *flag.Flag) {
@@ -90,7 +104,7 @@ func run(args []string) error {
 		if *figuresDir != "" {
 			return fmt.Errorf("-figures-dir is only supported on the single-seed path; drop -seeds/-scenario/-parallel/-json to dump figure CSVs")
 		}
-		return runMatrix(*which, *scenario, *seeds, *seed, *parallel, *verbose, *jsonOut)
+		return runMatrix(*which, *scenario, *seeds, *schema, *seed, *parallel, *verbose, *jsonOut)
 	}
 	switch *which {
 	case "all", "fig1", "fig2", "4.1", "4.2", "4.3", "4.4":
@@ -101,11 +115,11 @@ func run(args []string) error {
 			if *figuresDir != "" {
 				return fmt.Errorf("-figures-dir is not supported for scenario %q; it applies to fig1/fig2 and experiments 4.1-4.4 on the single-seed path", *which)
 			}
-			return runMatrix(*which, "", "", *seed, 1, true, false)
+			return runMatrix(*which, "", "", *schema, *seed, 1, true, false)
 		}
-		return fmt.Errorf("unknown experiment %q: want all, fig1, fig2, 4.1, 4.2, 4.3, 4.4 or a registered scenario (see -list)", *which)
+		return fmt.Errorf("unknown experiment %q: want all, fig1, fig2 or a registered scenario (known: %s)", *which, strings.Join(experiments.ScenarioNames(), ", "))
 	}
-	opts := experiments.Options{Seed: *seed}
+	opts := experiments.Options{Seed: *seed, Schema: *schema}
 
 	runAll := *which == "all"
 	start := time.Now()
@@ -146,7 +160,7 @@ func run(args []string) error {
 // runMatrix is the scenario-engine path: it resolves the scenario list and
 // seed sweep, runs every cell on a worker pool, and prints the cross-seed
 // aggregate statistics (human table, or machine-readable JSON with -json).
-func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verbose, jsonOut bool) error {
+func runMatrix(which, scenario, seedsFlag, schema string, seed uint64, workers int, verbose, jsonOut bool) error {
 	names := scenarioNames(which, scenario)
 	for _, name := range names {
 		if name == "fig1" || name == "fig2" {
@@ -178,7 +192,7 @@ func runMatrix(which, scenario, seedsFlag string, seed uint64, workers int, verb
 		progress = os.Stderr
 	}
 	fmt.Fprintf(progress, "running %d scenarios × %d seeds on %d workers...\n", len(scenarios), len(seedList), workers)
-	engine := &experiments.Engine{}
+	engine := &experiments.Engine{Opts: experiments.Options{Schema: schema}}
 	res, err := engine.RunMatrix(ctx, scenarios, seedList, workers)
 	if res != nil && jsonOut {
 		if jerr := writeMatrixJSON(os.Stdout, res); jerr != nil {

@@ -7,6 +7,15 @@
 //
 //	agingfleet -instances 1000 -shards 8
 //
+// The shared model's feature schema comes from the features schema registry:
+// -schema sets it fleet-wide, and -class-schema overrides it per instance
+// class (one extra training run per distinct schema), e.g.
+//
+//	agingfleet -instances 1000 -class-schema conn-leak=full+conn
+//
+// gives the connection-leak class the connection-speed derivatives the
+// paper's Table 2 set lacks while the rest of the fleet stays on "full".
+//
 // The run is deterministic in -seed: the same seed produces a byte-identical
 // -json summary, and changing -shards changes nothing but the echoed
 // "shards" field. Human-readable output is the default; -json emits the
@@ -21,8 +30,10 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
+	"agingpred/internal/features"
 	"agingpred/internal/fleet"
 )
 
@@ -42,9 +53,26 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "seed for the whole run (population, workloads, training)")
 		threshold = fs.Duration("threshold", 10*time.Minute, "predicted-TTF level below which an instance alerts")
 		budget    = fs.Int("budget", 0, "max concurrent rejuvenations (0 = instances/10)")
+		schema    = fs.String("schema", "", "feature schema of the shared predictor (default \"full\"; see the features schema registry)")
+		classes   = fs.String("class-schema", "", "per-class schema overrides, \"class=schema\" comma list (e.g. conn-leak=full+conn)")
 		jsonOut   = fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Resolve schema flags before any training starts; unknown names fail
+	// fast with the list of valid ones.
+	var fleetSchema *features.Schema
+	if *schema != "" {
+		s, err := features.LookupSchema(*schema)
+		if err != nil {
+			return fmt.Errorf("invalid -schema: %w", err)
+		}
+		fleetSchema = s
+	}
+	classSchemas, err := parseClassSchemas(*classes)
+	if err != nil {
 		return err
 	}
 
@@ -61,6 +89,8 @@ func run(args []string) error {
 		Seed:               *seed,
 		TTFThreshold:       *threshold,
 		RejuvenationBudget: *budget,
+		Schema:             fleetSchema,
+		ClassSchemas:       classSchemas,
 		Ctx:                ctx,
 	})
 	if err != nil {
@@ -83,4 +113,34 @@ func run(args []string) error {
 	fmt.Printf("  wall-clock time: %v (%.0f instance-checkpoints/sec)\n",
 		elapsed, float64(rep.Checkpoints)/elapsed.Seconds())
 	return nil
+}
+
+// parseClassSchemas parses the -class-schema flag: a comma-separated list of
+// "class=schema" pairs, both resolved against their registries so typos fail
+// fast with the valid names.
+func parseClassSchemas(s string) (map[fleet.Class]*features.Schema, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[fleet.Class]*features.Schema)
+	for _, pair := range strings.Split(s, ",") {
+		name, schemaName, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("invalid -class-schema entry %q: want class=schema (classes: %s; schemas: %s)",
+				pair, strings.Join(fleet.ClassNames(), ", "), strings.Join(features.SchemaNames(), ", "))
+		}
+		class, err := fleet.ParseClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -class-schema: %w", err)
+		}
+		if _, dup := out[class]; dup {
+			return nil, fmt.Errorf("invalid -class-schema: class %q listed twice", class)
+		}
+		schema, err := features.LookupSchema(strings.TrimSpace(schemaName))
+		if err != nil {
+			return nil, fmt.Errorf("invalid -class-schema: %w", err)
+		}
+		out[class] = schema
+	}
+	return out, nil
 }

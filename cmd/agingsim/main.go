@@ -48,8 +48,8 @@ func run(args []string) (err error) {
 		leakMB   = fs.Float64("leak-mb", 1, "MB leaked per memory injection")
 		threadM  = fs.Int("thread-m", 0, "thread leak parameter M (leak U(0,M) threads per injection); 0 disables thread injection")
 		threadT  = fs.Int("thread-t", 60, "thread leak parameter T (a new injection every U(0,T) seconds)")
-		varSet   = fs.String("variables", "full", "variable set to export: full, no-heap or heap-focus (Table 2 columns)")
-		window   = fs.Int("window", features.DefaultWindowLength, "sliding-window length, in checkpoints, for the derived speed features")
+		varSet   = fs.String("variables", "full", "feature schema to export (full, no-heap, heap-focus, full+conn, or any registered schema)")
+		window   = fs.Int("window", features.DefaultWindowLength, "sliding-window length, in checkpoints, for the derived speed features (resources with a schema-pinned per-resource window, e.g. full+conn's connection speed, keep theirs)")
 		output   = fs.String("o", "-", "output file (\"-\" = stdout)")
 		arff     = fs.Bool("arff", false, "write WEKA ARFF instead of CSV")
 		name     = fs.String("name", "", "run name used as the dataset relation (default derived from the flags)")
@@ -62,10 +62,18 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	set, err := parseVariableSet(*varSet)
+	schema, err := features.LookupSchema(*varSet)
 	if err != nil {
-		return err
+		return fmt.Errorf("invalid -variables: %w", err)
 	}
+	// Re-window the schema only when -window was explicitly given, so a
+	// schema carrying its own default window keeps it (the same contract
+	// core.Config honours).
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "window" {
+			schema = schema.WithWindow(*window)
+		}
+	})
 
 	runName := *name
 	if runName == "" {
@@ -96,8 +104,7 @@ func run(args []string) (err error) {
 			*duration, res.Series.Len())
 	}
 
-	extractor := features.NewExtractor(*window)
-	ds, err := extractor.Extract(res.Series, set)
+	ds, err := schema.Extract(res.Series)
 	if err != nil {
 		return err
 	}
@@ -119,19 +126,6 @@ func run(args []string) (err error) {
 		return ds.WriteARFF(out)
 	}
 	return ds.WriteCSV(out)
-}
-
-func parseVariableSet(name string) (features.VariableSet, error) {
-	switch name {
-	case "full", "":
-		return features.FullSet, nil
-	case "no-heap":
-		return features.NoHeapSet, nil
-	case "heap-focus":
-		return features.HeapFocusSet, nil
-	default:
-		return 0, fmt.Errorf("unknown variable set %q (want full, no-heap or heap-focus)", name)
-	}
 }
 
 // buildPhases turns the injection flags into a single-phase schedule. Both

@@ -17,6 +17,27 @@
 // scenario. See README.md for the layout and EXPERIMENTS.md for the
 // paper-vs-measured comparison.
 //
+// # The feature-schema registry
+//
+// Feature extraction is schema-driven. internal/features assembles named
+// Schemas from ResourceDescriptors (name, unit, direction, SWA window,
+// checkpoint accessor); the paper's derived-metric families — SWA
+// consumption speed, its inverse, per-throughput normalisations, level over
+// speed, smoothed levels — are generated generically from the descriptors,
+// so a new monitored resource is one descriptor plus the families it should
+// appear in (see the internal/features package comment for a worked
+// example). The built-in schemas are the Table 2 variants "full", "no-heap"
+// and "heap-focus" — kept byte-identical to the original hardcoded variable
+// lists by a regression test — plus "full+conn", which adds the
+// database-connection speed derivatives the paper's list lacks. Schemas
+// compile to an index-based column program evaluated into a reusable
+// buffer, and core.Predictor binds its trained model to row indices once,
+// so the steady-state Observe hot path performs zero allocations per
+// checkpoint (BenchmarkObserve pins this). Schema selection is plumbed
+// end to end: core.Config.Schema, scenario declarations (agingbench -list,
+// -schema), fleet.Config.Schema and per-class fleet.Config.ClassSchemas
+// (agingfleet -schema / -class-schema), and agingsim -variables.
+//
 // # The fleet subsystem
 //
 // Beyond the paper's single-server evaluation, internal/fleet scales the

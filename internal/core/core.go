@@ -61,10 +61,19 @@ const (
 type Config struct {
 	// Model is the learning algorithm (default ModelM5P).
 	Model ModelKind
+	// Schema selects the feature schema the predictor extracts and learns
+	// on (see the features schema registry: "full", "no-heap", "heap-focus",
+	// "full+conn", or any caller-registered schema). When nil, the schema is
+	// derived from Variables. Schema wins when both are set.
+	Schema *features.Schema
 	// Variables selects the Table 2 variable subset (default features.FullSet).
+	// It is the legacy spelling of the three paper schemas; Schema supersedes
+	// it.
 	Variables features.VariableSet
 	// WindowLength is the sliding-window length, in checkpoints, used for
-	// the derived consumption-speed features (default 12).
+	// the derived consumption-speed features (default 12, or the schema's
+	// own default). A non-default value re-parameterises the schema via
+	// Schema.WithWindow.
 	WindowLength int
 	// MinLeafInstances is the minimum number of instances per tree leaf
 	// (default 10, as reported by the paper for every experiment).
@@ -86,8 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.Model == "" {
 		c.Model = ModelM5P
 	}
-	if c.WindowLength <= 0 {
-		c.WindowLength = features.DefaultWindowLength
+	if c.Schema == nil {
+		c.Schema = c.Variables.Schema()
+	}
+	if c.WindowLength > 0 {
+		c.Schema = c.Schema.WithWindow(c.WindowLength)
+	} else {
+		// Leave a caller-supplied schema's own default window untouched;
+		// echo the effective value so Config() reports it.
+		c.WindowLength = c.Schema.WindowLength()
 	}
 	if c.MinLeafInstances <= 0 {
 		c.MinLeafInstances = m5p.DefaultMinInstances
@@ -127,15 +143,35 @@ var (
 	_ regressor = (*regtree.Tree)(nil)
 )
 
+// boundRegressor is a model pre-bound to the predictor's schema: index-based
+// evaluation with no name resolution and no per-call allocations. All three
+// model families provide one via Bind; it is the Observe hot path.
+type boundRegressor interface {
+	Predict(row []float64) float64
+}
+
+// Statically verify the three bound forms satisfy the interface.
+var (
+	_ boundRegressor = (*m5p.BoundTree)(nil)
+	_ boundRegressor = (*linreg.BoundModel)(nil)
+	_ boundRegressor = (*regtree.BoundTree)(nil)
+)
+
 // Predictor predicts time to failure from monitored checkpoints.
 type Predictor struct {
-	cfg   Config
-	attrs []string
+	cfg    Config
+	schema *features.Schema
+	attrs  []string
 
 	model   regressor
 	m5pTree *m5p.Tree // non-nil only when cfg.Model == ModelM5P
+	// bound is the model compiled against the predictor's schema (index-
+	// based, allocation-free). It is nil when the trained model references
+	// attributes outside the schema, in which case Observe falls back to the
+	// name-resolving path.
+	bound boundRegressor
 
-	online  *features.OnlineExtractor
+	stream  *features.RowExtractor
 	trained bool
 }
 
@@ -147,6 +183,8 @@ type TrainReport struct {
 	Model      ModelKind
 	Instances  int
 	Attributes int
+	// Schema names the feature schema the model was trained on.
+	Schema string
 	// Leaves and InnerNodes describe tree models; they are zero for linear
 	// regression.
 	Leaves     int
@@ -155,11 +193,15 @@ type TrainReport struct {
 
 // String renders the report in the paper's style.
 func (r TrainReport) String() string {
-	if r.Leaves > 0 {
-		return fmt.Sprintf("%s model: %d leaves, %d inner nodes, trained on %d instances (%d attributes)",
-			r.Model, r.Leaves, r.InnerNodes, r.Instances, r.Attributes)
+	schema := ""
+	if r.Schema != "" {
+		schema = fmt.Sprintf(", schema %s", r.Schema)
 	}
-	return fmt.Sprintf("%s model trained on %d instances (%d attributes)", r.Model, r.Instances, r.Attributes)
+	if r.Leaves > 0 {
+		return fmt.Sprintf("%s model: %d leaves, %d inner nodes, trained on %d instances (%d attributes%s)",
+			r.Model, r.Leaves, r.InnerNodes, r.Instances, r.Attributes, schema)
+	}
+	return fmt.Sprintf("%s model trained on %d instances (%d attributes%s)", r.Model, r.Instances, r.Attributes, schema)
 }
 
 // Prediction is one on-line prediction.
@@ -181,15 +223,20 @@ func NewPredictor(cfg Config) (*Predictor, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	schema := cfg.Schema
 	return &Predictor{
 		cfg:    cfg,
-		attrs:  features.Variables(cfg.Variables),
-		online: features.NewOnlineExtractor(cfg.WindowLength, cfg.Variables),
+		schema: schema,
+		attrs:  schema.Attrs(),
+		stream: schema.Stream(),
 	}, nil
 }
 
 // Config returns the effective configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// Schema returns the feature schema the predictor extracts and predicts on.
+func (p *Predictor) Schema() *features.Schema { return p.schema }
 
 // Trained reports whether the predictor has a model.
 func (p *Predictor) Trained() bool { return p.trained }
@@ -206,8 +253,7 @@ func (p *Predictor) Train(series []*monitor.Series) (TrainReport, error) {
 	if len(series) == 0 {
 		return TrainReport{}, errors.New("core: no training series")
 	}
-	extractor := features.NewExtractor(p.cfg.WindowLength)
-	ds, err := extractor.ExtractAll("training", series, p.cfg.Variables)
+	ds, err := p.schema.ExtractAll("training", series)
 	if err != nil {
 		return TrainReport{}, fmt.Errorf("core: extracting training features: %w", err)
 	}
@@ -220,7 +266,7 @@ func (p *Predictor) TrainDataset(ds *dataset.Dataset) (TrainReport, error) {
 	if ds == nil || ds.Len() == 0 {
 		return TrainReport{}, errors.New("core: empty training dataset")
 	}
-	report := TrainReport{Model: p.cfg.Model, Instances: ds.Len(), Attributes: ds.NumAttrs()}
+	report := TrainReport{Model: p.cfg.Model, Instances: ds.Len(), Attributes: ds.NumAttrs(), Schema: p.schema.Name()}
 	switch p.cfg.Model {
 	case ModelM5P:
 		tree, err := m5p.Fit(ds, m5p.Options{
@@ -256,14 +302,41 @@ func (p *Predictor) TrainDataset(ds *dataset.Dataset) (TrainReport, error) {
 		return TrainReport{}, fmt.Errorf("core: unknown model kind %q", p.cfg.Model)
 	}
 	p.trained = true
+	p.bindModel()
 	p.ResetOnline()
 	return report, nil
 }
 
+// bindModel compiles the trained model against the predictor's schema:
+// attribute names are resolved to row indices once, so Observe needs no
+// lookups and no allocations per checkpoint. When the model references
+// attributes outside the schema (a dataset trained under a wider schema),
+// bound stays nil and Observe keeps the name-resolving fallback, which
+// reports the mismatch per call exactly as before.
+func (p *Predictor) bindModel() {
+	p.bound = nil
+	switch m := p.model.(type) {
+	case *m5p.Tree:
+		if bt, err := m.Bind(p.attrs); err == nil {
+			p.bound = bt
+		}
+	case *linreg.Model:
+		if bm, err := m.Bind(p.attrs); err == nil {
+			p.bound = bm
+		}
+	case *regtree.Tree:
+		if bt, err := m.Bind(p.attrs); err == nil {
+			p.bound = bt
+		}
+	}
+}
+
 // ResetOnline clears the on-line sliding-window state (use after a
-// rejuvenation action or when switching to a different server).
+// rejuvenation action or when switching to a different server). It reuses
+// the existing buffers, so a fleet-scale rejuvenation wave allocates
+// nothing.
 func (p *Predictor) ResetOnline() {
-	p.online = features.NewOnlineExtractor(p.cfg.WindowLength, p.cfg.Variables)
+	p.stream.Reset()
 }
 
 // Clone returns a new Predictor that shares the receiver's trained model but
@@ -273,21 +346,29 @@ func (p *Predictor) ResetOnline() {
 // read-only, so any number of clones may call Observe concurrently with each
 // other and with the receiver: train once, then fan read-only clones out to
 // per-server goroutines (the fleet subsystem gives every simulated instance
-// its own clone). A clone captures the receiver's model at call time —
-// re-training the receiver later does not affect existing clones. Cloning an
-// untrained predictor yields an untrained predictor.
+// its own clone). The schema-bound model compiled at training time is shared
+// too — it is immutable like the tree itself. A clone captures the
+// receiver's model at call time — re-training the receiver later does not
+// affect existing clones. Cloning an untrained predictor yields an untrained
+// predictor.
 func (p *Predictor) Clone() *Predictor {
 	return &Predictor{
 		cfg:     p.cfg,
+		schema:  p.schema,
 		attrs:   p.attrs,
 		model:   p.model,
 		m5pTree: p.m5pTree,
-		online:  features.NewOnlineExtractor(p.cfg.WindowLength, p.cfg.Variables),
+		bound:   p.bound,
+		stream:  p.schema.Stream(),
 		trained: p.trained,
 	}
 }
 
 // Observe consumes one live checkpoint and returns the prediction for it.
+// In steady state it performs no allocations: the feature row is computed
+// into a reusable buffer by the compiled schema extractor and the model is
+// evaluated through its schema-bound form (BenchmarkObserve pins 0
+// allocs/op).
 //
 // Observe is NOT safe for concurrent use: every call mutates the predictor's
 // sliding-window feature state, so two goroutines observing through the same
@@ -298,17 +379,26 @@ func (p *Predictor) Observe(cp monitor.Checkpoint) (Prediction, error) {
 	if !p.trained {
 		return Prediction{}, errors.New("core: predictor is not trained")
 	}
-	row := p.online.Push(cp)
+	row := p.stream.Step(cp)
+	if p.bound != nil {
+		return p.clamp(cp.TimeSec, p.bound.Predict(row)), nil
+	}
 	return p.predictRow(cp.TimeSec, row)
 }
 
-// predictRow runs the model on one feature vector and post-processes the
-// output: predictions are clamped to [0, InfiniteTTF].
+// predictRow runs the model on one feature vector through the name-resolving
+// path and post-processes the output.
 func (p *Predictor) predictRow(timeSec float64, row []float64) (Prediction, error) {
 	raw, err := p.model.Predict(p.attrs, row)
 	if err != nil {
 		return Prediction{}, fmt.Errorf("core: predicting: %w", err)
 	}
+	return p.clamp(timeSec, raw), nil
+}
+
+// clamp post-processes a raw model output: predictions are clamped to
+// [0, InfiniteTTF].
+func (p *Predictor) clamp(timeSec, raw float64) Prediction {
 	infinite := p.cfg.InfiniteTTF.Seconds()
 	ttf := raw
 	if ttf < 0 {
@@ -322,7 +412,7 @@ func (p *Predictor) predictRow(timeSec float64, row []float64) (Prediction, erro
 		TTF:           time.Duration(ttf * float64(time.Second)),
 		TTFSec:        ttf,
 		CrashExpected: ttf < infinite*0.999,
-	}, nil
+	}
 }
 
 // PredictRow predicts the time to failure for a single already-extracted

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"agingpred/internal/features"
+	"agingpred/internal/monitor"
+)
+
+// leakSeries builds a deterministic run-to-crash series with a linear memory
+// and thread leak plus small deterministic oscillations — cheap enough to
+// train on in a unit test, structured enough for M5P to find splits.
+func leakSeries(name string, n int, memPerCP, thrPerCP float64) *monitor.Series {
+	s := &monitor.Series{Name: name, IntervalSec: 15, Workload: 100, Crashed: true}
+	crash := float64(n) * 15
+	s.CrashTimeSec = crash
+	for i := 1; i <= n; i++ {
+		t := float64(i) * 15
+		wob := float64(i%5) - 2
+		old := 200 + memPerCP*float64(i)
+		threads := 250 + thrPerCP*float64(i) + wob
+		tomcat := 500 + memPerCP*float64(i) + 0.5*threads
+		s.Checkpoints = append(s.Checkpoints, monitor.Checkpoint{
+			TimeSec:         t,
+			Throughput:      10 + 0.2*wob,
+			Workload:        100,
+			ResponseTimeSec: 0.05 + 0.0005*float64(i),
+			SystemLoad:      2,
+			DiskUsedMB:      12000 + float64(i),
+			SwapFreeMB:      2048,
+			NumProcesses:    117,
+			SystemMemUsedMB: 450 + tomcat,
+			TomcatMemUsedMB: tomcat,
+			NumThreads:      threads,
+			NumHTTPConns:    10,
+			NumMySQLConns:   8 + 0.05*float64(i),
+			YoungMaxMB:      128,
+			OldMaxMB:        832,
+			YoungUsedMB:     40 + 4*wob,
+			OldUsedMB:       old,
+			YoungPct:        (40 + 4*wob) / 128 * 100,
+			OldPct:          old / 832 * 100,
+			TTFSec:          crash - t,
+		})
+	}
+	return s
+}
+
+func trainedOn(t testing.TB, cfg Config) *Predictor {
+	t.Helper()
+	p, err := NewPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := []*monitor.Series{
+		leakSeries("train-a", 300, 2.0, 0.3),
+		leakSeries("train-b", 400, 1.5, 0.2),
+		leakSeries("train-c", 250, 2.5, 0.5),
+	}
+	if _, err := p.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestObserveZeroAllocs pins the acceptance criterion of the schema
+// refactor: steady-state Observe performs no allocations per checkpoint for
+// every model family.
+func TestObserveZeroAllocs(t *testing.T) {
+	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression, ModelRegressionTree} {
+		t.Run(string(kind), func(t *testing.T) {
+			p := trainedOn(t, Config{Model: kind})
+			test := leakSeries("test", 200, 1.8, 0.25)
+			for _, cp := range test.Checkpoints {
+				if _, err := p.Observe(cp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cp := test.Checkpoints[len(test.Checkpoints)-1]
+			allocs := testing.AllocsPerRun(100, func() {
+				cp.TimeSec += 15
+				if _, err := p.Observe(cp); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("Observe allocates %.1f objects per checkpoint, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestBoundModelMatchesNameResolvingPath verifies the compiled hot path is
+// bit-identical to the legacy name-resolving Predict for every model family
+// — the property the golden experiment metrics rely on.
+func TestBoundModelMatchesNameResolvingPath(t *testing.T) {
+	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression, ModelRegressionTree} {
+		t.Run(string(kind), func(t *testing.T) {
+			p := trainedOn(t, Config{Model: kind})
+			if p.bound == nil {
+				t.Fatalf("model did not bind to its own schema")
+			}
+			test := leakSeries("test", 150, 1.2, 0.4)
+			x := p.schema.Stream()
+			for _, cp := range test.Checkpoints {
+				row := x.Step(cp)
+				fast := p.bound.Predict(row)
+				slow, err := p.model.Predict(p.attrs, row)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fast != slow {
+					t.Fatalf("bound prediction %v != name-resolved %v at t=%v (difference %g)",
+						fast, slow, cp.TimeSec, math.Abs(fast-slow))
+				}
+			}
+		})
+	}
+}
+
+// TestConfigSchemaSelectsRegistrySchemas checks Config.Schema plumbs a
+// registered schema (here full+conn) end to end: attribute list, training
+// and on-line observation.
+func TestConfigSchemaSelectsRegistrySchemas(t *testing.T) {
+	schema, err := features.LookupSchema(features.FullConnSchemaName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := trainedOn(t, Config{Schema: schema})
+	if got := p.Schema().Name(); got != features.FullConnSchemaName {
+		t.Fatalf("predictor schema = %q", got)
+	}
+	if len(p.Attrs()) != schema.NumAttrs() {
+		t.Fatalf("predictor has %d attrs, schema %d", len(p.Attrs()), schema.NumAttrs())
+	}
+	test := leakSeries("test", 100, 1.5, 0.3)
+	pred, err := p.Observe(test.Checkpoints[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TTFSec < 0 {
+		t.Fatalf("negative TTF %v", pred.TTFSec)
+	}
+	// Clone keeps the schema and the bound model.
+	c := p.Clone()
+	if c.Schema() != p.Schema() {
+		t.Fatalf("clone changed schema")
+	}
+	if _, err := c.Observe(test.Checkpoints[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCustomSchemaKeepsItsWindow guards the Config contract: with
+// WindowLength unset, a caller-supplied schema keeps its own default SWA
+// window instead of being silently re-windowed to the package default.
+func TestCustomSchemaKeepsItsWindow(t *testing.T) {
+	schema := features.NewSchemaBuilder("custom-window", 40).
+		Resource(features.ResourceDescriptor{
+			Key: "old", LevelName: "old_used", Unit: "MB", Direction: features.Growing,
+			Level: func(cp *monitor.Checkpoint) float64 { return cp.OldUsedMB },
+		}).
+		Raw("old_used_mb", "MB", func(cp *monitor.Checkpoint) float64 { return cp.OldUsedMB }).
+		SpeedDerivatives("old").
+		MustBuild()
+	p, err := NewPredictor(Config{Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Schema().WindowLength(); got != 40 {
+		t.Fatalf("schema window silently changed to %d, want 40", got)
+	}
+	if got := p.Config().WindowLength; got != 40 {
+		t.Fatalf("Config().WindowLength = %d, want the effective 40", got)
+	}
+	// An explicit WindowLength still re-parameterises the schema.
+	p2, err := NewPredictor(Config{Schema: schema, WindowLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Schema().WindowLength(); got != 6 {
+		t.Fatalf("explicit WindowLength ignored: schema window %d, want 6", got)
+	}
+}
+
+// BenchmarkObserve measures the per-checkpoint hot path end to end (compiled
+// feature row + schema-bound model evaluation), reporting ns/op and
+// allocs/op. Before the schema refactor this path built a 49-entry
+// map[string]float64, filtered it through freshly-allocated name slices and
+// re-resolved every model attribute by name on each call (~20 allocations
+// per checkpoint); now it is allocation-free.
+func BenchmarkObserve(b *testing.B) {
+	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression} {
+		b.Run(string(kind), func(b *testing.B) {
+			p := trainedOn(b, Config{Model: kind})
+			test := leakSeries("bench", 256, 1.8, 0.25)
+			for _, cp := range test.Checkpoints {
+				if _, err := p.Observe(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cp := test.Checkpoints[len(test.Checkpoints)-1]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cp.TimeSec += 15
+				if _, err := p.Observe(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -230,6 +230,39 @@ func (d *Dataset) Select(names []string) (*Dataset, error) {
 	return out, nil
 }
 
+// Conform returns a dataset whose attribute columns are exactly names, in
+// order: the receiver itself when its schema already matches (no copy), or a
+// projection via Select otherwise. Unlike Select, a mismatch reports every
+// missing attribute at once, which makes feature-schema mismatches
+// actionable (e.g. a dataset extracted under "full" fed to a "full+conn"
+// model). It is the bridge between the feature-schema layer and datasets
+// extracted under a different (wider or reordered) schema.
+func (d *Dataset) Conform(names []string) (*Dataset, error) {
+	if len(names) == len(d.attrs) {
+		same := true
+		for i := range names {
+			if names[i] != d.attrs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return d, nil
+		}
+	}
+	var missing []string
+	for _, n := range names {
+		if d.AttrIndex(n) < 0 {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("dataset: %q cannot conform to the requested schema: missing %d attribute(s): %s",
+			d.Relation, len(missing), strings.Join(missing, ", "))
+	}
+	return d.Select(names)
+}
+
 // Filter returns a new dataset with the instances for which keep returns
 // true.
 func (d *Dataset) Filter(keep func(row []float64, target float64) bool) *Dataset {

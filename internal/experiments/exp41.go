@@ -51,12 +51,13 @@ func Experiment41(opts Options) (*Experiment41Result, error) {
 		return nil, err
 	}
 
-	// The paper does not add the heap information in this experiment.
-	m5pPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.NoHeapSet})
+	// The paper does not add the heap information in this experiment (the
+	// -schema flag can override the no-heap default).
+	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.NoHeapSet)
 	if err != nil {
 		return nil, err
 	}
-	lrPred, err := core.NewPredictor(core.Config{Model: core.ModelLinearRegression, Variables: features.NoHeapSet})
+	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.NoHeapSet)
 	if err != nil {
 		return nil, err
 	}

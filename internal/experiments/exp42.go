@@ -168,11 +168,11 @@ func Experiment42(opts Options) (*Experiment42Result, error) {
 		return nil, err
 	}
 
-	m5pPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.FullSet})
+	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.FullSet)
 	if err != nil {
 		return nil, err
 	}
-	lrPred, err := core.NewPredictor(core.Config{Model: core.ModelLinearRegression, Variables: features.FullSet})
+	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.FullSet)
 	if err != nil {
 		return nil, err
 	}

@@ -98,7 +98,7 @@ func Experiment43(opts Options) (*Experiment43Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m5pFull, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.FullSet})
+	m5pFull, err := newModelPredictor(opts, core.ModelM5P, features.FullSet)
 	if err != nil {
 		return nil, err
 	}

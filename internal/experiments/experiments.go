@@ -68,6 +68,7 @@ import (
 
 	"agingpred/internal/core"
 	"agingpred/internal/evalx"
+	"agingpred/internal/features"
 	"agingpred/internal/injector"
 	"agingpred/internal/monitor"
 	"agingpred/internal/testbed"
@@ -85,6 +86,13 @@ type Options struct {
 	// experiments 4.2–4.4 (0 = 100, the workload of the paper's periodic
 	// experiment).
 	TrainEBs int
+	// Schema optionally overrides the feature schema the experiment's
+	// primary models are built on, by registry name ("full+conn", ...).
+	// Empty keeps each experiment's paper-faithful default. Models whose
+	// schema *is* the experiment keep their pinned schema regardless: 4.3's
+	// expert feature selection, and the connleak scenario's full vs
+	// full+conn A/B (which ignores the override entirely).
+	Schema string
 	// Ctx optionally cancels the experiment between (and inside) testbed
 	// executions; the scenario engine sets it so a whole seed sweep can be
 	// aborted. A nil Ctx means the experiment runs to completion. The
@@ -101,6 +109,31 @@ func (o Options) withDefaults() Options {
 		o.TrainEBs = 100
 	}
 	return o
+}
+
+// modelConfig builds the core.Config for an experiment's primary models: the
+// experiment's paper-faithful variable set by default, or the schema named by
+// Options.Schema when the caller overrides it (the agingbench -schema flag).
+// An unknown schema name fails fast with the list of valid names.
+func modelConfig(opts Options, model core.ModelKind, fallback features.VariableSet) (core.Config, error) {
+	cfg := core.Config{Model: model, Variables: fallback}
+	if opts.Schema != "" {
+		schema, err := features.LookupSchema(opts.Schema)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("experiments: %w", err)
+		}
+		cfg.Schema = schema
+	}
+	return cfg, nil
+}
+
+// newModelPredictor is modelConfig + core.NewPredictor in one step.
+func newModelPredictor(opts Options, model core.ModelKind, fallback features.VariableSet) (*core.Predictor, error) {
+	cfg, err := modelConfig(opts, model, fallback)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPredictor(cfg)
 }
 
 // TracePoint is one sample of a predicted-vs-observed trace, used to redraw

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"agingpred/internal/evalx"
+	"agingpred/internal/features"
 )
 
 // Scenario is one self-contained aging experiment: it runs whatever testbed
@@ -52,16 +53,38 @@ type ScenarioResult struct {
 	Summary string
 }
 
+// SchemaDeclarer is optionally implemented by scenarios that declare which
+// feature schema their models are built on (a name from the features schema
+// registry). agingbench -list surfaces the declaration, and it documents
+// which Table 2 variant a scenario's metrics were produced under.
+type SchemaDeclarer interface {
+	// SchemaName returns the scenario's primary feature-schema name.
+	SchemaName() string
+}
+
+// ScenarioSchema returns the schema a scenario declares, or "full" — the
+// complete Table 2 set — for scenarios that declare nothing.
+func ScenarioSchema(s Scenario) string {
+	if d, ok := s.(SchemaDeclarer); ok {
+		if name := d.SchemaName(); name != "" {
+			return name
+		}
+	}
+	return features.FullSchemaName
+}
+
 // scenarioFunc adapts a plain function to the Scenario interface; all
 // built-in scenarios use it.
 type scenarioFunc struct {
-	name string
-	desc string
-	run  func(ctx context.Context, opts Options) (*ScenarioResult, error)
+	name   string
+	desc   string
+	schema string
+	run    func(ctx context.Context, opts Options) (*ScenarioResult, error)
 }
 
 func (s scenarioFunc) Name() string        { return s.name }
 func (s scenarioFunc) Description() string { return s.desc }
+func (s scenarioFunc) SchemaName() string  { return s.schema }
 func (s scenarioFunc) Run(ctx context.Context, opts Options) (*ScenarioResult, error) {
 	opts.Ctx = ctx
 	return s.run(ctx, opts)
@@ -69,6 +92,14 @@ func (s scenarioFunc) Run(ctx context.Context, opts Options) (*ScenarioResult, e
 
 // NewScenario wraps a run function as a Scenario, for callers outside this
 // package that want to register custom scenarios without defining a type.
+// The scenario declares the full Table 2 schema; use NewSchemaScenario to
+// declare another.
 func NewScenario(name, description string, run func(ctx context.Context, opts Options) (*ScenarioResult, error)) Scenario {
-	return scenarioFunc{name: name, desc: description, run: run}
+	return NewSchemaScenario(name, description, features.FullSchemaName, run)
+}
+
+// NewSchemaScenario is NewScenario with an explicit feature-schema
+// declaration (a features registry name).
+func NewSchemaScenario(name, description, schema string, run func(ctx context.Context, opts Options) (*ScenarioResult, error)) Scenario {
+	return scenarioFunc{name: name, desc: description, schema: schema, run: run}
 }

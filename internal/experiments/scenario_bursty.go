@@ -77,11 +77,11 @@ func ExperimentBursty(opts Options) (*BurstyResult, error) {
 		return nil, err
 	}
 
-	m5pPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.NoHeapSet})
+	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.NoHeapSet)
 	if err != nil {
 		return nil, err
 	}
-	lrPred, err := core.NewPredictor(core.Config{Model: core.ModelLinearRegression, Variables: features.NoHeapSet})
+	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.NoHeapSet)
 	if err != nil {
 		return nil, err
 	}
@@ -160,8 +160,9 @@ func ExperimentBursty(opts Options) (*BurstyResult, error) {
 }
 
 func init() {
-	MustRegister(NewScenario("bursty",
+	MustRegister(NewSchemaScenario("bursty",
 		"aging hidden under traffic spikes: constant leak, alternating 60/180 EB load",
+		features.NoHeapSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := ExperimentBursty(opts)
 			if err != nil {

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"agingpred/internal/core"
+	"agingpred/internal/evalx"
+	"agingpred/internal/features"
+	"agingpred/internal/monitor"
+	"agingpred/internal/testbed"
+)
+
+// The connleak scenario is the single-instance demonstration of the schema
+// layer's reason to exist: database-connection aging. The paper's Table 2
+// variable set carries sliding-window speed features for heap, threads and
+// process memory but none for connections, so a model trained on it sees the
+// connection *level* but never its *slope* — the feature gap behind the
+// conn-leak outlier in the fleet's per-class MAE table (EXPERIMENTS.md).
+// The scenario trains the same M5P model twice on the same executions, once
+// under the "full" schema and once under "full+conn" (which adds the
+// connection-speed derivative family), and reports both accuracies so the
+// gap — and the schema that closes it — is measured, not asserted.
+
+// ConnLeakResult is the outcome of the connection-leak scenario.
+type ConnLeakResult struct {
+	// TrainReportFull and TrainReportConn describe the two trained models.
+	TrainReportFull core.TrainReport
+	TrainReportConn core.TrainReport
+	// Full and FullConn are the accuracy reports of the M5P model on the
+	// unseen test run, under the paper's schema and under full+conn.
+	Full     evalx.Report
+	FullConn evalx.Report
+	// CrashTimeSec and CrashReason describe the test run's death (it must be
+	// the connection pool).
+	CrashTimeSec float64
+	CrashReason  string
+	// RootCause holds the top attributes of the full+conn tree; with the
+	// speed features present the model should implicate the connections.
+	RootCause []core.RootCauseHint
+}
+
+// String renders the result.
+func (r *ConnLeakResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario connleak — database-connection aging, %q vs %q schema\n",
+		features.FullSchemaName, features.FullConnSchemaName)
+	fmt.Fprintf(&b, "  %s\n  %s\n", r.TrainReportFull, r.TrainReportConn)
+	fmt.Fprintf(&b, "  test run crashed at %.0f s (%s)\n", r.CrashTimeSec, r.CrashReason)
+	b.WriteString(formatReports("  accuracy vs actual time to failure", r.Full, r.FullConn))
+	b.WriteString(core.FormatRootCause(r.RootCause))
+	return b.String()
+}
+
+// connleakTrainingRuns builds run-to-crash connection-leak executions at
+// three rates spanning slow to fast, all at the training workload. The span
+// matters: the slow run stretches the label range past the test run's
+// lifetime, so the comparison below measures rate disambiguation, not label
+// extrapolation.
+func connleakTrainingRuns(opts Options) ([]*monitor.Series, error) {
+	rates := []struct{ c, t int }{{2, 90}, {5, 60}, {8, 40}}
+	series := make([]*monitor.Series, 0, len(rates))
+	for _, r := range rates {
+		res, err := runUntilCrash(testbed.RunConfig{
+			Name:        fmt.Sprintf("connleak-train-C%d-T%d", r.c, r.t),
+			Seed:        opts.Seed + 7000 + uint64(r.c*100+r.t),
+			EBs:         opts.TrainEBs,
+			Phases:      testbed.ConstantConnLeakPhases(r.c, r.t),
+			MaxDuration: opts.MaxRunDuration,
+			Ctx:         opts.Ctx,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, res.Series)
+	}
+	return series, nil
+}
+
+// ExperimentConnLeak runs the connection-leak schema comparison.
+func ExperimentConnLeak(opts Options) (*ConnLeakResult, error) {
+	opts = opts.withDefaults()
+	trainSeries, err := connleakTrainingRuns(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	fullSchema, err := features.LookupSchema(features.FullSchemaName)
+	if err != nil {
+		return nil, err
+	}
+	connSchema, err := features.LookupSchema(features.FullConnSchemaName)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extract the training features once under the wider schema; the "full"
+	// model trains on the same dataset conformed down to its own columns
+	// (full+conn is full plus a tail, so this is a pure projection).
+	connDS, err := connSchema.ExtractAll("connleak-training", trainSeries)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: extracting connleak training features: %w", err)
+	}
+	fullDS, err := connDS.Conform(fullSchema.Attrs())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: conforming training features to %q: %w", features.FullSchemaName, err)
+	}
+
+	fullPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Schema: fullSchema})
+	if err != nil {
+		return nil, err
+	}
+	connPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Schema: connSchema})
+	if err != nil {
+		return nil, err
+	}
+	fullReport, err := fullPred.TrainDataset(fullDS)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %q M5P for connleak: %w", features.FullSchemaName, err)
+	}
+	connReport, err := connPred.TrainDataset(connDS)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %q M5P for connleak: %w", features.FullConnSchemaName, err)
+	}
+
+	// Test on an unseen leak rate at an unseen workload. The rate falls
+	// inside the training span but matches none of the trained rates: from
+	// the connection level alone the time to failure is ambiguous across
+	// rates, and the connection-speed features are what can resolve it.
+	testRes, err := runUntilCrash(testbed.RunConfig{
+		Name:        "connleak-test",
+		Seed:        opts.Seed + 7900,
+		EBs:         150,
+		Phases:      testbed.ConstantConnLeakPhases(3, 70),
+		MaxDuration: opts.MaxRunDuration,
+		Ctx:         opts.Ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fullPreds, err := fullPred.PredictSeries(testRes.Series)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %q predictions: %w", features.FullSchemaName, err)
+	}
+	connPreds, err := connPred.PredictSeries(testRes.Series)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %q predictions: %w", features.FullConnSchemaName, err)
+	}
+	fullRep, err := evalx.Evaluate(fullPreds, evalx.Options{Model: "M5P/" + features.FullSchemaName})
+	if err != nil {
+		return nil, err
+	}
+	connRep, err := evalx.Evaluate(connPreds, evalx.Options{Model: "M5P/" + features.FullConnSchemaName})
+	if err != nil {
+		return nil, err
+	}
+	hints, err := connPred.RootCause(3)
+	if err != nil {
+		return nil, err
+	}
+	return &ConnLeakResult{
+		TrainReportFull: fullReport,
+		TrainReportConn: connReport,
+		Full:            fullRep,
+		FullConn:        connRep,
+		CrashTimeSec:    testRes.Series.CrashTimeSec,
+		CrashReason:     testRes.Series.CrashReason,
+		RootCause:       hints,
+	}, nil
+}
+
+func init() {
+	MustRegister(NewSchemaScenario("connleak",
+		"database-connection aging: the paper's variable set vs full+conn (connection-speed derivatives)",
+		features.FullConnSchemaName,
+		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
+			res, err := ExperimentConnLeak(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &ScenarioResult{
+				Metrics: Metrics{
+					"M5P/" + features.FullSchemaName:     res.Full,
+					"M5P/" + features.FullConnSchemaName: res.FullConn,
+				},
+				Summary: res.String(),
+			}, nil
+		}))
+}

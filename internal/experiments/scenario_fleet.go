@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"agingpred/internal/evalx"
+	"agingpred/internal/features"
 	"agingpred/internal/fleet"
 )
 
@@ -27,21 +29,32 @@ const (
 )
 
 // ExperimentFleet runs the fleet scenario at one seed and returns the fleet
-// report.
+// report. Options.Schema selects the shared predictor's feature schema
+// fleet-wide (e.g. "full+conn" to close the connection-speed gap; the
+// per-class comparison in EXPERIMENTS.md was produced this way).
 func ExperimentFleet(opts Options) (*fleet.Report, error) {
 	opts = opts.withDefaults()
-	return fleet.Run(fleet.Config{
+	cfg := fleet.Config{
 		Instances: fleetScenarioInstances,
 		Shards:    fleetScenarioShards,
 		Duration:  fleetScenarioDuration,
 		Seed:      opts.Seed,
 		Ctx:       opts.Ctx,
-	})
+	}
+	if opts.Schema != "" {
+		schema, err := features.LookupSchema(opts.Schema)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		cfg.Schema = schema
+	}
+	return fleet.Run(cfg)
 }
 
 func init() {
-	MustRegister(NewScenario("fleet",
+	MustRegister(NewSchemaScenario("fleet",
 		"sharded online prediction service over a heterogeneous server fleet with budgeted rejuvenation",
+		features.FullSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			rep, err := ExperimentFleet(opts)
 			if err != nil {

@@ -126,11 +126,11 @@ func ExperimentTriLeak(opts Options) (*TriLeakResult, error) {
 		return nil, err
 	}
 
-	m5pPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.FullSet})
+	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.FullSet)
 	if err != nil {
 		return nil, err
 	}
-	lrPred, err := core.NewPredictor(core.Config{Model: core.ModelLinearRegression, Variables: features.FullSet})
+	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.FullSet)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +174,9 @@ func ExperimentTriLeak(opts Options) (*TriLeakResult, error) {
 }
 
 func init() {
-	MustRegister(NewScenario("trileak",
+	MustRegister(NewSchemaScenario("trileak",
 		"three-resource aging: memory + threads + DB connections, single-resource training",
+		features.FullSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := ExperimentTriLeak(opts)
 			if err != nil {

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+
+	"agingpred/internal/features"
 )
 
 // The paper's four evaluation experiments, registered as scenarios so the
@@ -10,8 +12,9 @@ import (
 // several test workloads, plain "<model>" otherwise.
 
 func init() {
-	MustRegister(NewScenario("4.1",
+	MustRegister(NewSchemaScenario("4.1",
 		"deterministic aging (Table 3): constant leak, models tested on unseen workloads",
+		features.NoHeapSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := Experiment41(opts)
 			if err != nil {
@@ -25,8 +28,9 @@ func init() {
 			return &ScenarioResult{Metrics: metrics, Summary: res.String()}, nil
 		}))
 
-	MustRegister(NewScenario("4.2",
+	MustRegister(NewSchemaScenario("4.2",
 		"dynamic and variable aging (Figure 3): changing leak rates under constant load",
+		features.FullSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := Experiment42(opts)
 			if err != nil {
@@ -38,8 +42,9 @@ func init() {
 			}, nil
 		}))
 
-	MustRegister(NewScenario("4.3",
+	MustRegister(NewSchemaScenario("4.3",
 		"aging hidden in a periodic pattern (Table 4, Figure 4): expert feature selection",
+		features.HeapFocusSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := Experiment43(opts)
 			if err != nil {
@@ -55,8 +60,9 @@ func init() {
 			}, nil
 		}))
 
-	MustRegister(NewScenario("4.4",
+	MustRegister(NewSchemaScenario("4.4",
 		"aging due to two resources (Figure 5): memory + threads, single-resource training",
+		features.FullSchemaName,
 		func(ctx context.Context, opts Options) (*ScenarioResult, error) {
 			res, err := Experiment44(opts)
 			if err != nil {

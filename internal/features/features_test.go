@@ -211,41 +211,41 @@ func TestExtractAllConcatenates(t *testing.T) {
 	}
 }
 
-func TestOnlineExtractorMatchesBatch(t *testing.T) {
+func TestStreamMatchesBatch(t *testing.T) {
 	s := syntheticSeries(60, 1.5)
 	e := NewExtractor(12)
 	batch, err := e.Extract(s, FullSet)
 	if err != nil {
 		t.Fatalf("Extract: %v", err)
 	}
-	online := NewOnlineExtractor(12, FullSet)
-	attrs := online.Attrs()
+	stream := FullSet.Schema().Stream()
+	attrs := stream.Schema().Attrs()
 	if len(attrs) != batch.NumAttrs() {
-		t.Fatalf("online attrs = %d, batch = %d", len(attrs), batch.NumAttrs())
+		t.Fatalf("stream attrs = %d, batch = %d", len(attrs), batch.NumAttrs())
 	}
 	for i, cp := range s.Checkpoints {
-		row := online.Push(cp)
+		row := stream.Step(cp)
 		want := batch.Row(i)
 		for j := range row {
 			if math.Abs(row[j]-want[j]) > 1e-9 {
-				t.Fatalf("checkpoint %d attr %q: online %v, batch %v", i, attrs[j], row[j], want[j])
+				t.Fatalf("checkpoint %d attr %q: stream %v, batch %v", i, attrs[j], row[j], want[j])
 			}
 		}
 	}
 }
 
-func TestOnlineExtractorReset(t *testing.T) {
+func TestStreamReset(t *testing.T) {
 	s := syntheticSeries(30, 1)
-	online := NewOnlineExtractor(6, FullSet)
+	stream := FullSet.Schema().WithWindow(6).Stream()
 	for _, cp := range s.Checkpoints {
-		online.Push(cp)
+		stream.Step(cp)
 	}
-	online.Reset()
+	stream.Reset()
 	// After a reset the speed history is gone: the first pushed checkpoint
 	// yields zero SWA speeds again.
-	row := online.Push(s.Checkpoints[0])
+	row := stream.Step(s.Checkpoints[0])
 	idx := -1
-	for i, a := range online.Attrs() {
+	for i, a := range stream.Schema().Attrs() {
 		if a == varSWASpeedOld {
 			idx = i
 		}

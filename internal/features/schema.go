@@ -1,0 +1,671 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"agingpred/internal/dataset"
+	"agingpred/internal/monitor"
+	"agingpred/internal/sliding"
+)
+
+// This file is the schema layer of the feature pipeline: instead of a
+// hardcoded Table 2 variable list, a feature Schema is assembled from
+// ResourceDescriptors (name, unit, direction, SWA window) from which the
+// paper's derived metrics — SWA consumption speed, its inverse, the speed
+// normalised by throughput, the level over the speed, and their combinations
+// — are generated generically. The legacy VariableSets (full, no-heap,
+// heap-focus) are re-expressed as schemas in schema_defs.go, byte-identical
+// to the original lists, and new workloads can register schemas carrying
+// their own resources (e.g. "full+conn" adds database-connection speed
+// derivatives) without touching this package's core.
+//
+// A Schema is compiled at build time into an index-based column program; the
+// per-stream RowExtractor evaluates that program with no map lookups and no
+// per-checkpoint allocations, which is what keeps core.Predictor.Observe
+// allocation-free in steady state.
+
+// LevelFunc reads one raw metric from a checkpoint. The pointer receiver
+// avoids copying the checkpoint once per column on the hot path; accessors
+// must not retain or mutate the checkpoint.
+type LevelFunc func(cp *monitor.Checkpoint) float64
+
+// Direction documents how a resource approaches exhaustion. It does not
+// change the generated columns — speeds are signed either way — but it is
+// part of the descriptor so tooling (schema listings, root-cause reports)
+// can say which way "bad" points.
+type Direction int
+
+const (
+	// Gauge resources have no exhaustion direction (throughput, load).
+	Gauge Direction = iota
+	// Growing resources age by filling a capacity (heap, threads, pooled
+	// connections).
+	Growing
+	// Shrinking resources age by draining towards zero (free swap).
+	Shrinking
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Gauge:
+		return "gauge"
+	case Growing:
+		return "growing"
+	case Shrinking:
+		return "shrinking"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// ResourceDescriptor declares one monitored resource the schema tracks a
+// consumption speed for. Derived-metric names are generated from Key
+// ("swa_speed_<key>", "inv_swa_speed_<key>", ...), so adding a resource to a
+// schema is one descriptor plus the list of derived families it should
+// appear in.
+type ResourceDescriptor struct {
+	// Key is the short identifier used in derived-metric names ("old",
+	// "threads", "conns"). Required, unique within a schema.
+	Key string
+	// LevelName is the identifier used by the "<level>_over_swa" family
+	// (Table 2 names "young_used_over_swa", not "young_over_swa"). Empty
+	// means Key.
+	LevelName string
+	// Unit documents the resource's unit ("MB", "threads").
+	Unit string
+	// Direction documents which way the resource ages.
+	Direction Direction
+	// Window overrides the schema's SWA window length for this resource's
+	// speed (0 = the schema default).
+	Window int
+	// Level reads the resource's current level from a checkpoint. Required.
+	Level LevelFunc
+}
+
+// levelName returns the effective "<level>_over_swa" identifier.
+func (d ResourceDescriptor) levelName() string {
+	if d.LevelName != "" {
+		return d.LevelName
+	}
+	return d.Key
+}
+
+// colOp is one compiled column operation.
+type colOp uint8
+
+const (
+	opRaw                 colOp = iota // raw metric, read straight off the checkpoint
+	opSpeed                            // SWA consumption speed of a resource
+	opSpeedPerTH                       // SWA speed / throughput
+	opInvSpeed                         // 1 / SWA speed
+	opLevelOverSpeed                   // level / SWA speed
+	opInvSpeedPerTH                    // (1 / SWA speed) / throughput
+	opLevelOverSpeedPerTH              // (level / SWA speed) / throughput
+	opSmoothedLevel                    // SWA-smoothed raw level
+)
+
+// column is one compiled output column of a schema.
+type column struct {
+	name string
+	op   colOp
+	// res indexes Schema.resources for the speed-derived ops, and
+	// Schema.smoothed for opSmoothedLevel. Unused (-1) for opRaw.
+	res int
+	// level is the checkpoint accessor for opRaw columns.
+	level LevelFunc
+	// owner is the Key of the resource this column belongs to ("" = none);
+	// WithoutResources drops columns by owner.
+	owner string
+	// unit documents raw columns ("" for derived ones, whose unit follows
+	// from the resource).
+	unit string
+}
+
+// smoothedSpec is one SWA-smoothed level the schema maintains a window for.
+type smoothedSpec struct {
+	name   string
+	owner  string
+	window int // 0 = schema default
+	level  LevelFunc
+}
+
+// Schema is an immutable, named feature schema: an ordered list of columns
+// compiled over a set of resource descriptors. Build one with SchemaBuilder,
+// register it with RegisterSchema, and extract rows with Stream (on-line,
+// allocation-free) or Extract/ExtractAll (batch datasets). The target
+// attribute of every schema-extracted dataset is Target (time to failure).
+type Schema struct {
+	name      string
+	window    int
+	resources []ResourceDescriptor
+	smoothed  []smoothedSpec
+	cols      []column
+	attrs     []string
+}
+
+// Name returns the schema's registry name.
+func (s *Schema) Name() string { return s.name }
+
+// WindowLength returns the default SWA window length, in checkpoints.
+func (s *Schema) WindowLength() int { return s.window }
+
+// NumAttrs returns the number of generated columns (excluding the target).
+func (s *Schema) NumAttrs() int { return len(s.cols) }
+
+// Attrs returns a copy of the column names, in dataset order.
+func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Resources returns a copy of the speed-tracked resource descriptors.
+func (s *Schema) Resources() []ResourceDescriptor {
+	return append([]ResourceDescriptor(nil), s.resources...)
+}
+
+// String summarises the schema.
+func (s *Schema) String() string {
+	keys := make([]string, len(s.resources))
+	for i, r := range s.resources {
+		keys[i] = r.Key
+	}
+	return fmt.Sprintf("schema %q: %d columns, %d speed-tracked resources (%s), window %d",
+		s.name, len(s.cols), len(s.resources), strings.Join(keys, ", "), s.window)
+}
+
+// WithWindow returns a copy of the schema whose default SWA window length is
+// n checkpoints (<= 0 keeps DefaultWindowLength). Resources with an explicit
+// per-resource Window keep it. The copy keeps the schema's name but is not
+// registered.
+func (s *Schema) WithWindow(n int) *Schema {
+	if n <= 0 {
+		n = DefaultWindowLength
+	}
+	if n == s.window {
+		return s
+	}
+	out := *s
+	out.window = n
+	return &out
+}
+
+// WithoutResources derives a new schema by removing the named resources and
+// every column they own: their raw columns, all their speed-derived columns,
+// and their smoothed levels. This is how the legacy exclusion sets are
+// expressed ("no-heap" = full without {young, old}).
+func (s *Schema) WithoutResources(name string, keys ...string) (*Schema, error) {
+	drop := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if s.resourceIndex(k) < 0 {
+			return nil, fmt.Errorf("features: schema %q has no resource %q", s.name, k)
+		}
+		drop[k] = true
+	}
+	out := &Schema{name: name, window: s.window}
+	resMap := make([]int, len(s.resources))
+	for i, r := range s.resources {
+		if drop[r.Key] {
+			resMap[i] = -1
+			continue
+		}
+		resMap[i] = len(out.resources)
+		out.resources = append(out.resources, r)
+	}
+	smoothMap := make([]int, len(s.smoothed))
+	for i, sp := range s.smoothed {
+		if drop[sp.owner] {
+			smoothMap[i] = -1
+			continue
+		}
+		smoothMap[i] = len(out.smoothed)
+		out.smoothed = append(out.smoothed, sp)
+	}
+	for _, c := range s.cols {
+		if drop[c.owner] {
+			continue
+		}
+		switch c.op {
+		case opRaw:
+		case opSmoothedLevel:
+			c.res = smoothMap[c.res]
+		default:
+			c.res = resMap[c.res]
+		}
+		out.cols = append(out.cols, c)
+		out.attrs = append(out.attrs, c.name)
+	}
+	return out, nil
+}
+
+func (s *Schema) resourceIndex(key string) int {
+	for i, r := range s.resources {
+		if r.Key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// resourceWindow returns the effective window of resource i.
+func (s *Schema) resourceWindow(i int) int {
+	if w := s.resources[i].Window; w > 0 {
+		return w
+	}
+	return s.window
+}
+
+func (s *Schema) smoothedWindow(i int) int {
+	if w := s.smoothed[i].window; w > 0 {
+		return w
+	}
+	return s.window
+}
+
+// NewDataset returns an empty dataset with the schema's columns and the
+// standard time-to-failure target.
+func (s *Schema) NewDataset(relation string) (*dataset.Dataset, error) {
+	return dataset.New(relation, s.attrs, Target)
+}
+
+// Extract builds a dataset from a single monitored series: one instance per
+// checkpoint, with the derived variables at checkpoint i using only
+// information available up to i (so the resulting model can be applied
+// on-line).
+func (s *Schema) Extract(series *monitor.Series) (*dataset.Dataset, error) {
+	if series == nil {
+		return nil, fmt.Errorf("features: nil series")
+	}
+	if series.Len() == 0 {
+		return nil, fmt.Errorf("features: series %q has no checkpoints", series.Name)
+	}
+	ds, err := s.NewDataset(series.Name)
+	if err != nil {
+		return nil, fmt.Errorf("features: building dataset schema: %w", err)
+	}
+	x := s.Stream()
+	for _, cp := range series.Checkpoints {
+		if err := ds.Append(x.Step(cp), cp.TTFSec); err != nil {
+			return nil, fmt.Errorf("features: appending checkpoint at t=%v: %w", cp.TimeSec, err)
+		}
+	}
+	return ds, nil
+}
+
+// ExtractAll builds one dataset from several series (e.g. the 4-execution
+// training sets the paper uses), concatenating their instances.
+func (s *Schema) ExtractAll(relation string, series []*monitor.Series) (*dataset.Dataset, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("features: no series")
+	}
+	out, err := s.NewDataset(relation)
+	if err != nil {
+		return nil, fmt.Errorf("features: building dataset schema: %w", err)
+	}
+	for _, sr := range series {
+		ds, err := s.Extract(sr)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.AppendAll(ds); err != nil {
+			return nil, fmt.Errorf("features: merging series %q: %w", sr.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// RowExtractor is the compiled per-stream extraction state of one schema:
+// one SpeedTracker per resource, one Window per smoothed level, and a
+// reusable output row. Step is the per-checkpoint hot path — index-based,
+// no map lookups, no allocations in steady state. A RowExtractor serves one
+// checkpoint stream and is not safe for concurrent use.
+type RowExtractor struct {
+	s        *Schema
+	trackers []*sliding.SpeedTracker
+	windows  []*sliding.Window
+	// cp holds the checkpoint being processed so accessors can take a
+	// pointer into the extractor instead of escaping a stack copy.
+	cp    monitor.Checkpoint
+	level []float64 // per-resource level of the current checkpoint
+	swa   []float64 // per-resource SWA speed after observing it
+	row   []float64 // reusable output buffer
+}
+
+// Stream returns a fresh extraction state for one checkpoint stream.
+func (s *Schema) Stream() *RowExtractor {
+	x := &RowExtractor{
+		s:        s,
+		trackers: make([]*sliding.SpeedTracker, len(s.resources)),
+		windows:  make([]*sliding.Window, len(s.smoothed)),
+		level:    make([]float64, len(s.resources)),
+		swa:      make([]float64, len(s.resources)),
+		row:      make([]float64, len(s.cols)),
+	}
+	for i := range s.resources {
+		x.trackers[i] = sliding.NewSpeedTracker(s.resourceWindow(i))
+	}
+	for i := range s.smoothed {
+		x.windows[i] = sliding.NewWindow(s.smoothedWindow(i))
+	}
+	return x
+}
+
+// Schema returns the schema the extractor was compiled from.
+func (x *RowExtractor) Schema() *Schema { return x.s }
+
+// Step consumes one checkpoint and returns the feature row, aligned with
+// the schema's Attrs. The returned slice is the extractor's internal buffer:
+// it is valid until the next Step and must not be modified. Callers that
+// need to keep a row must copy it (dataset.Append already does).
+func (x *RowExtractor) Step(cp monitor.Checkpoint) []float64 {
+	x.cp = cp
+	p := &x.cp
+	s := x.s
+	for i := range s.resources {
+		lvl := s.resources[i].Level(p)
+		// Errors can only come from non-finite values or time going
+		// backwards; checkpoints are produced by the monitor in time order
+		// with finite values, and a defensive drop of one speed sample is
+		// preferable to aborting an on-line prediction loop.
+		_ = x.trackers[i].Observe(cp.TimeSec, lvl)
+		x.level[i] = lvl
+		x.swa[i] = x.trackers[i].SWA()
+	}
+	for i := range s.smoothed {
+		x.windows[i].Push(s.smoothed[i].level(p))
+	}
+	th := cp.Throughput
+	for i := range s.cols {
+		c := &s.cols[i]
+		var v float64
+		switch c.op {
+		case opRaw:
+			v = c.level(p)
+		case opSpeed:
+			v = x.swa[c.res]
+		case opSpeedPerTH:
+			v = sliding.SafeDiv(x.swa[c.res], th)
+		case opInvSpeed:
+			v = sliding.Inverse(x.swa[c.res])
+		case opLevelOverSpeed:
+			v = sliding.SafeDiv(x.level[c.res], x.swa[c.res])
+		case opInvSpeedPerTH:
+			v = sliding.SafeDiv(sliding.Inverse(x.swa[c.res]), th)
+		case opLevelOverSpeedPerTH:
+			v = sliding.SafeDiv(sliding.SafeDiv(x.level[c.res], x.swa[c.res]), th)
+		case opSmoothedLevel:
+			v = x.windows[c.res].Mean()
+		}
+		x.row[i] = v
+	}
+	return x.row
+}
+
+// Reset clears all sliding-window state (e.g. after a rejuvenation action),
+// reusing the existing buffers.
+func (x *RowExtractor) Reset() {
+	for _, t := range x.trackers {
+		t.Reset()
+	}
+	for _, w := range x.windows {
+		w.Reset()
+	}
+}
+
+// SchemaBuilder assembles a Schema column by column. The builder records the
+// first error and reports it from Build, so call sites can chain without
+// per-call checks.
+type SchemaBuilder struct {
+	s    Schema
+	seen map[string]bool
+	err  error
+}
+
+// NewSchemaBuilder starts a schema with the given name and default SWA
+// window length (<= 0 means DefaultWindowLength).
+func NewSchemaBuilder(name string, windowLen int) *SchemaBuilder {
+	if windowLen <= 0 {
+		windowLen = DefaultWindowLength
+	}
+	return &SchemaBuilder{
+		s:    Schema{name: name, window: windowLen},
+		seen: map[string]bool{Target: true},
+	}
+}
+
+func (b *SchemaBuilder) fail(format string, args ...any) *SchemaBuilder {
+	if b.err == nil {
+		b.err = fmt.Errorf("features: schema %q: "+format, append([]any{b.s.name}, args...)...)
+	}
+	return b
+}
+
+func (b *SchemaBuilder) addCol(c column) *SchemaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if c.name == "" {
+		return b.fail("column with empty name")
+	}
+	if b.seen[c.name] {
+		return b.fail("duplicate column %q", c.name)
+	}
+	b.seen[c.name] = true
+	b.s.cols = append(b.s.cols, c)
+	b.s.attrs = append(b.s.attrs, c.name)
+	return b
+}
+
+// Resource registers a speed-tracked resource. It emits no columns by
+// itself; the derived-family methods reference it by Key.
+func (b *SchemaBuilder) Resource(d ResourceDescriptor) *SchemaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if d.Key == "" {
+		return b.fail("resource with empty key")
+	}
+	if d.Level == nil {
+		return b.fail("resource %q has no level accessor", d.Key)
+	}
+	if b.s.resourceIndex(d.Key) >= 0 {
+		return b.fail("duplicate resource %q", d.Key)
+	}
+	b.s.resources = append(b.s.resources, d)
+	return b
+}
+
+// Raw appends a raw column read straight off the checkpoint.
+func (b *SchemaBuilder) Raw(name, unit string, level LevelFunc) *SchemaBuilder {
+	return b.RawFor("", name, unit, level)
+}
+
+// RawFor is Raw with an owning resource key: WithoutResources(key) drops the
+// column along with the resource's derived metrics. The owner must already
+// be registered, so a typo'd key cannot silently survive a later exclusion.
+func (b *SchemaBuilder) RawFor(owner, name, unit string, level LevelFunc) *SchemaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if level == nil {
+		return b.fail("raw column %q has no accessor", name)
+	}
+	if owner != "" && b.s.resourceIndex(owner) < 0 {
+		return b.fail("raw column %q owned by unknown resource %q", name, owner)
+	}
+	return b.addCol(column{name: name, op: opRaw, res: -1, level: level, owner: owner, unit: unit})
+}
+
+// derived appends one family column per key, in the given key order.
+func (b *SchemaBuilder) derived(op colOp, nameOf func(d ResourceDescriptor) string, keys []string) *SchemaBuilder {
+	for _, key := range keys {
+		if b.err != nil {
+			return b
+		}
+		i := b.s.resourceIndex(key)
+		if i < 0 {
+			return b.fail("derived column references unknown resource %q", key)
+		}
+		b.addCol(column{name: nameOf(b.s.resources[i]), op: op, res: i, owner: key})
+	}
+	return b
+}
+
+// Speeds appends "swa_speed_<key>" columns: the sliding-window-averaged
+// consumption speed of each resource.
+func (b *SchemaBuilder) Speeds(keys ...string) *SchemaBuilder {
+	return b.derived(opSpeed, func(d ResourceDescriptor) string { return "swa_speed_" + d.Key }, keys)
+}
+
+// SpeedsPerThroughput appends "swa_speed_<key>_per_th" columns: the SWA
+// speed normalised by throughput.
+func (b *SchemaBuilder) SpeedsPerThroughput(keys ...string) *SchemaBuilder {
+	return b.derived(opSpeedPerTH, func(d ResourceDescriptor) string { return "swa_speed_" + d.Key + "_per_th" }, keys)
+}
+
+// InverseSpeeds appends "inv_swa_speed_<key>" columns: seconds per unit of
+// resource consumed.
+func (b *SchemaBuilder) InverseSpeeds(keys ...string) *SchemaBuilder {
+	return b.derived(opInvSpeed, func(d ResourceDescriptor) string { return "inv_swa_speed_" + d.Key }, keys)
+}
+
+// LevelsOverSpeed appends "<level>_over_swa" columns: the current level
+// divided by the SWA speed.
+func (b *SchemaBuilder) LevelsOverSpeed(keys ...string) *SchemaBuilder {
+	return b.derived(opLevelOverSpeed, func(d ResourceDescriptor) string { return d.levelName() + "_over_swa" }, keys)
+}
+
+// InverseSpeedsPerThroughput appends "inv_swa_per_th_<key>" columns.
+func (b *SchemaBuilder) InverseSpeedsPerThroughput(keys ...string) *SchemaBuilder {
+	return b.derived(opInvSpeedPerTH, func(d ResourceDescriptor) string { return "inv_swa_per_th_" + d.Key }, keys)
+}
+
+// LevelsOverSpeedPerThroughput appends "r_over_swa_per_th_<key>" columns.
+func (b *SchemaBuilder) LevelsOverSpeedPerThroughput(keys ...string) *SchemaBuilder {
+	return b.derived(opLevelOverSpeedPerTH, func(d ResourceDescriptor) string { return "r_over_swa_per_th_" + d.Key }, keys)
+}
+
+// SpeedDerivatives appends, for each key, the complete derived-metric family
+// in canonical order: SWA speed, speed per throughput, inverse speed, level
+// over speed, inverse speed per throughput, and level over speed per
+// throughput. New resources typically use this; the legacy Table 2 layout
+// interleaves families across resources and calls the family methods
+// directly.
+func (b *SchemaBuilder) SpeedDerivatives(keys ...string) *SchemaBuilder {
+	for _, key := range keys {
+		b.Speeds(key).
+			SpeedsPerThroughput(key).
+			InverseSpeeds(key).
+			LevelsOverSpeed(key).
+			InverseSpeedsPerThroughput(key).
+			LevelsOverSpeedPerThroughput(key)
+	}
+	return b
+}
+
+// SmoothedLevel appends a column holding the SWA-smoothed raw level.
+func (b *SchemaBuilder) SmoothedLevel(name string, level LevelFunc) *SchemaBuilder {
+	return b.SmoothedLevelFor("", name, level)
+}
+
+// SmoothedLevelFor is SmoothedLevel with an owning resource key; like
+// RawFor, the owner must already be registered.
+func (b *SchemaBuilder) SmoothedLevelFor(owner, name string, level LevelFunc) *SchemaBuilder {
+	if b.err != nil {
+		return b
+	}
+	if level == nil {
+		return b.fail("smoothed column %q has no accessor", name)
+	}
+	if owner != "" && b.s.resourceIndex(owner) < 0 {
+		return b.fail("smoothed column %q owned by unknown resource %q", name, owner)
+	}
+	idx := len(b.s.smoothed)
+	b.s.smoothed = append(b.s.smoothed, smoothedSpec{name: name, owner: owner, level: level})
+	return b.addCol(column{name: name, op: opSmoothedLevel, res: idx, owner: owner})
+}
+
+// Build finalises the schema.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.s.cols) == 0 {
+		return nil, fmt.Errorf("features: schema %q has no columns", b.s.name)
+	}
+	out := b.s
+	return &out, nil
+}
+
+// MustBuild is Build for package-level schema construction; it panics on
+// error (an invalid built-in schema is a programming error).
+func (b *SchemaBuilder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// --- schema registry ------------------------------------------------------
+
+var (
+	schemaMu  sync.RWMutex
+	schemaReg = map[string]*Schema{}
+)
+
+// RegisterSchema adds a schema to the registry. Schema names are stable
+// identifiers (CLI -schema flags, scenario declarations), so empty or
+// duplicate names fail.
+func RegisterSchema(s *Schema) error {
+	if s == nil {
+		return fmt.Errorf("features: register nil schema")
+	}
+	if s.name == "" {
+		return fmt.Errorf("features: schema with empty name")
+	}
+	schemaMu.Lock()
+	defer schemaMu.Unlock()
+	if _, ok := schemaReg[s.name]; ok {
+		return fmt.Errorf("features: schema %q already registered", s.name)
+	}
+	schemaReg[s.name] = s
+	return nil
+}
+
+// mustRegisterSchema registers a built-in schema at init time.
+func mustRegisterSchema(s *Schema) *Schema {
+	if err := RegisterSchema(s); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LookupSchema returns the registered schema with the given name; the error
+// for an unknown name lists every valid one.
+func LookupSchema(name string) (*Schema, error) {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	s, ok := schemaReg[name]
+	if !ok {
+		return nil, fmt.Errorf("features: unknown schema %q (known: %s)",
+			name, strings.Join(schemaNamesLocked(), ", "))
+	}
+	return s, nil
+}
+
+// SchemaNames returns the registered schema names in sorted order.
+func SchemaNames() []string {
+	schemaMu.RLock()
+	defer schemaMu.RUnlock()
+	return schemaNamesLocked()
+}
+
+func schemaNamesLocked() []string {
+	names := make([]string, 0, len(schemaReg))
+	for name := range schemaReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -41,6 +41,7 @@ import (
 
 	"agingpred/internal/core"
 	"agingpred/internal/evalx"
+	"agingpred/internal/features"
 	"agingpred/internal/monitor"
 	"agingpred/internal/rejuv"
 )
@@ -81,6 +82,21 @@ type Config struct {
 	// per instance and never mutated). Nil trains one with TrainPredictor,
 	// which costs a few wall-clock seconds.
 	Predictor *core.Predictor
+	// Schema selects the feature schema of the shared predictor trained when
+	// Predictor is nil (nil = the full Table 2 schema). Ignored when
+	// Predictor is supplied.
+	Schema *features.Schema
+	// ClassSchemas chooses a feature schema per instance class: every
+	// instance of a class with a non-nil entry gets a predictor trained on
+	// that schema instead of the shared one (one extra training run per
+	// distinct schema, deterministic in Seed). This is how the conn-leak
+	// class gets the "full+conn" connection-speed derivatives while the rest
+	// of the fleet stays on the paper's variable set. An override naming the
+	// base model's own schema reuses the base; any other override trains on
+	// the fleet's own TrainingSeries(Seed) — so combining a caller-supplied
+	// Predictor (trained on other data) with overrides makes the per-class
+	// comparison mix training sources.
+	ClassSchemas map[Class]*features.Schema
 	// Ctx optionally cancels the run between ticks.
 	Ctx context.Context
 }
@@ -130,6 +146,12 @@ func (c Config) Validate() error {
 	if c.Predictor != nil && !c.Predictor.Trained() {
 		return fmt.Errorf("fleet: supplied predictor is not trained")
 	}
+	for class := range c.ClassSchemas {
+		if class < 0 || class >= numClasses {
+			return fmt.Errorf("fleet: ClassSchemas key %d is not a valid class (know %s)",
+				int(class), strings.Join(ClassNames(), ", "))
+		}
+	}
 	return nil
 }
 
@@ -137,6 +159,8 @@ func (c Config) Validate() error {
 type ClassReport struct {
 	// Class is the aging-fault bucket ("healthy", "mem-leak", ...).
 	Class string `json:"class"`
+	// Schema names the feature schema the class's predictors ran on.
+	Schema string `json:"schema"`
 	// Instances is how many fleet members drew this class.
 	Instances int `json:"instances"`
 	// Checkpoints counts the class's processed (and predicted) stream.
@@ -217,11 +241,11 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&b, "  requests: %.0f served, %.0f lost (%.3f%%)\n",
 		r.ServedRequests, r.LostRequests, lostPct)
-	fmt.Fprintf(&b, "  %-12s %5s %9s %8s %6s %10s %10s %10s %10s\n",
-		"class", "inst", "ckpts", "crashes", "rejuv", "MAE", "S-MAE", "PRE-MAE", "POST-MAE")
+	fmt.Fprintf(&b, "  %-12s %-10s %5s %9s %8s %6s %10s %10s %10s %10s\n",
+		"class", "schema", "inst", "ckpts", "crashes", "rejuv", "MAE", "S-MAE", "PRE-MAE", "POST-MAE")
 	for _, c := range r.Classes {
-		fmt.Fprintf(&b, "  %-12s %5d %9d %8d %6d %10s %10s %10s %10s\n",
-			c.Class, c.Instances, c.Checkpoints, c.Crashes, c.Rejuvenations,
+		fmt.Fprintf(&b, "  %-12s %-10s %5d %9d %8d %6d %10s %10s %10s %10s\n",
+			c.Class, c.Schema, c.Instances, c.Checkpoints, c.Crashes, c.Rejuvenations,
 			evalx.FormatDuration(c.MAESec), evalx.FormatDuration(c.SMAESec),
 			evalx.FormatDuration(c.PreMAESec), evalx.FormatDuration(c.PostMAESec))
 	}
@@ -258,9 +282,10 @@ func (s *classStats) observe(refSec, predSec float64) {
 	}
 }
 
-func (s *classStats) report(class Class) ClassReport {
+func (s *classStats) report(class Class, schema string) ClassReport {
 	rep := ClassReport{
 		Class:         class.String(),
+		Schema:        schema,
 		Instances:     s.instances,
 		Checkpoints:   s.checkpoints,
 		Crashes:       s.crashes,
@@ -295,16 +320,62 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
+	// Resolve the per-class predictors: one shared base model plus one extra
+	// training run per distinct override schema in ClassSchemas. Training
+	// series are generated once and shared, and everything is deterministic
+	// in the seed.
+	var trainSeries []*monitor.Series
+	trainOn := func(schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
+		if trainSeries == nil {
+			var err error
+			trainSeries, err = TrainingSeries(cfg.Seed)
+			if err != nil {
+				return nil, core.TrainReport{}, err
+			}
+		}
+		return trainPredictorOn(trainSeries, schema)
+	}
+
 	base := cfg.Predictor
 	model := "caller-supplied predictor"
 	if base == nil {
 		var trainRep core.TrainReport
 		var err error
-		base, trainRep, err = TrainPredictor(cfg.Seed)
+		base, trainRep, err = trainOn(cfg.Schema)
 		if err != nil {
 			return nil, err
 		}
 		model = trainRep.String()
+	}
+	var classBase [numClasses]*core.Predictor
+	for c := range classBase {
+		classBase[c] = base
+	}
+	if len(cfg.ClassSchemas) > 0 {
+		// Seed with the base model so an override naming the base's own
+		// schema reuses it instead of retraining an identical predictor.
+		bySchema := map[string]*core.Predictor{base.Schema().Name(): base}
+		var overrides []string
+		for c := Class(0); c < numClasses; c++ {
+			schema := cfg.ClassSchemas[c]
+			if schema == nil {
+				continue
+			}
+			p, ok := bySchema[schema.Name()]
+			if !ok {
+				var err error
+				p, _, err = trainOn(schema)
+				if err != nil {
+					return nil, fmt.Errorf("fleet: training %s model for class %s: %w", schema.Name(), c, err)
+				}
+				bySchema[schema.Name()] = p
+			}
+			classBase[c] = p
+			overrides = append(overrides, fmt.Sprintf("%s=%s", c, schema.Name()))
+		}
+		if len(overrides) > 0 {
+			model += "; class schemas: " + strings.Join(overrides, ", ")
+		}
 	}
 
 	specs := Specs(cfg.Seed, cfg.Instances)
@@ -313,7 +384,7 @@ func Run(cfg Config) (*Report, error) {
 	policies := make([]*rejuv.Predictive, cfg.Instances)
 	for i, spec := range specs {
 		instances[i] = newInstance(cfg.Seed, spec)
-		clones[i] = base.Clone()
+		clones[i] = classBase[spec.Class].Clone()
 		policies[i] = &rejuv.Predictive{Threshold: cfg.TTFThreshold, Confirmations: cfg.Confirmations}
 	}
 
@@ -446,7 +517,7 @@ func Run(cfg Config) (*Report, error) {
 		if stats[c].instances == 0 {
 			continue
 		}
-		rep.Classes = append(rep.Classes, stats[c].report(c))
+		rep.Classes = append(rep.Classes, stats[c].report(c, classBase[c].Schema().Name()))
 	}
 	return rep, nil
 }

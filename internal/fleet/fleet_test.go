@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"agingpred/internal/core"
+	"agingpred/internal/features"
 	"agingpred/internal/monitor"
 )
 
@@ -118,6 +119,10 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Instances: 10, Duration: time.Hour, Predictor: untrained}); err == nil {
 		t.Fatalf("untrained predictor accepted")
 	}
+	if _, err := Run(Config{Instances: 10, Duration: time.Hour,
+		ClassSchemas: map[Class]*features.Schema{Class(99): nil}}); err == nil {
+		t.Fatalf("out-of-range ClassSchemas key accepted")
+	}
 }
 
 // TestRunDeterministicAcrossShardCounts is the core guarantee of the fleet
@@ -153,6 +158,134 @@ func TestRunDeterministicAcrossShardCounts(t *testing.T) {
 	if !bytes.Equal(one, four) {
 		t.Fatalf("1-shard and 4-shard runs differ:\n%s\nvs\n%s", one, four)
 	}
+}
+
+// TestPerClassSchema exercises the per-class schema choice: the conn-leak
+// class runs on the "full+conn" schema (connection-speed derivatives) while
+// the rest of the fleet stays on the paper's full Table 2 set. The run must
+// stay deterministic and the report must say which schema each class ran on.
+func TestPerClassSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an extra model and runs two fleets")
+	}
+	connSchema, err := features.LookupSchema(features.FullConnSchemaName)
+	if err != nil {
+		t.Fatalf("LookupSchema: %v", err)
+	}
+	cfg := Config{
+		Instances:    48,
+		Shards:       2,
+		Duration:     3 * time.Hour,
+		Seed:         2,
+		ClassSchemas: map[Class]*features.Schema{ClassConnLeak: connSchema},
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run (repeat): %v", err)
+	}
+	js1, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	js2, err := again.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("per-class-schema run is not deterministic:\n%s\nvs\n%s", js1, js2)
+	}
+	classOf := func(r *Report, name string) ClassReport {
+		for _, c := range r.Classes {
+			if c.Class == name {
+				return c
+			}
+		}
+		t.Fatalf("class %s missing from report", name)
+		return ClassReport{}
+	}
+	if got := classOf(rep, "conn-leak").Schema; got != features.FullConnSchemaName {
+		t.Fatalf("conn-leak class reports schema %q, want %q", got, features.FullConnSchemaName)
+	}
+	if got := classOf(rep, "mem-leak").Schema; got != features.FullSchemaName {
+		t.Fatalf("mem-leak class reports schema %q, want %q", got, features.FullSchemaName)
+	}
+}
+
+// TestConnSchemaImprovesPredictions is the schema A/B at fixed behaviour:
+// the same conn-leak checkpoint streams (no controller, no rejuvenations, so
+// the trajectories are identical for both models) observed by the "full" and
+// the "full+conn" predictors, scored against the frozen-rate reference TTF.
+// Comparing fleet-run aggregate MAEs would confound the schemas with the
+// control loop they drive — better predictions rejuvenate earlier and more
+// often, which changes the trajectory mix — so the shadow comparison is the
+// honest measurement of what the connection-speed derivatives buy.
+func TestConnSchemaImprovesPredictions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	const seed = 1
+	connSchema, err := features.LookupSchema(features.FullConnSchemaName)
+	if err != nil {
+		t.Fatalf("LookupSchema: %v", err)
+	}
+	fullPred, _, err := TrainPredictorSchema(seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	connPred, _, err := TrainPredictorSchema(seed, connSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := Specs(seed, 96)
+	var fullErr, connErr float64
+	var n int
+	for _, spec := range specs {
+		if spec.Class != ClassConnLeak {
+			continue
+		}
+		in := newInstance(seed, spec)
+		fc, cc := fullPred.Clone(), connPred.Clone()
+		dt := monitor.DefaultInterval.Seconds()
+		for tick := 1; tick <= 4*240; tick++ { // 4 simulated hours
+			ts := float64(tick) * dt
+			cp, crashed := in.step(ts, dt)
+			if crashed {
+				break
+			}
+			pf, err := fc.Observe(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, err := cc.Observe(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := in.refTTFSec
+			fullErr += abs(pf.TTFSec - ref)
+			connErr += abs(pc.TTFSec - ref)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no conn-leak checkpoints scored")
+	}
+	fullMAE, connMAE := fullErr/float64(n), connErr/float64(n)
+	t.Logf("conn-leak shadow MAE over %d checkpoints: full %.0f s, full+conn %.0f s", n, fullMAE, connMAE)
+	if connMAE >= fullMAE {
+		t.Fatalf("full+conn schema did not improve the conn-leak prediction MAE: %.0f s vs %.0f s (full)",
+			connMAE, fullMAE)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // TestRunClosesTheLoop runs a fleet long enough for the aging classes to hit

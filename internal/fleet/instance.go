@@ -3,9 +3,11 @@ package fleet
 import (
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"agingpred/internal/core"
+	"agingpred/internal/features"
 	"agingpred/internal/injector"
 	"agingpred/internal/monitor"
 	"agingpred/internal/rng"
@@ -49,6 +51,28 @@ func (c Class) String() string {
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
+}
+
+// ClassNames returns the class names in Class order, for CLI help and
+// fail-fast error messages.
+func ClassNames() []string {
+	names := make([]string, numClasses)
+	for c := Class(0); c < numClasses; c++ {
+		names[c] = c.String()
+	}
+	return names
+}
+
+// ParseClass resolves a class name ("conn-leak", ...); the error for an
+// unknown name lists every valid one.
+func ParseClass(name string) (Class, error) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fleet: unknown instance class %q (known: %s)",
+		name, strings.Join(ClassNames(), ", "))
 }
 
 // InstanceSpec is the static description of one simulated application-server
@@ -318,15 +342,23 @@ func (in *instance) step(tSec, dtSec float64) (cp monitor.Checkpoint, crashed bo
 func pow4(x float64) float64 { x *= x; return x * x }
 
 // trainingSpecs are the fixed run-to-crash executions the fleet's shared
-// model is trained on: every aging class at representative rates and
+// model is trained on: every aging class at several representative rates and
 // workloads, plus one healthy execution labelled with the paper's "infinite"
-// 3-hour horizon.
+// 3-hour horizon. The rate *spread* within each class matters as much as the
+// coverage: with a single training rate per resource, the resource's level
+// trajectory carries the same information as its consumption speed and the
+// M5P induction never selects the speed features — training across rates is
+// what makes level→TTF ambiguous and the SWA speeds (the paper's core
+// derived variables) worth splitting on.
 func trainingSpecs() []InstanceSpec {
 	base := []InstanceSpec{
 		{Class: ClassMemLeak, Profile: injector.Profile{MemoryN: 20, LeakMB: 1}, EBs: 80},
 		{Class: ClassMemLeak, Profile: injector.Profile{MemoryN: 45, LeakMB: 1}, EBs: 150},
 		{Class: ClassThreadLeak, Profile: injector.Profile{ThreadM: 8, ThreadT: 40}, EBs: 100},
+		{Class: ClassThreadLeak, Profile: injector.Profile{ThreadM: 6, ThreadT: 60}, EBs: 140},
+		{Class: ClassConnLeak, Profile: injector.Profile{ConnC: 2, ConnT: 110}, EBs: 70},
 		{Class: ClassConnLeak, Profile: injector.Profile{ConnC: 5, ConnT: 80}, EBs: 100},
+		{Class: ClassConnLeak, Profile: injector.Profile{ConnC: 6, ConnT: 60}, EBs: 160},
 		{Class: ClassCombined, Profile: injector.Profile{MemoryN: 40, LeakMB: 1, ThreadM: 4, ThreadT: 90}, EBs: 120},
 		{Class: ClassHealthy, EBs: 100},
 	}
@@ -392,11 +424,25 @@ func TrainingSeries(seed uint64) ([]*monitor.Series, error) {
 // once, then hand the predictor to Config.Predictor (Run clones it per
 // instance; the clones share the read-only tree across shards).
 func TrainPredictor(seed uint64) (*core.Predictor, core.TrainReport, error) {
+	return TrainPredictorSchema(seed, nil)
+}
+
+// TrainPredictorSchema is TrainPredictor with an explicit feature schema
+// (nil = the full Table 2 schema): the same training executions, extracted
+// and learned under the given schema. This is how a fleet gets e.g. the
+// "full+conn" connection-speed derivatives.
+func TrainPredictorSchema(seed uint64, schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
 	series, err := TrainingSeries(seed)
 	if err != nil {
 		return nil, core.TrainReport{}, err
 	}
-	p, err := core.NewPredictor(core.Config{})
+	return trainPredictorOn(series, schema)
+}
+
+// trainPredictorOn fits the shared M5P model on already-simulated training
+// series under the given schema (nil = full).
+func trainPredictorOn(series []*monitor.Series, schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
+	p, err := core.NewPredictor(core.Config{Schema: schema})
 	if err != nil {
 		return nil, core.TrainReport{}, err
 	}

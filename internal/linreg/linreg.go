@@ -475,6 +475,18 @@ func (m *Model) bindSchema(attrs []string) error {
 	if sig == m.schemaSig && m.attrIndex != nil {
 		return nil
 	}
+	idx, err := m.resolveAttrs(attrs)
+	if err != nil {
+		return err
+	}
+	m.attrIndex = idx
+	m.schemaSig = sig
+	return nil
+}
+
+// resolveAttrs maps each model attribute onto its column in the given row
+// schema.
+func (m *Model) resolveAttrs(attrs []string) ([]int, error) {
 	idx := make([]int, len(m.Attrs))
 	for j, name := range m.Attrs {
 		found := -1
@@ -485,17 +497,52 @@ func (m *Model) bindSchema(attrs []string) error {
 			}
 		}
 		if found < 0 {
-			return fmt.Errorf("linreg: instance schema is missing attribute %q", name)
+			return nil, fmt.Errorf("linreg: instance schema is missing attribute %q", name)
 		}
 		idx[j] = found
 	}
-	m.attrIndex = idx
-	m.schemaSig = sig
-	return nil
+	return idx, nil
 }
 
 // NumAttrs returns the number of attributes retained by the model.
 func (m *Model) NumAttrs() int { return len(m.Attrs) }
+
+// BoundModel is a Model bound once to a fixed row schema: Predict resolves
+// no attribute names and performs no per-call allocations, which is what the
+// per-checkpoint Observe hot path needs. A BoundModel is immutable and safe
+// for concurrent use.
+type BoundModel struct {
+	intercept float64
+	coeffs    []float64
+	cols      []int // row column of each coefficient's attribute
+}
+
+// Bind resolves the model's attributes against the given row schema once.
+// The schema may be wider or reordered as long as every model attribute is
+// present. The returned BoundModel is independent of the receiver's own
+// lazy schema cache, so it can be shared across goroutines.
+func (m *Model) Bind(attrs []string) (*BoundModel, error) {
+	cols, err := m.resolveAttrs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundModel{
+		intercept: m.Intercept,
+		coeffs:    append([]float64(nil), m.Coefficients...),
+		cols:      cols,
+	}, nil
+}
+
+// Predict evaluates the bound model on a row laid out in the schema the
+// model was bound to. The arithmetic matches Model.Predict term for term, so
+// the two paths produce bit-identical results.
+func (b *BoundModel) Predict(row []float64) float64 {
+	pred := b.intercept
+	for j, idx := range b.cols {
+		pred += b.coeffs[j] * row[idx]
+	}
+	return pred
+}
 
 // String renders the regression equation in a human-readable form, e.g.
 // "ttf = 120.5 - 3.2*tomcat_mem + 0.8*threads".

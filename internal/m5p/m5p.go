@@ -528,6 +528,90 @@ func (t *Tree) predictNode(n *node, attrs []string, row []float64, colOf []int) 
 	return (cn*childPred + k*nodePred) / (cn + k), nil
 }
 
+// BoundTree is a Tree bound once to a fixed row schema: split columns and
+// every node's linear model are pre-resolved to row indices, so Predict
+// performs no name lookups and no per-call allocations — the requirement of
+// the per-checkpoint Observe hot path. A BoundTree is immutable and safe for
+// concurrent use; fleet clones share one per schema.
+type BoundTree struct {
+	root        *boundNode
+	noSmoothing bool
+	k           float64
+}
+
+// boundNode mirrors node with the split attribute and the linear model
+// resolved against the bound schema.
+type boundNode struct {
+	col       int
+	threshold float64
+	left      *boundNode
+	right     *boundNode
+
+	leaf  bool
+	model *linreg.BoundModel
+	n     float64 // training instances reaching the node, for smoothing
+}
+
+// Bind resolves the tree against the given row schema once. The schema may
+// be wider or reordered as long as every training attribute is present.
+func (t *Tree) Bind(attrs []string) (*BoundTree, error) {
+	colOf, err := t.bindSchema(attrs)
+	if err != nil {
+		return nil, err
+	}
+	root, err := bindNode(t.root, attrs, colOf)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundTree{root: root, noSmoothing: t.opts.NoSmoothing, k: t.opts.SmoothingK}, nil
+}
+
+func bindNode(n *node, attrs []string, colOf []int) (*boundNode, error) {
+	if n == nil {
+		return nil, nil
+	}
+	bm, err := n.model.Bind(attrs)
+	if err != nil {
+		return nil, err
+	}
+	b := &boundNode{leaf: n.leaf, model: bm, n: float64(n.n)}
+	if !n.leaf {
+		b.col = colOf[n.attr]
+		b.threshold = n.threshold
+		if b.left, err = bindNode(n.left, attrs, colOf); err != nil {
+			return nil, err
+		}
+		if b.right, err = bindNode(n.right, attrs, colOf); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// Predict evaluates the bound tree on a row laid out in the bound schema.
+// The arithmetic — leaf evaluation and the smoothing filter back up the
+// ancestor chain — matches Tree.Predict operation for operation, so the two
+// paths produce bit-identical results.
+func (t *BoundTree) Predict(row []float64) float64 {
+	return t.predict(t.root, row)
+}
+
+func (t *BoundTree) predict(n *boundNode, row []float64) float64 {
+	if n.leaf {
+		return n.model.Predict(row)
+	}
+	child := n.right
+	if row[n.col] <= n.threshold {
+		child = n.left
+	}
+	childPred := t.predict(child, row)
+	if t.noSmoothing {
+		return childPred
+	}
+	nodePred := n.model.Predict(row)
+	return (child.n*childPred + t.k*nodePred) / (child.n + t.k)
+}
+
 // PredictDataset returns predictions for every instance of ds.
 func (t *Tree) PredictDataset(ds *dataset.Dataset) ([]float64, error) {
 	attrs := ds.Attrs()

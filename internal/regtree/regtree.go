@@ -247,20 +247,9 @@ func (t *Tree) Predict(attrs []string, row []float64) (float64, error) {
 	if len(attrs) != len(row) {
 		return 0, fmt.Errorf("regtree: %d attribute names for %d values", len(attrs), len(row))
 	}
-	// Map the tree's attribute columns onto the supplied schema.
-	colOf := make([]int, len(t.attrs))
-	for j, name := range t.attrs {
-		found := -1
-		for i, a := range attrs {
-			if a == name {
-				found = i
-				break
-			}
-		}
-		if found < 0 {
-			return 0, fmt.Errorf("regtree: instance schema is missing attribute %q", name)
-		}
-		colOf[j] = found
+	colOf, err := t.resolveAttrs(attrs)
+	if err != nil {
+		return 0, err
 	}
 	n := t.root
 	for !n.leaf {
@@ -271,6 +260,59 @@ func (t *Tree) Predict(attrs []string, row []float64) (float64, error) {
 		}
 	}
 	return n.value, nil
+}
+
+// BoundTree is a Tree bound once to a fixed row schema: Predict resolves no
+// attribute names and allocates nothing per call. Immutable and safe for
+// concurrent use.
+type BoundTree struct {
+	t     *Tree
+	colOf []int
+}
+
+// Bind resolves the tree's split attributes against the given row schema
+// once. The schema may be wider or reordered as long as every training
+// attribute is present.
+func (t *Tree) Bind(attrs []string) (*BoundTree, error) {
+	colOf, err := t.resolveAttrs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &BoundTree{t: t, colOf: colOf}, nil
+}
+
+// resolveAttrs maps each training attribute onto its column in the given row
+// schema.
+func (t *Tree) resolveAttrs(attrs []string) ([]int, error) {
+	colOf := make([]int, len(t.attrs))
+	for j, name := range t.attrs {
+		found := -1
+		for i, a := range attrs {
+			if a == name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("regtree: instance schema is missing attribute %q", name)
+		}
+		colOf[j] = found
+	}
+	return colOf, nil
+}
+
+// Predict evaluates the bound tree on a row laid out in the bound schema; it
+// descends exactly like Tree.Predict, so the results are bit-identical.
+func (b *BoundTree) Predict(row []float64) float64 {
+	n := b.t.root
+	for !n.leaf {
+		if row[b.colOf[n.attr]] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
 }
 
 // PredictDataset returns predictions for every instance of ds.
