@@ -1,0 +1,148 @@
+package agingpred
+
+// This file is the public surface of the library: the root package
+// re-exports the train/serve API backed by internal/core so that importing
+// "agingpred" is enough to train, persist, load and serve models. The types
+// are aliases, not wrappers — a *agingpred.Model IS a *core.Model — so the
+// in-module packages (fleet, experiments, the commands) and external callers
+// see exactly the same objects.
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"agingpred/internal/core"
+	"agingpred/internal/dataset"
+	"agingpred/internal/evalx"
+	"agingpred/internal/features"
+	"agingpred/internal/monitor"
+)
+
+// The core train/serve types.
+type (
+	// Model is an immutable trained aging-prediction model; safe for
+	// concurrent use. Obtain one with Train, TrainDataset, DecodeModel or
+	// LoadModel, and create per-stream serving state with Model.NewSession.
+	Model = core.Model
+	// Session is the per-stream on-line state of one Model: one session per
+	// monitored checkpoint stream, Observe per checkpoint, Reset after a
+	// rejuvenation. Not safe for concurrent use itself — sessions are the
+	// unit of concurrency.
+	Session = core.Session
+	// Config configures training; the zero value reproduces the paper's
+	// setup (M5P over the full Table 2 schema, 12-checkpoint window).
+	Config = core.Config
+	// ModelKind selects the learning algorithm.
+	ModelKind = core.ModelKind
+	// TrainReport summarises a training round.
+	TrainReport = core.TrainReport
+	// Prediction is one on-line prediction.
+	Prediction = core.Prediction
+	// RootCauseHint is one root-cause clue from the model-tree structure.
+	RootCauseHint = core.RootCauseHint
+)
+
+// Data types consumed and produced by the API.
+type (
+	// Checkpoint is one 15-second observation of a monitored server (the raw
+	// Table 2 variables).
+	Checkpoint = monitor.Checkpoint
+	// Series is a complete monitored execution: checkpoints plus outcome.
+	Series = monitor.Series
+	// Dataset is the tabular form of extracted feature vectors, as written
+	// and read by the CSV/ARFF tooling.
+	Dataset = dataset.Dataset
+	// Schema is a named feature schema from the features registry.
+	Schema = features.Schema
+	// EvalOptions configures accuracy evaluation.
+	EvalOptions = evalx.Options
+	// EvalReport holds the paper's accuracy metrics (MAE, S-MAE,
+	// PRE/POST-MAE) for one model on one test stream.
+	EvalReport = evalx.Report
+)
+
+// The model families.
+const (
+	ModelM5P              = core.ModelM5P
+	ModelLinearRegression = core.ModelLinearRegression
+	ModelRegressionTree   = core.ModelRegressionTree
+)
+
+// ModelFormatVersion is the persisted-model format version this build reads
+// and writes.
+const ModelFormatVersion = core.FormatVersion
+
+// Train fits an immutable Model from one or more monitored run-to-crash
+// executions, as the paper does off-line.
+func Train(cfg Config, series []*Series) (*Model, error) {
+	return core.Train(cfg, series)
+}
+
+// TrainDataset fits an immutable Model from an already-extracted feature
+// dataset (e.g. loaded from a CSV written by agingsim).
+func TrainDataset(cfg Config, ds *Dataset) (*Model, error) {
+	return core.TrainDataset(cfg, ds)
+}
+
+// DecodeModel reads a model artifact written by Model.Encode, verifying the
+// format version, checksum and schema compatibility. The decoded model
+// predicts bit-identically to the one that was encoded.
+func DecodeModel(r io.Reader) (*Model, error) {
+	return core.DecodeModel(r)
+}
+
+// LoadModel reads a model artifact from a file.
+func LoadModel(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := core.DecodeModel(f)
+	if err != nil {
+		return nil, fmt.Errorf("loading model %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveModel writes a model artifact to a file (created or truncated).
+func SaveModel(path string, m *Model) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	if err := m.Encode(f); err != nil {
+		return fmt.Errorf("saving model %s: %w", path, err)
+	}
+	return nil
+}
+
+// LookupSchema resolves a feature schema by registry name ("full",
+// "no-heap", "heap-focus", "full+conn", or any schema registered with
+// RegisterSchema); the error for an unknown name lists every valid one.
+func LookupSchema(name string) (*Schema, error) {
+	return features.LookupSchema(name)
+}
+
+// RegisterSchema adds a caller-built schema to the registry, making it
+// addressable by name — including by saved model artifacts, which store
+// their schema by name.
+func RegisterSchema(s *Schema) error {
+	return features.RegisterSchema(s)
+}
+
+// SchemaNames returns the registered schema names in sorted order.
+func SchemaNames() []string {
+	return features.SchemaNames()
+}
+
+// FormatRootCause renders root-cause hints as a short human-readable report.
+func FormatRootCause(hints []RootCauseHint) string {
+	return core.FormatRootCause(hints)
+}

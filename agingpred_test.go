@@ -1,0 +1,218 @@
+package agingpred_test
+
+// Black-box tests of the public API: everything here goes through the root
+// agingpred package the way an external importer would (the internal fleet
+// simulator only supplies cheap deterministic training streams).
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"agingpred"
+	"agingpred/internal/fleet"
+)
+
+// publicModel trains one shared model per test binary through the public
+// Train entry point.
+var (
+	pubOnce  sync.Once
+	pubModel *agingpred.Model
+	pubErr   error
+)
+
+func publicModel(t testing.TB) *agingpred.Model {
+	t.Helper()
+	pubOnce.Do(func() {
+		var series []*agingpred.Series
+		series, pubErr = fleet.TrainingSeries(1)
+		if pubErr != nil {
+			return
+		}
+		pubModel, pubErr = agingpred.Train(agingpred.Config{}, series)
+	})
+	if pubErr != nil {
+		t.Fatalf("training through the public API: %v", pubErr)
+	}
+	return pubModel
+}
+
+// testStream returns a deterministic aging stream the model never trained on.
+func testStream(t testing.TB) *agingpred.Series {
+	t.Helper()
+	series, err := fleet.TrainingSeries(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return series[0]
+}
+
+// TestPublicTrainServeLoop walks the README quickstart: train, open a
+// session, observe a live stream, see the prediction adapt and the crash
+// flagged.
+func TestPublicTrainServeLoop(t *testing.T) {
+	model := publicModel(t)
+	if model.Kind() != agingpred.ModelM5P {
+		t.Fatalf("default model kind = %q", model.Kind())
+	}
+	if model.Report().Instances == 0 || model.Report().Leaves == 0 {
+		t.Fatalf("implausible train report: %+v", model.Report())
+	}
+	stream := testStream(t)
+	sess := model.NewSession()
+	if sess.Model() != model {
+		t.Fatalf("session does not point back at its model")
+	}
+	var mid, last agingpred.Prediction
+	for i, cp := range stream.Checkpoints {
+		pred, err := sess.Observe(cp)
+		if err != nil {
+			t.Fatalf("observe: %v", err)
+		}
+		if pred.TTFSec < 0 || pred.TimeSec != cp.TimeSec {
+			t.Fatalf("prediction out of contract: %+v at t=%v", pred, cp.TimeSec)
+		}
+		if i == stream.Len()/2 {
+			mid = pred
+		}
+		last = pred
+	}
+	if last.TTFSec >= mid.TTFSec {
+		t.Fatalf("prediction did not shrink approaching the crash: mid %v, last %v", mid.TTFSec, last.TTFSec)
+	}
+	if !last.CrashExpected {
+		t.Fatalf("crash not flagged at the final checkpoint")
+	}
+}
+
+// TestPublicSessionsAreIndependent verifies the per-stream split: many
+// sessions of one model observing concurrently each reproduce the
+// single-session predictions bit for bit, and Reset starts a stream over.
+func TestPublicSessionsAreIndependent(t *testing.T) {
+	model := publicModel(t)
+	stream := testStream(t)
+
+	ref := model.NewSession()
+	want := make([]float64, stream.Len())
+	for i, cp := range stream.Checkpoints {
+		pred, err := ref.Observe(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pred.TTFSec
+	}
+
+	const sessions = 8
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sess := model.NewSession()
+			// Odd goroutines replay the first half, reset, then replay the
+			// full stream: a reset session must predict like a fresh one.
+			if g%2 == 1 {
+				for _, cp := range stream.Checkpoints[:stream.Len()/2] {
+					if _, err := sess.Observe(cp); err != nil {
+						errs[g] = err
+						return
+					}
+				}
+				sess.Reset()
+			}
+			for i, cp := range stream.Checkpoints {
+				pred, err := sess.Observe(cp)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if pred.TTFSec != want[i] {
+					errs[g] = fmt.Errorf("session %d checkpoint %d: predicted %v, reference %v",
+						g, i, pred.TTFSec, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPublicSaveLoad exercises the file-level persistence helpers and the
+// bit-identical-serving guarantee through the public API.
+func TestPublicSaveLoad(t *testing.T) {
+	model := publicModel(t)
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := agingpred.SaveModel(path, model); err != nil {
+		t.Fatalf("SaveModel: %v", err)
+	}
+	loaded, err := agingpred.LoadModel(path)
+	if err != nil {
+		t.Fatalf("LoadModel: %v", err)
+	}
+	if loaded.Report() != model.Report() {
+		t.Fatalf("loaded report %+v != %+v", loaded.Report(), model.Report())
+	}
+	stream := testStream(t)
+	a, b := model.NewSession(), loaded.NewSession()
+	for i, cp := range stream.Checkpoints {
+		pa, err := a.Observe(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := b.Observe(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pa.TTFSec != pb.TTFSec {
+			t.Fatalf("checkpoint %d: loaded model predicted %v, in-memory %v", i, pb.TTFSec, pa.TTFSec)
+		}
+	}
+	if _, err := agingpred.LoadModel(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatalf("loading a missing file succeeded")
+	}
+}
+
+// TestPublicSchemaRegistry checks the schema surface the persistence layer
+// leans on: lookup by name, the sorted name list, and the fail-fast error
+// for unknown names.
+func TestPublicSchemaRegistry(t *testing.T) {
+	names := agingpred.SchemaNames()
+	if len(names) < 4 {
+		t.Fatalf("schema registry lists only %v", names)
+	}
+	for _, name := range []string{"full", "no-heap", "heap-focus", "full+conn"} {
+		s, err := agingpred.LookupSchema(name)
+		if err != nil {
+			t.Fatalf("LookupSchema(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("LookupSchema(%q) returned schema %q", name, s.Name())
+		}
+	}
+	if _, err := agingpred.LookupSchema("bogus"); err == nil {
+		t.Fatalf("unknown schema accepted")
+	}
+}
+
+// TestPublicEvaluate closes the loop on the metrics surface: the public
+// aliases must be usable for an end-to-end accuracy report.
+func TestPublicEvaluate(t *testing.T) {
+	model := publicModel(t)
+	rep, err := model.Evaluate(testStream(t), agingpred.EvalOptions{Model: "M5P"})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if rep.N == 0 || rep.MAE <= 0 {
+		t.Fatalf("degenerate evaluation report: %+v", rep)
+	}
+	if rep.Model != "M5P" {
+		t.Fatalf("report model = %q", rep.Model)
+	}
+}

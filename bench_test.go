@@ -142,7 +142,7 @@ func BenchmarkScenarioMatrix(b *testing.B) {
 // predictor workers, so the shard axis isolates the scaling of the
 // prediction layer itself.
 func BenchmarkFleet(b *testing.B) {
-	pred, _, err := fleet.TrainPredictor(benchSeed)
+	model, err := fleet.TrainModel(benchSeed)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func BenchmarkFleet(b *testing.B) {
 					Shards:    shards,
 					Duration:  45 * time.Minute,
 					Seed:      benchSeed,
-					Predictor: pred,
+					Model:     model,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -218,19 +218,16 @@ func ablationData(b *testing.B) ([]*monitor.Series, *monitor.Series) {
 	return train, res.Series
 }
 
-// evalConfig trains a predictor with the given configuration on the ablation
+// evalConfig trains a model with the given configuration on the ablation
 // data and reports its MAE.
 func evalConfig(b *testing.B, cfg core.Config) float64 {
 	b.Helper()
 	train, test := ablationData(b)
-	p, err := core.NewPredictor(cfg)
+	m, err := core.Train(cfg, train)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Train(train); err != nil {
-		b.Fatal(err)
-	}
-	rep, err := p.Evaluate(test, evalx.Options{})
+	rep, err := m.Evaluate(test, evalx.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -309,11 +306,7 @@ func BenchmarkTrainM5P(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p, err := core.NewPredictor(core.Config{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := p.TrainDataset(ds); err != nil {
+		if _, err := core.TrainDataset(core.Config{}, ds); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -324,17 +317,15 @@ func BenchmarkTrainM5P(b *testing.B) {
 // the 15-second monitoring interval.
 func BenchmarkOnlinePrediction(b *testing.B) {
 	train, test := ablationData(b)
-	p, err := core.NewPredictor(core.Config{})
+	m, err := core.Train(core.Config{}, train)
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := p.Train(train); err != nil {
-		b.Fatal(err)
-	}
+	sess := m.NewSession()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cp := test.Checkpoints[i%test.Len()]
-		if _, err := p.Observe(cp); err != nil {
+		if _, err := sess.Observe(cp); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -47,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"agingpred"
 	"agingpred/internal/evalx"
 	"agingpred/internal/experiments"
 	"agingpred/internal/features"
@@ -65,6 +66,7 @@ func run(args []string) error {
 		which      = fs.String("experiment", "all", "which experiment to run: all, fig1, fig2, 4.1, 4.2, 4.3 or 4.4")
 		seed       = fs.Uint64("seed", 1, "random seed for the whole benchmark campaign")
 		figuresDir = fs.String("figures-dir", "", "if set, write the figure series (CSV, one file per figure) into this directory")
+		modelsDir  = fs.String("save-models", "", "if set, save the models experiment 4.1 trains as versioned artifacts (exp41-m5p.bin, exp41-linreg.bin) into this directory, for agingpredict/agingfleet -load (single-seed path only)")
 		seeds      = fs.String("seeds", "", "matrix mode: seed sweep, \"N..M\" or comma list (e.g. 1..8)")
 		scenario   = fs.String("scenario", "", "matrix mode: comma-separated scenario names, or \"all\" (default: derived from -experiment)")
 		schema     = fs.String("schema", "", "feature schema overriding each experiment's default variable set (see -list for the registered names)")
@@ -104,7 +106,13 @@ func run(args []string) error {
 		if *figuresDir != "" {
 			return fmt.Errorf("-figures-dir is only supported on the single-seed path; drop -seeds/-scenario/-parallel/-json to dump figure CSVs")
 		}
+		if *modelsDir != "" {
+			return fmt.Errorf("-save-models is only supported on the single-seed path; drop -seeds/-scenario/-parallel/-json to save model artifacts")
+		}
 		return runMatrix(*which, *scenario, *seeds, *schema, *seed, *parallel, *verbose, *jsonOut)
+	}
+	if *modelsDir != "" && *which != "all" && *which != "4.1" {
+		return fmt.Errorf("-save-models saves the models experiment 4.1 trains; run it with -experiment 4.1 (or all), not %q", *which)
 	}
 	switch *which {
 	case "all", "fig1", "fig2", "4.1", "4.2", "4.3", "4.4":
@@ -134,7 +142,7 @@ func run(args []string) error {
 		}
 	}
 	if runAll || *which == "4.1" {
-		if err := runExp41(opts); err != nil {
+		if err := runExp41(opts, *modelsDir); err != nil {
 			return err
 		}
 	}
@@ -374,13 +382,28 @@ func runFigure2(opts experiments.Options, dir string) error {
 	return nil
 }
 
-func runExp41(opts experiments.Options) error {
+func runExp41(opts experiments.Options, modelsDir string) error {
 	fmt.Println("==================================================================")
 	res, err := experiments.Experiment41(opts)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.String())
+	if modelsDir != "" {
+		if err := os.MkdirAll(modelsDir, 0o755); err != nil {
+			return err
+		}
+		for _, m := range []struct {
+			name  string
+			model *agingpred.Model
+		}{{"exp41-m5p.bin", res.M5PModel}, {"exp41-linreg.bin", res.LinRegModel}} {
+			path := filepath.Join(modelsDir, m.name)
+			if err := agingpred.SaveModel(path, m.model); err != nil {
+				return err
+			}
+			fmt.Printf("  saved %s (%s); serve it with agingpredict/agingfleet -load\n", path, m.model.Report())
+		}
+	}
 	fmt.Println("  paper reports (Table 3):")
 	paper := experiments.PaperTable3()
 	for _, key := range []string{"75EBs", "150EBs"} {

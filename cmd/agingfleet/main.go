@@ -16,6 +16,13 @@
 // gives the connection-leak class the connection-speed derivatives the
 // paper's Table 2 set lacks while the rest of the fleet stays on "full".
 //
+// The shared model persists as a versioned artifact: -save trains it and
+// writes it to disk, and -load serves a previously-saved artifact (e.g. from
+// `agingpredict -save` or an earlier `agingfleet -save`) without retraining:
+//
+//	agingfleet -instances 1000 -save model.bin     # train once, keep the artifact
+//	agingfleet -instances 5000 -load model.bin     # serve it, no retraining
+//
 // The run is deterministic in -seed: the same seed produces a byte-identical
 // -json summary, and changing -shards changes nothing but the echoed
 // "shards" field. Human-readable output is the default; -json emits the
@@ -25,6 +32,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"agingpred"
 	"agingpred/internal/features"
 	"agingpred/internal/fleet"
 )
@@ -53,8 +62,10 @@ func run(args []string) error {
 		seed      = fs.Uint64("seed", 1, "seed for the whole run (population, workloads, training)")
 		threshold = fs.Duration("threshold", 10*time.Minute, "predicted-TTF level below which an instance alerts")
 		budget    = fs.Int("budget", 0, "max concurrent rejuvenations (0 = instances/10)")
-		schema    = fs.String("schema", "", "feature schema of the shared predictor (default \"full\"; see the features schema registry)")
+		schema    = fs.String("schema", "", "feature schema of the shared model (default \"full\"; see the features schema registry)")
 		classes   = fs.String("class-schema", "", "per-class schema overrides, \"class=schema\" comma list (e.g. conn-leak=full+conn)")
+		loadPath  = fs.String("load", "", "serve a saved model artifact instead of training the shared model")
+		savePath  = fs.String("save", "", "train the shared model, write it as a versioned artifact to this file, then serve it")
 		jsonOut   = fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,12 +86,55 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *loadPath != "" {
+		if *savePath != "" {
+			return errors.New("-save with -load would just copy the artifact; nothing is trained")
+		}
+		if *schema != "" || *classes != "" {
+			return errors.New("-load serves the artifact's own schema; it cannot be combined with -schema or -class-schema")
+		}
+	}
+	if *savePath != "" && *classes != "" {
+		// The artifact holds only the base model, and -load rejects
+		// -class-schema, so the saved file could never reproduce this run —
+		// and the per-class overrides would re-simulate the training series
+		// the base model was just trained on. Refuse the half-meaningful
+		// combination.
+		return errors.New("-save persists only the shared base model and cannot be combined with -class-schema; save without overrides, then serve with -load")
+	}
+
+	// Resolve the shared model up front when an artifact is involved; the
+	// plain path leaves training to fleet.Run as before.
+	var model *agingpred.Model
+	switch {
+	case *loadPath != "":
+		model, err = agingpred.LoadModel(*loadPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %s\n", *loadPath, model.Report())
+	case *savePath != "":
+		fmt.Fprintf(os.Stderr, "training the shared model...\n")
+		model, err = fleet.TrainModelSchema(*seed, fleetSchema)
+		if err != nil {
+			return err
+		}
+		if err := agingpred.SaveModel(*savePath, model); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "saved model to %s (format v%d); future runs can -load it\n",
+			*savePath, agingpred.ModelFormatVersion)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "training the shared predictor and serving %d instances on %d shards (%v simulated)...\n",
-		*instances, *shards, *duration)
+	verb := "training the shared model and serving"
+	if model != nil {
+		verb = "serving"
+	}
+	fmt.Fprintf(os.Stderr, "%s %d instances on %d shards (%v simulated)...\n",
+		verb, *instances, *shards, *duration)
 	start := time.Now()
 	rep, err := fleet.Run(fleet.Config{
 		Instances:          *instances,
@@ -89,6 +143,7 @@ func run(args []string) error {
 		Seed:               *seed,
 		TTFThreshold:       *threshold,
 		RejuvenationBudget: *budget,
+		Model:              model,
 		Schema:             fleetSchema,
 		ClassSchemas:       classSchemas,
 		Ctx:                ctx,

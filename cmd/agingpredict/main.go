@@ -4,12 +4,17 @@
 // dataset, reporting the paper's accuracy metrics: MAE, S-MAE, PRE-MAE and
 // POST-MAE.
 //
+// Models persist as versioned artifacts, so training and serving separate
+// cleanly: -save writes the trained model, and -load serves a saved artifact
+// without retraining (no -train needed).
+//
 // Typical usage:
 //
 //	agingsim -ebs 50  -leak-n 30 -o train-50.csv
 //	agingsim -ebs 100 -leak-n 30 -o train-100.csv
 //	agingsim -ebs 150 -leak-n 30 -o test-150.csv
-//	agingpredict -train train-50.csv,train-100.csv -test test-150.csv -print-model -root-cause
+//	agingpredict -train train-50.csv,train-100.csv -save model.bin -print-model -root-cause
+//	agingpredict -load model.bin -test test-150.csv
 package main
 
 import (
@@ -20,7 +25,7 @@ import (
 	"strings"
 	"time"
 
-	"agingpred/internal/core"
+	"agingpred"
 	"agingpred/internal/dataset"
 	"agingpred/internal/evalx"
 	"agingpred/internal/features"
@@ -37,9 +42,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("agingpredict", flag.ContinueOnError)
 	var (
 		trainFiles = fs.String("train", "", "comma-separated training dataset files (CSV or ARFF, as written by agingsim)")
+		loadPath   = fs.String("load", "", "serve a saved model artifact instead of training (mutually exclusive with -train)")
+		savePath   = fs.String("save", "", "write the trained model as a versioned artifact to this file")
 		testFile   = fs.String("test", "", "test dataset file; omit to only train and print the model")
 		modelName  = fs.String("model", "m5p", "model family: m5p, linreg or regtree")
 		minLeaf    = fs.Int("min-leaf", 10, "minimum training instances per model-tree leaf")
+		interval   = fs.Duration("interval", 15*time.Second, "checkpoint spacing assumed when reconstructing prediction times for dataset rows")
 		margin     = fs.Float64("margin", evalx.DefaultSecurityMargin, "S-MAE security margin as a fraction of the true time to failure")
 		postWindow = fs.Duration("post-window", evalx.DefaultPostWindow, "POST-MAE window before the crash")
 		printModel = fs.Bool("print-model", false, "print the learned model (the full M5P tree with its leaf equations)")
@@ -48,40 +56,59 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *trainFiles == "" {
-		return errors.New("missing -train")
+	if *trainFiles == "" && *loadPath == "" {
+		return errors.New("missing -train (or -load to serve a saved model)")
+	}
+	if *trainFiles != "" && *loadPath != "" {
+		return errors.New("-train and -load are mutually exclusive: a loaded artifact is already trained")
+	}
+	if *loadPath != "" && *savePath != "" {
+		return errors.New("-save with -load would just copy the artifact; nothing was trained")
 	}
 
-	train, err := loadDatasets(strings.Split(*trainFiles, ","))
-	if err != nil {
-		return err
+	var model *agingpred.Model
+	if *loadPath != "" {
+		m, err := agingpred.LoadModel(*loadPath)
+		if err != nil {
+			return err
+		}
+		model = m
+		fmt.Printf("loaded %s: %s\n", *loadPath, model.Report())
+	} else {
+		train, err := loadDatasets(strings.Split(*trainFiles, ","))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		model, err = agingpred.TrainDataset(agingpred.Config{
+			Model:            agingpred.ModelKind(*modelName),
+			MinLeafInstances: *minLeaf,
+		}, train)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trained: %s in %v\n", model.Report(), time.Since(start).Round(time.Millisecond))
 	}
 
-	pred, err := core.NewPredictor(core.Config{
-		Model:            core.ModelKind(*modelName),
-		MinLeafInstances: *minLeaf,
-	})
-	if err != nil {
-		return err
+	if *savePath != "" {
+		if err := agingpred.SaveModel(*savePath, model); err != nil {
+			return err
+		}
+		fmt.Printf("saved model to %s (format v%d); serve it with -load, no retraining needed\n",
+			*savePath, agingpred.ModelFormatVersion)
 	}
-	start := time.Now()
-	report, err := pred.TrainDataset(train)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("trained: %s in %v\n", report, time.Since(start).Round(time.Millisecond))
 
 	if *printModel {
 		fmt.Println()
-		fmt.Println(pred.ModelDescription())
+		fmt.Println(model.Description())
 	}
 	if *rootCause {
-		hints, err := pred.RootCause(3)
+		hints, err := model.RootCause(3)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "root-cause hints unavailable: %v\n", err)
 		} else {
 			fmt.Println()
-			fmt.Print(core.FormatRootCause(hints))
+			fmt.Print(agingpred.FormatRootCause(hints))
 		}
 	}
 
@@ -92,10 +119,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := pred.EvaluateDataset(test, evalx.Options{
+	rep, err := model.EvaluateDataset(test, *interval, evalx.Options{
 		Margin:     *margin,
 		PostWindow: *postWindow,
-		Model:      *modelName,
+		Model:      string(model.Kind()),
 	})
 	if err != nil {
 		return err

@@ -14,6 +14,13 @@
 //
 //	agingsim -ebs 100 -thread-m 30 -thread-t 90 -o threads.csv
 //
+// With -load, a saved model artifact (agingpredict -save / agingfleet -save)
+// scores the simulated run on-line as it is exported: the output grows a
+// predicted_ttf_sec column holding the model's per-checkpoint prediction,
+// so a run can be simulated and scored in one step:
+//
+//	agingsim -ebs 150 -leak-n 30 -load model.bin -o scored.csv
+//
 // The resulting files feed cmd/agingpredict.
 package main
 
@@ -23,6 +30,8 @@ import (
 	"os"
 	"time"
 
+	"agingpred"
+	"agingpred/internal/dataset"
 	"agingpred/internal/features"
 	"agingpred/internal/injector"
 	"agingpred/internal/testbed"
@@ -50,6 +59,7 @@ func run(args []string) (err error) {
 		threadT  = fs.Int("thread-t", 60, "thread leak parameter T (a new injection every U(0,T) seconds)")
 		varSet   = fs.String("variables", "full", "feature schema to export (full, no-heap, heap-focus, full+conn, or any registered schema)")
 		window   = fs.Int("window", features.DefaultWindowLength, "sliding-window length, in checkpoints, for the derived speed features (resources with a schema-pinned per-resource window, e.g. full+conn's connection speed, keep theirs)")
+		loadPath = fs.String("load", "", "score the run with a saved model artifact: adds a predicted_ttf_sec column with the model's on-line per-checkpoint prediction")
 		output   = fs.String("o", "-", "output file (\"-\" = stdout)")
 		arff     = fs.Bool("arff", false, "write WEKA ARFF instead of CSV")
 		name     = fs.String("name", "", "run name used as the dataset relation (default derived from the flags)")
@@ -108,6 +118,16 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	if *loadPath != "" {
+		model, err := agingpred.LoadModel(*loadPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scoring the run with %s: %s\n", *loadPath, model.Report())
+		if ds, err = scoreDataset(ds, model, res.Series); err != nil {
+			return err
+		}
+	}
 
 	out := os.Stdout
 	if *output != "-" {
@@ -126,6 +146,32 @@ func run(args []string) (err error) {
 		return ds.WriteARFF(out)
 	}
 	return ds.WriteCSV(out)
+}
+
+// scoreDataset replays the simulated run through one session of the loaded
+// model and returns the dataset widened by a predicted_ttf_sec column, one
+// on-line prediction per checkpoint. The model predicts on its own schema,
+// so the exported -variables schema is free to differ.
+func scoreDataset(ds *dataset.Dataset, model *agingpred.Model, series *agingpred.Series) (*dataset.Dataset, error) {
+	const predCol = "predicted_ttf_sec"
+	out, err := dataset.New(ds.Relation, append(ds.Attrs(), predCol), ds.Target())
+	if err != nil {
+		return nil, fmt.Errorf("adding the %s column: %w", predCol, err)
+	}
+	sess := model.NewSession()
+	row := make([]float64, ds.NumAttrs()+1)
+	for i, cp := range series.Checkpoints {
+		pred, err := sess.Observe(cp)
+		if err != nil {
+			return nil, fmt.Errorf("scoring checkpoint at t=%v: %w", cp.TimeSec, err)
+		}
+		copy(row, ds.Row(i))
+		row[len(row)-1] = pred.TTFSec
+		if err := out.Append(row, ds.TargetValue(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // buildPhases turns the injection flags into a single-phase schedule. Both

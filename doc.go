@@ -1,68 +1,61 @@
-// Package agingpred is a Go reproduction of "Adaptive on-line software aging
-// prediction based on Machine Learning" (Alonso, Torres, Berral, Gavaldà —
-// IEEE/IFIP DSN 2010).
+// Package agingpred predicts software-aging failures on-line, reproducing
+// and extending "Adaptive on-line software aging prediction based on Machine
+// Learning" (Alonso, Torres, Berral, Gavaldà — IEEE/IFIP DSN 2010).
+//
+// # The public API: Model and Session
+//
+// The paper's workflow is two-phase — train off-line on run-to-crash
+// executions, predict on-line per server — and the API mirrors it with two
+// types. A Model is the immutable result of training (an M5P model tree by
+// default, with linear-regression and regression-tree baselines) bound to
+// the feature schema it was trained under; it is safe for concurrent use and
+// never mutated. A Session is the cheap per-stream sliding-window state
+// created by Model.NewSession: one per monitored server, Observe per
+// 15-second checkpoint, Reset after a rejuvenation. Steady-state
+// Session.Observe performs zero allocations per checkpoint.
+//
+//	model, err := agingpred.Train(agingpred.Config{}, trainingSeries)
+//	...
+//	sess := model.NewSession()           // one per monitored server
+//	for cp := range checkpoints {
+//	    pred, _ := sess.Observe(cp)
+//	    if pred.CrashExpected && pred.TTF < 10*time.Minute {
+//	        triggerRejuvenation()
+//	        sess.Reset()
+//	    }
+//	}
+//
+// # Model persistence
+//
+// Models persist as versioned artifacts: SaveModel / Model.Encode write
+// them, LoadModel / DecodeModel read them back with format-version,
+// checksum and schema-compatibility checks, and the loaded model predicts
+// bit-identically to the in-memory one. Train once, save the artifact, and
+// serve it anywhere (`agingpredict -load model.bin`, `agingfleet -load
+// model.bin`) without retraining.
+//
+// # What backs it
 //
 // The repository contains, as internal packages, everything the paper's
-// evaluation depends on: an M5P model-tree learner with a linear-regression
-// baseline, the Table 2 derived-feature pipeline (sliding-window consumption
-// speeds), a discrete-event simulation of the paper's three-tier testbed
-// (TPC-W workload, Tomcat-like application server, generational JVM heap,
+// evaluation depends on: the M5P learner (internal/m5p) with its baselines,
+// the schema-driven Table 2 feature pipeline (internal/features — named
+// Schemas compiled from ResourceDescriptors into an allocation-free column
+// program; built-ins "full", "no-heap", "heap-focus" and "full+conn"), a
+// discrete-event simulation of the paper's three-tier testbed (TPC-W
+// workload, Tomcat-like application server, generational JVM heap,
 // aging-fault injection), the accuracy metrics (MAE, S-MAE, PRE/POST-MAE),
-// software-rejuvenation policies, and an experiment harness that regenerates
-// every table and figure of the paper. The harness is organised as a
-// scenario engine (internal/experiments): the paper's four experiments and
-// any number of new workloads register as scenarios, and seed sweeps run
-// concurrently on a worker pool with cross-seed aggregate statistics — see
-// the internal/experiments package comment for how to write and register a
-// scenario. See README.md for the layout and EXPERIMENTS.md for the
+// software-rejuvenation policies, a scenario engine reproducing every table
+// and figure of the paper (internal/experiments), and the fleet subsystem
+// (internal/fleet) that serves thousands of simulated servers through
+// sharded per-instance Sessions of one shared Model.
+//
+// The runnable entry points are cmd/agingsim, cmd/agingpredict,
+// cmd/agingbench (scenario-matrix mode: `agingbench -experiment all
+// -parallel 8 -seeds 1..8`) and cmd/agingfleet (`agingfleet -instances 1000
+// -shards 8`); the examples/ directory holds guided walk-throughs
+// (quickstart, saveload, rejuvenation, rootcause, webapp-aging, fleet), and
+// the top-level benchmarks in bench_test.go regenerate the paper's results
+// via `go test -bench`. See README.md for the layout and the migration notes
+// from the old core.Predictor surface, and EXPERIMENTS.md for the
 // paper-vs-measured comparison.
-//
-// # The feature-schema registry
-//
-// Feature extraction is schema-driven. internal/features assembles named
-// Schemas from ResourceDescriptors (name, unit, direction, SWA window,
-// checkpoint accessor); the paper's derived-metric families — SWA
-// consumption speed, its inverse, per-throughput normalisations, level over
-// speed, smoothed levels — are generated generically from the descriptors,
-// so a new monitored resource is one descriptor plus the families it should
-// appear in (see the internal/features package comment for a worked
-// example). The built-in schemas are the Table 2 variants "full", "no-heap"
-// and "heap-focus" — kept byte-identical to the original hardcoded variable
-// lists by a regression test — plus "full+conn", which adds the
-// database-connection speed derivatives the paper's list lacks. Schemas
-// compile to an index-based column program evaluated into a reusable
-// buffer, and core.Predictor binds its trained model to row indices once,
-// so the steady-state Observe hot path performs zero allocations per
-// checkpoint (BenchmarkObserve pins this). Schema selection is plumbed
-// end to end: core.Config.Schema, scenario declarations (agingbench -list,
-// -schema), fleet.Config.Schema and per-class fleet.Config.ClassSchemas
-// (agingfleet -schema / -class-schema), and agingsim -variables.
-//
-// # The fleet subsystem
-//
-// Beyond the paper's single-server evaluation, internal/fleet scales the
-// predictor into an online prediction service over thousands of
-// concurrently-simulated application-server instances: heterogeneous leak
-// profiles, workloads and phase offsets drawn deterministically from one
-// seed; every instance's 15-second checkpoints streamed through sharded
-// predictor workers (consistent instance→shard assignment, bounded queues
-// with backpressure); and a fleet-level controller that closes the monitor →
-// predict → rejuvenate loop under a concurrency-capped rejuvenation budget.
-// The shared M5P model is trained once and fanned out read-only via
-// core.Predictor.Clone — Observe itself is not goroutine-safe, clones are
-// the concurrency mechanism. Shard count changes wall-clock speed only: the
-// same seed yields a byte-identical JSON summary, and changing the shard
-// count changes nothing but the echoed shard-count field. The
-// "fleet" scenario exposes the per-class prediction accuracy to agingbench
-// matrix sweeps, and BenchmarkFleet tracks serving throughput in
-// instance-checkpoints/sec at 1, 4 and per-CPU shard counts.
-//
-// The root package intentionally contains no code: the public entry point is
-// internal/core (the Predictor), the runnable entry points are cmd/agingsim,
-// cmd/agingpredict, cmd/agingbench (including the scenario-matrix mode,
-// e.g. `agingbench -experiment all -parallel 8 -seeds 1..8`, with -json for
-// machine-readable aggregates) and cmd/agingfleet (a simulated day over a
-// thousand servers: `agingfleet -instances 1000 -shards 8`), and the
-// top-level benchmarks in bench_test.go regenerate the paper's results via
-// `go test -bench`.
 package agingpred

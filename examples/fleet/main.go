@@ -3,12 +3,12 @@
 //
 // The single-server experiments validate the predictor against one testbed
 // instance; this example is the production-shaped version of the same loop.
-// It trains the shared M5P model once, clones it read-only across a fleet of
-// simulated servers (memory, thread and connection leaks at per-instance
-// rates, plus healthy controls), streams every instance's 15-second
-// checkpoints through sharded predictor workers, and lets the budgeted
-// controller rejuvenate the instances whose predicted time to failure drops
-// below the threshold.
+// It trains the shared M5P model once (an immutable agingpred.Model), fans it
+// out as one per-instance Session across a fleet of simulated servers
+// (memory, thread and connection leaks at per-instance rates, plus healthy
+// controls), streams every instance's 15-second checkpoints through sharded
+// predictor workers, and lets the budgeted controller rejuvenate the
+// instances whose predicted time to failure drops below the threshold.
 //
 // Run it with:
 //
@@ -26,14 +26,16 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// Train once; fleet.Run clones the model per instance, so the training
-	// cost is independent of fleet size.
-	fmt.Println("training the shared fleet predictor...")
-	predictor, trainReport, err := fleet.TrainPredictor(1)
+	// Train once; fleet.Run gives every instance its own Session of the
+	// shared immutable model, so the training cost is independent of fleet
+	// size. (A model saved earlier with agingpred.SaveModel could be served
+	// here instead — see examples/saveload and `agingfleet -load`.)
+	fmt.Println("training the shared fleet model...")
+	model, err := fleet.TrainModel(1)
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
-	fmt.Printf("  %s\n\n", trainReport)
+	fmt.Printf("  %s\n\n", model.Report())
 
 	// The population is drawn deterministically from the seed; print a few
 	// specs to show the heterogeneity the model has to cope with.
@@ -50,7 +52,7 @@ func main() {
 		Shards:    4,
 		Duration:  3 * time.Hour,
 		Seed:      1,
-		Predictor: predictor,
+		Model:     model,
 	})
 	if err != nil {
 		log.Fatalf("fleet run: %v", err)

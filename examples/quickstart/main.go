@@ -1,14 +1,14 @@
-// Quickstart: train an M5P software-aging predictor on a couple of simulated
+// Quickstart: train an M5P software-aging model on a couple of simulated
 // failure executions and use it on-line against a new execution it has never
 // seen.
 //
-// This is the smallest end-to-end use of the library:
+// This is the smallest end-to-end use of the public agingpred API:
 //
 //  1. run training executions on the simulated TPC-W/Tomcat testbed
 //     (internal/testbed) with a memory-leak fault injected,
-//  2. train a core.Predictor on the monitored checkpoint series,
-//  3. replay a fresh execution checkpoint by checkpoint, printing the
-//     predicted time to failure as it adapts, and
+//  2. train an immutable agingpred.Model on the monitored checkpoint series,
+//  3. open a per-stream Session and replay a fresh execution checkpoint by
+//     checkpoint, printing the predicted time to failure as it adapts, and
 //  4. report the paper's accuracy metrics (MAE, S-MAE, PRE-MAE, POST-MAE).
 //
 // Run it with:
@@ -21,9 +21,8 @@ import (
 	"log"
 	"time"
 
-	"agingpred/internal/core"
+	"agingpred"
 	"agingpred/internal/evalx"
-	"agingpred/internal/monitor"
 	"agingpred/internal/testbed"
 )
 
@@ -33,7 +32,7 @@ func main() {
 	// 1. Training data: three run-to-crash executions at different workloads,
 	// all suffering a 1 MB leak every ~30 search-servlet hits.
 	fmt.Println("simulating training executions (this takes a few seconds)...")
-	var training []*monitor.Series
+	var training []*agingpred.Series
 	for _, ebs := range []int{50, 100, 200} {
 		res, err := testbed.Run(testbed.RunConfig{
 			Name:        fmt.Sprintf("train-%dEB", ebs),
@@ -50,19 +49,18 @@ func main() {
 		training = append(training, res.Series)
 	}
 
-	// 2. Train the predictor (M5P model tree over the full Table 2 variable
-	// set, 12-checkpoint sliding window — the paper's configuration).
-	predictor, err := core.NewPredictor(core.Config{})
-	if err != nil {
-		log.Fatalf("creating predictor: %v", err)
-	}
-	report, err := predictor.Train(training)
+	// 2. Train the model (M5P model tree over the full Table 2 variable set,
+	// 12-checkpoint sliding window — the paper's configuration). The result
+	// is immutable: save it with agingpred.SaveModel, share it across any
+	// number of sessions.
+	model, err := agingpred.Train(agingpred.Config{}, training)
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
-	fmt.Printf("\ntrained model: %s\n\n", report)
+	fmt.Printf("\ntrained model: %s\n\n", model.Report())
 
-	// 3. A fresh execution at a workload the model never saw (150 EBs).
+	// 3. A fresh execution at a workload the model never saw (150 EBs),
+	// replayed through a per-stream session.
 	test, err := testbed.Run(testbed.RunConfig{
 		Name:        "live-150EB",
 		Seed:        999,
@@ -73,12 +71,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("test run: %v", err)
 	}
-	fmt.Printf("live execution crashed after %v; replaying its checkpoints through the predictor:\n\n",
+	fmt.Printf("live execution crashed after %v; replaying its checkpoints through a session:\n\n",
 		test.CrashTime.Round(time.Second))
 
+	sess := model.NewSession()
 	fmt.Printf("%10s %22s %22s\n", "time", "predicted TTF", "true TTF")
 	for i, cp := range test.Series.Checkpoints {
-		pred, err := predictor.Observe(cp)
+		pred, err := sess.Observe(cp)
 		if err != nil {
 			log.Fatalf("observe: %v", err)
 		}
@@ -92,10 +91,10 @@ func main() {
 	}
 
 	// 4. Accuracy summary.
-	rep, err := predictor.Evaluate(test.Series, evalx.Options{Model: "M5P"})
+	rep, err := model.Evaluate(test.Series, agingpred.EvalOptions{Model: "M5P"})
 	if err != nil {
 		log.Fatalf("evaluate: %v", err)
 	}
 	fmt.Println()
-	fmt.Print(evalx.Table("accuracy on the live execution", []evalx.Report{rep}))
+	fmt.Print(evalx.Table("accuracy on the live execution", []agingpred.EvalReport{rep}))
 }

@@ -21,8 +21,7 @@ import (
 	"log"
 	"time"
 
-	"agingpred/internal/core"
-	"agingpred/internal/monitor"
+	"agingpred"
 	"agingpred/internal/rejuv"
 	"agingpred/internal/testbed"
 )
@@ -32,7 +31,7 @@ func main() {
 	const ebs = 100
 
 	fmt.Println("simulating training executions...")
-	var training []*monitor.Series
+	var training []*agingpred.Series
 	for _, n := range []int{15, 30, 75} {
 		res, err := testbed.Run(testbed.RunConfig{
 			Name:        fmt.Sprintf("train-N%d", n),
@@ -46,11 +45,8 @@ func main() {
 		}
 		training = append(training, res.Series)
 	}
-	predictor, err := core.NewPredictor(core.Config{})
+	model, err := agingpred.Train(agingpred.Config{}, training)
 	if err != nil {
-		log.Fatalf("creating predictor: %v", err)
-	}
-	if _, err := predictor.Train(training); err != nil {
 		log.Fatalf("training: %v", err)
 	}
 
@@ -68,7 +64,7 @@ func main() {
 	fmt.Printf("unattended, the server crashes after %v (%s)\n\n",
 		live.CrashTime.Round(time.Second), live.CrashReason)
 
-	preds, err := predictor.PredictSeries(live.Series)
+	preds, err := model.PredictSeries(live.Series)
 	if err != nil {
 		log.Fatalf("predicting: %v", err)
 	}

@@ -22,8 +22,7 @@ import (
 	"strings"
 	"time"
 
-	"agingpred/internal/core"
-	"agingpred/internal/monitor"
+	"agingpred"
 	"agingpred/internal/testbed"
 )
 
@@ -32,7 +31,7 @@ func main() {
 	const ebs = 100
 
 	fmt.Println("simulating single-resource training executions (memory leaks and thread leaks)...")
-	var training []*monitor.Series
+	var training []*agingpred.Series
 	for _, n := range []int{15, 30, 75} {
 		res, err := testbed.Run(testbed.RunConfig{
 			Name:        fmt.Sprintf("mem-N%d", n),
@@ -60,24 +59,20 @@ func main() {
 		training = append(training, res.Series)
 	}
 
-	predictor, err := core.NewPredictor(core.Config{})
-	if err != nil {
-		log.Fatalf("creating predictor: %v", err)
-	}
-	report, err := predictor.Train(training)
+	model, err := agingpred.Train(agingpred.Config{}, training)
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
-	fmt.Printf("\ntrained model: %s\n\n", report)
+	fmt.Printf("\ntrained model: %s\n\n", model.Report())
 
-	hints, err := predictor.RootCause(3)
+	hints, err := model.RootCause(3)
 	if err != nil {
 		log.Fatalf("root cause: %v", err)
 	}
-	fmt.Print(core.FormatRootCause(hints))
+	fmt.Print(agingpred.FormatRootCause(hints))
 
 	fmt.Println("\nTop of the learned model tree (first 25 lines):")
-	lines := strings.Split(predictor.ModelDescription(), "\n")
+	lines := strings.Split(model.Description(), "\n")
 	for i, line := range lines {
 		if i >= 25 {
 			fmt.Printf("  ... (%d more lines)\n", len(lines)-i)

@@ -17,10 +17,9 @@ import (
 	"log"
 	"time"
 
-	"agingpred/internal/core"
+	"agingpred"
 	"agingpred/internal/evalx"
 	"agingpred/internal/injector"
-	"agingpred/internal/monitor"
 	"agingpred/internal/testbed"
 )
 
@@ -30,7 +29,7 @@ func main() {
 
 	// Training: a calm one-hour run plus three constant-rate leak runs.
 	fmt.Println("simulating training executions...")
-	var training []*monitor.Series
+	var training []*agingpred.Series
 	calm, err := testbed.Run(testbed.RunConfig{
 		Name:        "train-calm",
 		Seed:        11,
@@ -56,15 +55,12 @@ func main() {
 		training = append(training, res.Series)
 	}
 
-	predictor, err := core.NewPredictor(core.Config{})
-	if err != nil {
-		log.Fatalf("creating predictor: %v", err)
-	}
-	report, err := predictor.Train(training)
+	model, err := agingpred.Train(agingpred.Config{}, training)
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
-	fmt.Printf("trained model: %s\n\n", report)
+	fmt.Printf("trained model: %s\n\n", model.Report())
+	sess := model.NewSession()
 
 	// The dynamic scenario: the aging rate changes every 20 minutes.
 	phases := []injector.Phase{
@@ -99,7 +95,7 @@ func main() {
 		}
 	}
 	for i, cp := range live.Series.Checkpoints {
-		pred, err := predictor.Observe(cp)
+		pred, err := sess.Observe(cp)
 		if err != nil {
 			log.Fatalf("observe: %v", err)
 		}
@@ -112,7 +108,7 @@ func main() {
 		}
 	}
 
-	rep, err := predictor.Evaluate(live.Series, evalx.Options{Model: "M5P"})
+	rep, err := model.Evaluate(live.Series, evalx.Options{Model: "M5P"})
 	if err != nil {
 		log.Fatalf("evaluate: %v", err)
 	}

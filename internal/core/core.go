@@ -1,36 +1,42 @@
-// Package core is the public face of the library: an adaptive, on-line
+// Package core backs the public agingpred API: an adaptive, on-line
 // software-aging predictor in the spirit of Alonso et al. (DSN 2010).
 //
-// A Predictor is trained off-line on a handful of monitored failure
-// executions (monitor.Series) and then applied on-line: every 15-second
-// checkpoint is pushed through the derived-feature pipeline (consumption
-// speeds smoothed over a sliding window, Table 2 of the paper) and the
+// The API mirrors the paper's two-phase workflow. Off-line, Train fits an
+// immutable Model on a handful of monitored failure executions
+// (monitor.Series). On-line, Model.NewSession creates one cheap per-stream
+// Session per monitored server; every 15-second checkpoint pushed through
+// Session.Observe runs the derived-feature pipeline (consumption speeds
+// smoothed over a sliding window, Table 2 of the paper) and the
 // machine-learning model — an M5P model tree by default — outputs the
-// predicted time until the server fails. Because the features include the
+// predicted time until that server fails. Because the features include the
 // current consumption speeds, the prediction automatically adapts when the
 // aging trend changes: if the leak slows down, the predicted time to failure
 // grows, and vice versa.
 //
-// The learned model also doubles as a root-cause hint: the attributes tested
-// near the root of the model tree are the resources most strongly related to
-// the coming failure (Section 4.4 of the paper).
+// Models persist: Model.Encode writes a versioned artifact that DecodeModel
+// loads in any process, so serving never retrains. The learned model also
+// doubles as a root-cause hint: the attributes tested near the root of the
+// model tree are the resources most strongly related to the coming failure
+// (Section 4.4 of the paper).
 //
 // Example:
 //
-//	p, _ := core.NewPredictor(core.Config{})
-//	report, _ := p.Train(trainingSeries)
+//	model, _ := core.Train(core.Config{}, trainingSeries)
+//	sess := model.NewSession()              // one per monitored server
 //	for cp := range checkpoints {           // live 15-second checkpoints
-//	    pred, _ := p.Observe(cp)
+//	    pred, _ := sess.Observe(cp)
 //	    if pred.CrashExpected && pred.TTF < 10*time.Minute {
 //	        triggerRejuvenation()
 //	    }
 //	}
+//
+// The mutable Predictor type predates the Model/Session split and remains as
+// a deprecated shim over it.
 package core
 
 import (
 	"errors"
 	"fmt"
-	"math"
 	"strings"
 	"time"
 
@@ -43,7 +49,7 @@ import (
 	"agingpred/internal/regtree"
 )
 
-// ModelKind selects the learning algorithm backing a Predictor.
+// ModelKind selects the learning algorithm backing a Model.
 type ModelKind string
 
 // The available model families. M5P is the paper's choice; the other two are
@@ -55,14 +61,14 @@ const (
 	ModelRegressionTree   ModelKind = "regtree"
 )
 
-// Config configures a Predictor. The zero value reproduces the paper's
-// setup: an M5P tree over the full Table 2 variable set, with 10 instances
-// per leaf and a 12-checkpoint sliding window.
+// Config configures training. The zero value reproduces the paper's setup:
+// an M5P tree over the full Table 2 variable set, with 10 instances per leaf
+// and a 12-checkpoint sliding window.
 type Config struct {
 	// Model is the learning algorithm (default ModelM5P).
 	Model ModelKind
-	// Schema selects the feature schema the predictor extracts and learns
-	// on (see the features schema registry: "full", "no-heap", "heap-focus",
+	// Schema selects the feature schema the model extracts and learns on
+	// (see the features schema registry: "full", "no-heap", "heap-focus",
 	// "full+conn", or any caller-registered schema). When nil, the schema is
 	// derived from Variables. Schema wins when both are set.
 	Schema *features.Schema
@@ -143,7 +149,7 @@ var (
 	_ regressor = (*regtree.Tree)(nil)
 )
 
-// boundRegressor is a model pre-bound to the predictor's schema: index-based
+// boundRegressor is a model pre-bound to the model's schema: index-based
 // evaluation with no name resolution and no per-call allocations. All three
 // model families provide one via Bind; it is the Observe hot path.
 type boundRegressor interface {
@@ -157,38 +163,20 @@ var (
 	_ boundRegressor = (*regtree.BoundTree)(nil)
 )
 
-// Predictor predicts time to failure from monitored checkpoints.
-type Predictor struct {
-	cfg    Config
-	schema *features.Schema
-	attrs  []string
-
-	model   regressor
-	m5pTree *m5p.Tree // non-nil only when cfg.Model == ModelM5P
-	// bound is the model compiled against the predictor's schema (index-
-	// based, allocation-free). It is nil when the trained model references
-	// attributes outside the schema, in which case Observe falls back to the
-	// name-resolving path.
-	bound boundRegressor
-
-	stream  *features.RowExtractor
-	trained bool
-}
-
 // TrainReport summarises a training round, mirroring the numbers the paper
 // reports for each experiment ("the model generated was composed by 36 leafs
 // and 35 inner nodes, using 10 instances to build every leaf", trained on N
-// instances).
+// instances). The JSON field names are part of the persisted model format.
 type TrainReport struct {
-	Model      ModelKind
-	Instances  int
-	Attributes int
+	Model      ModelKind `json:"model"`
+	Instances  int       `json:"instances"`
+	Attributes int       `json:"attributes"`
 	// Schema names the feature schema the model was trained on.
-	Schema string
+	Schema string `json:"schema"`
 	// Leaves and InnerNodes describe tree models; they are zero for linear
 	// regression.
-	Leaves     int
-	InnerNodes int
+	Leaves     int `json:"leaves,omitempty"`
+	InnerNodes int `json:"inner_nodes,omitempty"`
 }
 
 // String renders the report in the paper's style.
@@ -217,19 +205,38 @@ type Prediction struct {
 	CrashExpected bool
 }
 
-// NewPredictor creates a Predictor from the configuration.
+// Predictor fuses a Model and a single Session behind one mutable type.
+//
+// Deprecated: use Train (or DecodeModel) to obtain an immutable Model and
+// Model.NewSession for per-stream on-line state. The mapping is mechanical:
+//
+//	NewPredictor(cfg) + Train(series)  →  core.Train(cfg, series)
+//	NewPredictor(cfg) + TrainDataset(ds) → core.TrainDataset(cfg, ds)
+//	p.Observe(cp)                      →  sess := model.NewSession(); sess.Observe(cp)
+//	p.Clone()                          →  model.NewSession()
+//	p.ResetOnline()                    →  sess.Reset()
+//	p.PredictRow(attrs, row)           →  model.PredictRow(timeSec, attrs, row)
+//	p.Evaluate / p.PredictSeries / p.RootCause / p.ModelDescription
+//	                                   →  the same methods on Model
+//
+// The shim remains so existing call sites keep compiling; it will not grow
+// new behaviour.
+type Predictor struct {
+	cfg    Config
+	schema *features.Schema
+	model  *Model
+	sess   *Session
+}
+
+// NewPredictor creates an untrained Predictor from the configuration.
+//
+// Deprecated: use Train, which returns an immutable Model directly.
 func NewPredictor(cfg Config) (*Predictor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	schema := cfg.Schema
-	return &Predictor{
-		cfg:    cfg,
-		schema: schema,
-		attrs:  schema.Attrs(),
-		stream: schema.Stream(),
-	}, nil
+	return &Predictor{cfg: cfg, schema: cfg.Schema}, nil
 }
 
 // Config returns the effective configuration.
@@ -239,96 +246,38 @@ func (p *Predictor) Config() Config { return p.cfg }
 func (p *Predictor) Schema() *features.Schema { return p.schema }
 
 // Trained reports whether the predictor has a model.
-func (p *Predictor) Trained() bool { return p.trained }
+func (p *Predictor) Trained() bool { return p.model != nil }
+
+// Model returns the immutable trained model behind the predictor (nil before
+// training). It is the migration path out of the shim: hand the Model to
+// code written against the new API.
+func (p *Predictor) Model() *Model { return p.model }
 
 // Attrs returns the attribute names of the feature vectors the predictor
 // consumes.
-func (p *Predictor) Attrs() []string { return append([]string(nil), p.attrs...) }
+func (p *Predictor) Attrs() []string { return p.schema.Attrs() }
 
-// Train fits the model from one or more monitored executions (typically a
-// handful of run-to-crash executions at different workloads and injection
-// rates, as in the paper). It replaces any previously-trained model and
-// resets the on-line state.
+// Train fits the model from one or more monitored executions. It replaces
+// any previously-trained model and resets the on-line state.
 func (p *Predictor) Train(series []*monitor.Series) (TrainReport, error) {
-	if len(series) == 0 {
-		return TrainReport{}, errors.New("core: no training series")
-	}
-	ds, err := p.schema.ExtractAll("training", series)
+	m, err := trainEffective(p.cfg, series)
 	if err != nil {
-		return TrainReport{}, fmt.Errorf("core: extracting training features: %w", err)
+		return TrainReport{}, err
 	}
-	return p.TrainDataset(ds)
+	p.model = m
+	p.sess = m.NewSession()
+	return m.Report(), nil
 }
 
-// TrainDataset fits the model from an already-extracted dataset. The dataset
-// schema must match the predictor's variable set.
+// TrainDataset fits the model from an already-extracted dataset.
 func (p *Predictor) TrainDataset(ds *dataset.Dataset) (TrainReport, error) {
-	if ds == nil || ds.Len() == 0 {
-		return TrainReport{}, errors.New("core: empty training dataset")
+	m, err := fitEffective(p.cfg, ds)
+	if err != nil {
+		return TrainReport{}, err
 	}
-	report := TrainReport{Model: p.cfg.Model, Instances: ds.Len(), Attributes: ds.NumAttrs(), Schema: p.schema.Name()}
-	switch p.cfg.Model {
-	case ModelM5P:
-		tree, err := m5p.Fit(ds, m5p.Options{
-			MinInstances: p.cfg.MinLeafInstances,
-			Unpruned:     p.cfg.Unpruned,
-			NoSmoothing:  p.cfg.NoSmoothing,
-			LeafMaxAttrs: p.cfg.LeafMaxAttrs,
-		})
-		if err != nil {
-			return TrainReport{}, fmt.Errorf("core: fitting M5P: %w", err)
-		}
-		p.model = tree
-		p.m5pTree = tree
-		report.Leaves = tree.Leaves()
-		report.InnerNodes = tree.InnerNodes()
-	case ModelLinearRegression:
-		lr, err := linreg.Fit(ds, linreg.Options{EliminateAttrs: true})
-		if err != nil {
-			return TrainReport{}, fmt.Errorf("core: fitting linear regression: %w", err)
-		}
-		p.model = lr
-		p.m5pTree = nil
-	case ModelRegressionTree:
-		rt, err := regtree.Fit(ds, regtree.Options{MinInstances: p.cfg.MinLeafInstances})
-		if err != nil {
-			return TrainReport{}, fmt.Errorf("core: fitting regression tree: %w", err)
-		}
-		p.model = rt
-		p.m5pTree = nil
-		report.Leaves = rt.Leaves()
-		report.InnerNodes = rt.InnerNodes()
-	default:
-		return TrainReport{}, fmt.Errorf("core: unknown model kind %q", p.cfg.Model)
-	}
-	p.trained = true
-	p.bindModel()
-	p.ResetOnline()
-	return report, nil
-}
-
-// bindModel compiles the trained model against the predictor's schema:
-// attribute names are resolved to row indices once, so Observe needs no
-// lookups and no allocations per checkpoint. When the model references
-// attributes outside the schema (a dataset trained under a wider schema),
-// bound stays nil and Observe keeps the name-resolving fallback, which
-// reports the mismatch per call exactly as before.
-func (p *Predictor) bindModel() {
-	p.bound = nil
-	switch m := p.model.(type) {
-	case *m5p.Tree:
-		if bt, err := m.Bind(p.attrs); err == nil {
-			p.bound = bt
-		}
-	case *linreg.Model:
-		if bm, err := m.Bind(p.attrs); err == nil {
-			p.bound = bm
-		}
-	case *regtree.Tree:
-		if bt, err := m.Bind(p.attrs); err == nil {
-			p.bound = bt
-		}
-	}
+	p.model = m
+	p.sess = m.NewSession()
+	return m.Report(), nil
 }
 
 // ResetOnline clears the on-line sliding-window state (use after a
@@ -336,196 +285,83 @@ func (p *Predictor) bindModel() {
 // the existing buffers, so a fleet-scale rejuvenation wave allocates
 // nothing.
 func (p *Predictor) ResetOnline() {
-	p.stream.Reset()
+	if p.sess != nil {
+		p.sess.Reset()
+	}
 }
 
 // Clone returns a new Predictor that shares the receiver's trained model but
-// owns fresh on-line sliding-window state.
-//
-// The learned model is immutable once Train returns and its Predict path is
-// read-only, so any number of clones may call Observe concurrently with each
-// other and with the receiver: train once, then fan read-only clones out to
-// per-server goroutines (the fleet subsystem gives every simulated instance
-// its own clone). The schema-bound model compiled at training time is shared
-// too — it is immutable like the tree itself. A clone captures the
-// receiver's model at call time — re-training the receiver later does not
-// affect existing clones. Cloning an untrained predictor yields an untrained
+// owns fresh on-line sliding-window state — the pre-Session spelling of
+// Model.NewSession. Cloning an untrained predictor yields an untrained
 // predictor.
 func (p *Predictor) Clone() *Predictor {
-	return &Predictor{
-		cfg:     p.cfg,
-		schema:  p.schema,
-		attrs:   p.attrs,
-		model:   p.model,
-		m5pTree: p.m5pTree,
-		bound:   p.bound,
-		stream:  p.schema.Stream(),
-		trained: p.trained,
+	c := &Predictor{cfg: p.cfg, schema: p.schema, model: p.model}
+	if p.model != nil {
+		c.sess = p.model.NewSession()
 	}
+	return c
 }
 
 // Observe consumes one live checkpoint and returns the prediction for it.
-// In steady state it performs no allocations: the feature row is computed
-// into a reusable buffer by the compiled schema extractor and the model is
-// evaluated through its schema-bound form (BenchmarkObserve pins 0
-// allocs/op).
-//
-// Observe is NOT safe for concurrent use: every call mutates the predictor's
-// sliding-window feature state, so two goroutines observing through the same
-// Predictor race and corrupt the derived speed features. To serve many
-// checkpoint streams concurrently, give each stream its own Clone — the
-// trained model is shared read-only, only the on-line state is per-clone.
+// In steady state it performs no allocations. Observe is NOT safe for
+// concurrent use: every call mutates the predictor's sliding-window feature
+// state. To serve many checkpoint streams concurrently, give each stream its
+// own Session (or Clone).
 func (p *Predictor) Observe(cp monitor.Checkpoint) (Prediction, error) {
-	if !p.trained {
+	if p.sess == nil {
 		return Prediction{}, errors.New("core: predictor is not trained")
 	}
-	row := p.stream.Step(cp)
-	if p.bound != nil {
-		return p.clamp(cp.TimeSec, p.bound.Predict(row)), nil
-	}
-	return p.predictRow(cp.TimeSec, row)
-}
-
-// predictRow runs the model on one feature vector through the name-resolving
-// path and post-processes the output.
-func (p *Predictor) predictRow(timeSec float64, row []float64) (Prediction, error) {
-	raw, err := p.model.Predict(p.attrs, row)
-	if err != nil {
-		return Prediction{}, fmt.Errorf("core: predicting: %w", err)
-	}
-	return p.clamp(timeSec, raw), nil
-}
-
-// clamp post-processes a raw model output: predictions are clamped to
-// [0, InfiniteTTF].
-func (p *Predictor) clamp(timeSec, raw float64) Prediction {
-	infinite := p.cfg.InfiniteTTF.Seconds()
-	ttf := raw
-	if ttf < 0 {
-		ttf = 0
-	}
-	if ttf > infinite {
-		ttf = infinite
-	}
-	return Prediction{
-		TimeSec:       timeSec,
-		TTF:           time.Duration(ttf * float64(time.Second)),
-		TTFSec:        ttf,
-		CrashExpected: ttf < infinite*0.999,
-	}
+	return p.sess.Observe(cp)
 }
 
 // PredictRow predicts the time to failure for a single already-extracted
-// feature vector. attrs names the columns of row; the schema may be wider or
-// reordered as long as every attribute of the predictor's variable set is
-// present. Use Observe for live checkpoints — PredictRow exists for datasets
-// that were extracted earlier (e.g. loaded from CSV by cmd/agingpredict).
+// feature vector issued at an unknown time (the returned Prediction carries
+// TimeSec 0; Model.PredictRow accepts the checkpoint time explicitly).
 func (p *Predictor) PredictRow(attrs []string, row []float64) (Prediction, error) {
-	if !p.trained {
+	if p.model == nil {
 		return Prediction{}, errors.New("core: predictor is not trained")
 	}
-	raw, err := p.model.Predict(attrs, row)
-	if err != nil {
-		return Prediction{}, fmt.Errorf("core: predicting: %w", err)
-	}
-	infinite := p.cfg.InfiniteTTF.Seconds()
-	ttf := math.Max(0, math.Min(raw, infinite))
-	return Prediction{
-		TTF:           time.Duration(ttf * float64(time.Second)),
-		TTFSec:        ttf,
-		CrashExpected: ttf < infinite*0.999,
-	}, nil
+	return p.model.PredictRow(0, attrs, row)
 }
 
 // EvaluateDataset evaluates the predictor on an already-extracted dataset
 // whose target column holds the true time to failure. It is the CSV-level
 // counterpart of Evaluate.
 func (p *Predictor) EvaluateDataset(ds *dataset.Dataset, opts evalx.Options) (evalx.Report, error) {
-	if !p.trained {
+	if p.model == nil {
 		return evalx.Report{}, errors.New("core: predictor is not trained")
 	}
-	if ds == nil || ds.Len() == 0 {
-		return evalx.Report{}, errors.New("core: empty evaluation dataset")
-	}
-	attrs := ds.Attrs()
-	preds := make([]evalx.Prediction, 0, ds.Len())
-	for i := 0; i < ds.Len(); i++ {
-		pr, err := p.PredictRow(attrs, ds.Row(i))
-		if err != nil {
-			return evalx.Report{}, err
-		}
-		preds = append(preds, evalx.Prediction{
-			TrueTTF:      ds.TargetValue(i),
-			PredictedTTF: pr.TTFSec,
-		})
-	}
-	if opts.Model == "" {
-		opts.Model = string(p.cfg.Model)
-	}
-	return evalx.Evaluate(preds, opts)
+	return p.model.EvaluateDataset(ds, 0, opts)
 }
 
 // PredictSeries replays a monitored series through the predictor (with fresh
 // on-line state) and returns one evalx.Prediction per checkpoint, pairing
-// the model output with the series' true TTF labels. The predictor's on-line
-// state is reset before and after.
+// the model output with the series' true TTF labels. The predictor's own
+// on-line state is left untouched (the replay runs on a private session).
 func (p *Predictor) PredictSeries(s *monitor.Series) ([]evalx.Prediction, error) {
-	if !p.trained {
+	if p.model == nil {
 		return nil, errors.New("core: predictor is not trained")
 	}
-	if s == nil || s.Len() == 0 {
-		return nil, errors.New("core: empty test series")
-	}
-	p.ResetOnline()
-	defer p.ResetOnline()
-	out := make([]evalx.Prediction, 0, s.Len())
-	for _, cp := range s.Checkpoints {
-		pred, err := p.Observe(cp)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, evalx.Prediction{
-			TimeSec:      cp.TimeSec,
-			TrueTTF:      cp.TTFSec,
-			PredictedTTF: pred.TTFSec,
-		})
-	}
-	return out, nil
+	return p.model.PredictSeries(s)
 }
 
 // PredictSeriesAgainst is like PredictSeries but evaluates the model output
 // against caller-supplied reference TTF labels instead of the series' own
-// labels. The paper uses this for experiment 4.2, where the "true" time to
-// failure of each checkpoint is defined by freezing the current injection
-// rate and simulating until the crash.
+// labels.
 func (p *Predictor) PredictSeriesAgainst(s *monitor.Series, referenceTTF []float64) ([]evalx.Prediction, error) {
-	if s == nil || s.Len() == 0 {
-		return nil, errors.New("core: empty test series")
+	if p.model == nil {
+		return nil, errors.New("core: predictor is not trained")
 	}
-	if len(referenceTTF) != s.Len() {
-		return nil, fmt.Errorf("core: %d reference labels for %d checkpoints", len(referenceTTF), s.Len())
-	}
-	preds, err := p.PredictSeries(s)
-	if err != nil {
-		return nil, err
-	}
-	for i := range preds {
-		preds[i].TrueTTF = referenceTTF[i]
-	}
-	return preds, nil
+	return p.model.PredictSeriesAgainst(s, referenceTTF)
 }
 
 // Evaluate replays a test series and computes the paper's accuracy metrics
 // (MAE, S-MAE, PRE-MAE, POST-MAE).
 func (p *Predictor) Evaluate(s *monitor.Series, opts evalx.Options) (evalx.Report, error) {
-	preds, err := p.PredictSeries(s)
-	if err != nil {
-		return evalx.Report{}, err
+	if p.model == nil {
+		return evalx.Report{}, errors.New("core: predictor is not trained")
 	}
-	if opts.Model == "" {
-		opts.Model = string(p.cfg.Model)
-	}
-	return evalx.Evaluate(preds, opts)
+	return p.model.Evaluate(s, opts)
 }
 
 // RootCauseHint is one clue extracted from the structure of the learned
@@ -545,52 +381,20 @@ type RootCauseHint struct {
 
 // RootCause inspects the learned model and returns hints about which
 // resources are implicated in the coming failure, most significant first.
-// Only the M5P model carries the tree structure the paper inspects.
 func (p *Predictor) RootCause(maxDepth int) ([]RootCauseHint, error) {
-	if !p.trained {
+	if p.model == nil {
 		return nil, errors.New("core: predictor is not trained")
 	}
-	if maxDepth <= 0 {
-		maxDepth = 3
-	}
-	if p.m5pTree == nil {
-		return nil, fmt.Errorf("core: root-cause hints require an M5P model (have %s)", p.cfg.Model)
-	}
-	splits := p.m5pTree.TopSplits(maxDepth)
-	counts := p.m5pTree.SplitAttributeCounts()
-	seen := make(map[string]bool)
-	hints := make([]RootCauseHint, 0, len(splits))
-	for _, sp := range splits {
-		if seen[sp.Attr] {
-			continue
-		}
-		seen[sp.Attr] = true
-		hints = append(hints, RootCauseHint{
-			Attr:      sp.Attr,
-			Threshold: sp.Threshold,
-			Depth:     sp.Depth,
-			Splits:    counts[sp.Attr],
-		})
-	}
-	return hints, nil
+	return p.model.RootCause(maxDepth)
 }
 
 // ModelDescription returns a human-readable rendering of the learned model
 // (the full M5P tree with its leaf equations, or the regression formula).
 func (p *Predictor) ModelDescription() string {
-	if !p.trained {
+	if p.model == nil {
 		return "(untrained)"
 	}
-	switch m := p.model.(type) {
-	case *m5p.Tree:
-		return m.String()
-	case *linreg.Model:
-		return fmt.Sprintf("%s = %s", features.Target, m.String())
-	case *regtree.Tree:
-		return m.String()
-	default:
-		return fmt.Sprintf("%T", p.model)
-	}
+	return p.model.Description()
 }
 
 // FormatRootCause renders root-cause hints as a short human-readable report.

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// FuzzDecodeModel proves the decoder's contract on hostile input: corrupt,
+// truncated or adversarial model bytes must return an error (or, for inputs
+// the fuzzer mutates into validity, a usable model) — never panic, never
+// hang, never over-allocate past the format's payload bound. The seed corpus
+// covers the interesting regions: a fully valid artifact for every model
+// family (so mutations explore the payload validation, not just the
+// envelope), systematic truncations, header field corruption, and raw
+// garbage.
+func FuzzDecodeModel(f *testing.F) {
+	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression, ModelRegressionTree} {
+		m := trainedOn(f, Config{Model: kind})
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		valid := buf.Bytes()
+		f.Add(valid)
+		// Truncations at structurally meaningful offsets.
+		for _, cut := range []int{0, 3, 4, 8, 12, 15, 16, 20, len(valid) / 2, len(valid) - 1} {
+			if cut <= len(valid) {
+				f.Add(append([]byte(nil), valid[:cut]...))
+			}
+		}
+		// Header corruption: magic, version, length, checksum.
+		for _, off := range []int{0, 5, 9, 13} {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+		// Payload corruption (breaks the checksum) and payload corruption
+		// with a recomputed checksum (reaches the JSON validation).
+		mut := append([]byte(nil), valid...)
+		mut[len(mut)/2] ^= 0x20
+		f.Add(mut)
+		fixed := append([]byte(nil), mut...)
+		n := binary.BigEndian.Uint32(fixed[8:])
+		binary.BigEndian.PutUint32(fixed[12:], crc32.ChecksumIEEE(fixed[16:16+n]))
+		f.Add(fixed)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("AGPM"))
+	f.Add([]byte("AGPM\x00\x00\x00\x01\x00\x00\x00\x02\x00\x00\x00\x00{}"))
+	f.Add([]byte("not a model at all, just bytes"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeModel(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: the contract held
+		}
+		// The rare mutations that stay valid must yield a servable model:
+		// exercising a session must not panic either.
+		sess := m.NewSession()
+		test := leakSeries("fuzz", 3, 1.5, 0.2)
+		for _, cp := range test.Checkpoints {
+			if _, err := sess.Observe(cp); err != nil {
+				return
+			}
+		}
+	})
+}

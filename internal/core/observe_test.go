@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"agingpred/internal/features"
@@ -47,45 +49,42 @@ func leakSeries(name string, n int, memPerCP, thrPerCP float64) *monitor.Series 
 	return s
 }
 
-func trainedOn(t testing.TB, cfg Config) *Predictor {
+func trainedOn(t testing.TB, cfg Config) *Model {
 	t.Helper()
-	p, err := NewPredictor(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	train := []*monitor.Series{
+	m, err := Train(cfg, []*monitor.Series{
 		leakSeries("train-a", 300, 2.0, 0.3),
 		leakSeries("train-b", 400, 1.5, 0.2),
 		leakSeries("train-c", 250, 2.5, 0.5),
-	}
-	if _, err := p.Train(train); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return m
 }
 
 // TestObserveZeroAllocs pins the acceptance criterion of the schema
-// refactor: steady-state Observe performs no allocations per checkpoint for
-// every model family.
+// refactor, now phrased against the Session hot path: steady-state
+// Session.Observe performs no allocations per checkpoint for every model
+// family.
 func TestObserveZeroAllocs(t *testing.T) {
 	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression, ModelRegressionTree} {
 		t.Run(string(kind), func(t *testing.T) {
-			p := trainedOn(t, Config{Model: kind})
+			sess := trainedOn(t, Config{Model: kind}).NewSession()
 			test := leakSeries("test", 200, 1.8, 0.25)
 			for _, cp := range test.Checkpoints {
-				if _, err := p.Observe(cp); err != nil {
+				if _, err := sess.Observe(cp); err != nil {
 					t.Fatal(err)
 				}
 			}
 			cp := test.Checkpoints[len(test.Checkpoints)-1]
 			allocs := testing.AllocsPerRun(100, func() {
 				cp.TimeSec += 15
-				if _, err := p.Observe(cp); err != nil {
+				if _, err := sess.Observe(cp); err != nil {
 					t.Fatal(err)
 				}
 			})
 			if allocs != 0 {
-				t.Fatalf("Observe allocates %.1f objects per checkpoint, want 0", allocs)
+				t.Fatalf("Session.Observe allocates %.1f objects per checkpoint, want 0", allocs)
 			}
 		})
 	}
@@ -97,16 +96,16 @@ func TestObserveZeroAllocs(t *testing.T) {
 func TestBoundModelMatchesNameResolvingPath(t *testing.T) {
 	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression, ModelRegressionTree} {
 		t.Run(string(kind), func(t *testing.T) {
-			p := trainedOn(t, Config{Model: kind})
-			if p.bound == nil {
+			m := trainedOn(t, Config{Model: kind})
+			if m.bound == nil {
 				t.Fatalf("model did not bind to its own schema")
 			}
 			test := leakSeries("test", 150, 1.2, 0.4)
-			x := p.schema.Stream()
+			x := m.schema.Stream()
 			for _, cp := range test.Checkpoints {
 				row := x.Step(cp)
-				fast := p.bound.Predict(row)
-				slow, err := p.model.Predict(p.attrs, row)
+				fast := m.bound.Predict(row)
+				slow, err := m.reg.Predict(m.attrs, row)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -127,27 +126,28 @@ func TestConfigSchemaSelectsRegistrySchemas(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := trainedOn(t, Config{Schema: schema})
-	if got := p.Schema().Name(); got != features.FullConnSchemaName {
-		t.Fatalf("predictor schema = %q", got)
+	m := trainedOn(t, Config{Schema: schema})
+	if got := m.Schema().Name(); got != features.FullConnSchemaName {
+		t.Fatalf("model schema = %q", got)
 	}
-	if len(p.Attrs()) != schema.NumAttrs() {
-		t.Fatalf("predictor has %d attrs, schema %d", len(p.Attrs()), schema.NumAttrs())
+	if len(m.Attrs()) != schema.NumAttrs() {
+		t.Fatalf("model has %d attrs, schema %d", len(m.Attrs()), schema.NumAttrs())
 	}
 	test := leakSeries("test", 100, 1.5, 0.3)
-	pred, err := p.Observe(test.Checkpoints[0])
+	sess := m.NewSession()
+	pred, err := sess.Observe(test.Checkpoints[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pred.TTFSec < 0 {
 		t.Fatalf("negative TTF %v", pred.TTFSec)
 	}
-	// Clone keeps the schema and the bound model.
-	c := p.Clone()
-	if c.Schema() != p.Schema() {
-		t.Fatalf("clone changed schema")
+	// A second session shares the schema and the bound model.
+	sess2 := m.NewSession()
+	if sess2.Model() != m {
+		t.Fatalf("session lost its model")
 	}
-	if _, err := c.Observe(test.Checkpoints[0]); err != nil {
+	if _, err := sess2.Observe(test.Checkpoints[0]); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -184,19 +184,98 @@ func TestCustomSchemaKeepsItsWindow(t *testing.T) {
 	}
 }
 
-// BenchmarkObserve measures the per-checkpoint hot path end to end (compiled
-// feature row + schema-bound model evaluation), reporting ns/op and
-// allocs/op. Before the schema refactor this path built a 49-entry
-// map[string]float64, filtered it through freshly-allocated name slices and
-// re-resolved every model attribute by name on each call (~20 allocations
-// per checkpoint); now it is allocation-free.
+// TestConcurrentPredictRowIsSafe pins the off-hot-path half of the "Model is
+// safe for concurrent use" contract. The name-resolving Predict lazily
+// caches attribute resolutions inside the shared regressor (linreg keys the
+// cache by row-schema signature), so concurrent PredictRow calls on a wider
+// row layout used to race on that cache; Model now serialises them. Under
+// `go test -race` this test fails without the lock.
+func TestConcurrentPredictRowIsSafe(t *testing.T) {
+	m := trainedOn(t, Config{Model: ModelLinearRegression, Variables: features.NoHeapSet})
+	// Rows in the full Table 2 layout: wider than and reordered relative to
+	// the model's own no-heap schema, so every resolution goes through the
+	// regressor's lazy name-resolving cache.
+	test := leakSeries("wide", 120, 1.8, 0.25)
+	wideDS, err := features.FullSet.Schema().Extract(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := wideDS.Attrs()
+	want := make([]float64, wideDS.Len())
+	for i := range want {
+		pred, err := m.PredictRow(0, attrs, wideDS.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = pred.TTFSec
+	}
+	const workers = 6
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < wideDS.Len(); i++ {
+				pred, err := m.PredictRow(0, attrs, wideDS.Row(i))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if pred.TTFSec != want[i] {
+					errs[g] = fmt.Errorf("worker %d row %d: %v != %v", g, i, pred.TTFSec, want[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestUnboundModelSessionErrors covers the degenerate serving path: a model
+// trained on a dataset wider than its schema cannot bind, and its sessions'
+// Observe reports the attribute mismatch per call — an error, never a panic
+// and never a silent wrong prediction.
+func TestUnboundModelSessionErrors(t *testing.T) {
+	train := []*monitor.Series{
+		leakSeries("train-a", 300, 2.0, 0.3),
+		leakSeries("train-b", 400, 1.5, 0.2),
+	}
+	fullDS, err := features.FullSet.Schema().ExtractAll("wide", train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainDataset(Config{Variables: features.NoHeapSet}, fullDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.bound != nil {
+		t.Fatalf("model bound unexpectedly; the test needs the fallback path")
+	}
+	sess := m.NewSession()
+	if _, err := sess.Observe(leakSeries("test", 1, 1.8, 0.25).Checkpoints[0]); err == nil {
+		t.Fatalf("unbound model's session observed successfully; want the schema-mismatch error")
+	}
+}
+
+// BenchmarkObserve measures the per-checkpoint hot path end to end — now
+// Session.Observe: compiled feature row + schema-bound model evaluation —
+// reporting ns/op and allocs/op. Before the schema refactor this path built
+// a 49-entry map[string]float64, filtered it through freshly-allocated name
+// slices and re-resolved every model attribute by name on each call (~20
+// allocations per checkpoint); now it is allocation-free.
 func BenchmarkObserve(b *testing.B) {
 	for _, kind := range []ModelKind{ModelM5P, ModelLinearRegression} {
 		b.Run(string(kind), func(b *testing.B) {
-			p := trainedOn(b, Config{Model: kind})
+			sess := trainedOn(b, Config{Model: kind}).NewSession()
 			test := leakSeries("bench", 256, 1.8, 0.25)
 			for _, cp := range test.Checkpoints {
-				if _, err := p.Observe(cp); err != nil {
+				if _, err := sess.Observe(cp); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -205,7 +284,7 @@ func BenchmarkObserve(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cp.TimeSec += 15
-				if _, err := p.Observe(cp); err != nil {
+				if _, err := sess.Observe(cp); err != nil {
 					b.Fatal(err)
 				}
 			}

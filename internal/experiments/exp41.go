@@ -15,6 +15,12 @@ import (
 // aging (1 MB leak, N = 30), models trained on executions at 25/50/100/200
 // EBs and tested on unseen workloads of 75 and 150 EBs.
 type Experiment41Result struct {
+	// M5PModel and LinRegModel are the trained models themselves — immutable
+	// and persistable, so agingbench can save them as artifacts
+	// (-save-models) for agingpredict/agingfleet to serve without
+	// retraining.
+	M5PModel    *core.Model
+	LinRegModel *core.Model
 	// TrainReportM5P and TrainReportLinReg describe the trained models (the
 	// paper reports 33 leaves / 30 inner nodes over 2776 instances).
 	TrainReportM5P    core.TrainReport
@@ -53,27 +59,21 @@ func Experiment41(opts Options) (*Experiment41Result, error) {
 
 	// The paper does not add the heap information in this experiment (the
 	// -schema flag can override the no-heap default).
-	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.NoHeapSet)
-	if err != nil {
-		return nil, err
-	}
-	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.NoHeapSet)
-	if err != nil {
-		return nil, err
-	}
-	m5pReport, err := m5pPred.Train(trainSeries)
+	m5pModel, err := trainScenarioModel(opts, core.ModelM5P, features.NoHeapSet, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training M5P for 4.1: %w", err)
 	}
-	lrReport, err := lrPred.Train(trainSeries)
+	lrModel, err := trainScenarioModel(opts, core.ModelLinearRegression, features.NoHeapSet, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training linear regression for 4.1: %w", err)
 	}
 
 	out := &Experiment41Result{
-		TrainReportM5P:    m5pReport,
-		TrainReportLinReg: lrReport,
-		TrainingInstances: m5pReport.Instances,
+		M5PModel:          m5pModel,
+		LinRegModel:       lrModel,
+		TrainReportM5P:    m5pModel.Report(),
+		TrainReportLinReg: lrModel.Report(),
+		TrainingInstances: m5pModel.Report().Instances,
 		Table3:            make(map[string][]evalx.Report, 2),
 	}
 
@@ -90,7 +90,7 @@ func Experiment41(opts Options) (*Experiment41Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		lrRep, m5Rep, _, err := evaluateBoth(lrPred, m5pPred, res.Series, nil)
+		lrRep, m5Rep, _, err := evaluateBoth(lrModel, m5pModel, res.Series, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -168,19 +168,12 @@ func Experiment42(opts Options) (*Experiment42Result, error) {
 		return nil, err
 	}
 
-	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.FullSet)
-	if err != nil {
-		return nil, err
-	}
-	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.FullSet)
-	if err != nil {
-		return nil, err
-	}
-	trainReport, err := m5pPred.Train(trainSeries)
+	m5pModel, err := trainScenarioModel(opts, core.ModelM5P, features.FullSet, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training M5P for 4.2: %w", err)
 	}
-	if _, err := lrPred.Train(trainSeries); err != nil {
+	lrModel, err := trainScenarioModel(opts, core.ModelLinearRegression, features.FullSet, trainSeries)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: training linear regression for 4.2: %w", err)
 	}
 
@@ -201,12 +194,12 @@ func Experiment42(opts Options) (*Experiment42Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	lrRep, m5Rep, m5Preds, err := evaluateBoth(lrPred, m5pPred, testRes.Series, refs)
+	lrRep, m5Rep, m5Preds, err := evaluateBoth(lrModel, m5pModel, testRes.Series, refs)
 	if err != nil {
 		return nil, err
 	}
 	return &Experiment42Result{
-		TrainReport:        trainReport,
+		TrainReport:        m5pModel.Report(),
 		M5P:                m5Rep,
 		LinReg:             lrRep,
 		Trace:              trace(testRes.Series, m5Preds),

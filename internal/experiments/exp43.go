@@ -90,26 +90,15 @@ func Experiment43(opts Options) (*Experiment43Result, error) {
 
 	// Three models: M5P and Linear Regression on the heap-focused subset
 	// (Table 4), plus M5P on the full set to document why selection matters.
-	m5pSelected, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Variables: features.HeapFocusSet})
-	if err != nil {
-		return nil, err
-	}
-	lrSelected, err := core.NewPredictor(core.Config{Model: core.ModelLinearRegression, Variables: features.HeapFocusSet})
-	if err != nil {
-		return nil, err
-	}
-	m5pFull, err := newModelPredictor(opts, core.ModelM5P, features.FullSet)
-	if err != nil {
-		return nil, err
-	}
-	selReport, err := m5pSelected.Train(trainSeries)
+	m5pSelected, err := core.Train(core.Config{Model: core.ModelM5P, Variables: features.HeapFocusSet}, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training selected M5P for 4.3: %w", err)
 	}
-	if _, err := lrSelected.Train(trainSeries); err != nil {
+	lrSelected, err := core.Train(core.Config{Model: core.ModelLinearRegression, Variables: features.HeapFocusSet}, trainSeries)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: training selected linear regression for 4.3: %w", err)
 	}
-	fullReport, err := m5pFull.Train(trainSeries)
+	m5pFull, err := trainScenarioModel(opts, core.ModelM5P, features.FullSet, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training full-set M5P for 4.3: %w", err)
 	}
@@ -139,8 +128,8 @@ func Experiment43(opts Options) (*Experiment43Result, error) {
 	}
 
 	return &Experiment43Result{
-		TrainReportSelected: selReport,
-		TrainReportFull:     fullReport,
+		TrainReportSelected: m5pSelected.Report(),
+		TrainReportFull:     m5pFull.Report(),
 		Table4:              []evalx.Report{lrRep, m5Rep},
 		M5PFullSet:          fullRep,
 		Trace:               trace(testRes.Series, m5Preds),

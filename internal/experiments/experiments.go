@@ -127,13 +127,17 @@ func modelConfig(opts Options, model core.ModelKind, fallback features.VariableS
 	return cfg, nil
 }
 
-// newModelPredictor is modelConfig + core.NewPredictor in one step.
-func newModelPredictor(opts Options, model core.ModelKind, fallback features.VariableSet) (*core.Predictor, error) {
+// trainScenarioModel is modelConfig + core.Train in one step: it fits an
+// immutable model for one of an experiment's primary model families on the
+// experiment's training series. Evaluation then runs through per-stream
+// sessions (Model.PredictSeries and friends), never by mutating a shared
+// predictor.
+func trainScenarioModel(opts Options, model core.ModelKind, fallback features.VariableSet, series []*monitor.Series) (*core.Model, error) {
 	cfg, err := modelConfig(opts, model, fallback)
 	if err != nil {
 		return nil, err
 	}
-	return core.NewPredictor(cfg)
+	return core.Train(cfg, series)
 }
 
 // TracePoint is one sample of a predicted-vs-observed trace, used to redraw
@@ -210,10 +214,10 @@ func trace(s *monitor.Series, preds []evalx.Prediction) []TracePoint {
 	return points
 }
 
-// evaluateBoth trains nothing; it evaluates two already-trained predictors on
+// evaluateBoth trains nothing; it evaluates two already-trained models on
 // the same series with the same reference labels and returns (linreg, m5p)
-// reports.
-func evaluateBoth(lr, m5 *core.Predictor, s *monitor.Series, ref []float64) (evalx.Report, evalx.Report, []evalx.Prediction, error) {
+// reports. Each model replays the series through its own fresh session.
+func evaluateBoth(lr, m5 *core.Model, s *monitor.Series, ref []float64) (evalx.Report, evalx.Report, []evalx.Prediction, error) {
 	var (
 		lrPreds, m5Preds []evalx.Prediction
 		err              error

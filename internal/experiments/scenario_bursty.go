@@ -77,19 +77,12 @@ func ExperimentBursty(opts Options) (*BurstyResult, error) {
 		return nil, err
 	}
 
-	m5pPred, err := newModelPredictor(opts, core.ModelM5P, features.NoHeapSet)
-	if err != nil {
-		return nil, err
-	}
-	lrPred, err := newModelPredictor(opts, core.ModelLinearRegression, features.NoHeapSet)
-	if err != nil {
-		return nil, err
-	}
-	trainReport, err := m5pPred.Train(trainSeries)
+	m5pModel, err := trainScenarioModel(opts, core.ModelM5P, features.NoHeapSet, trainSeries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training M5P for bursty scenario: %w", err)
 	}
-	if _, err := lrPred.Train(trainSeries); err != nil {
+	lrModel, err := trainScenarioModel(opts, core.ModelLinearRegression, features.NoHeapSet, trainSeries)
+	if err != nil {
 		return nil, fmt.Errorf("experiments: training linear regression for bursty scenario: %w", err)
 	}
 
@@ -108,7 +101,7 @@ func ExperimentBursty(opts Options) (*BurstyResult, error) {
 		return nil, err
 	}
 
-	lrRep, m5Rep, m5Preds, err := evaluateBoth(lrPred, m5pPred, testRes.Series, nil)
+	lrRep, m5Rep, m5Preds, err := evaluateBoth(lrModel, m5pModel, testRes.Series, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +136,7 @@ func ExperimentBursty(opts Options) (*BurstyResult, error) {
 		spikes = burstyCycles
 	}
 	out := &BurstyResult{
-		TrainReport:  trainReport,
+		TrainReport:  m5pModel.Report(),
 		M5P:          m5Rep,
 		LinReg:       lrRep,
 		Trace:        trace(testRes.Series, m5Preds),

@@ -107,19 +107,11 @@ func ExperimentConnLeak(opts Options) (*ConnLeakResult, error) {
 		return nil, fmt.Errorf("experiments: conforming training features to %q: %w", features.FullSchemaName, err)
 	}
 
-	fullPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Schema: fullSchema})
-	if err != nil {
-		return nil, err
-	}
-	connPred, err := core.NewPredictor(core.Config{Model: core.ModelM5P, Schema: connSchema})
-	if err != nil {
-		return nil, err
-	}
-	fullReport, err := fullPred.TrainDataset(fullDS)
+	fullModel, err := core.TrainDataset(core.Config{Model: core.ModelM5P, Schema: fullSchema}, fullDS)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training %q M5P for connleak: %w", features.FullSchemaName, err)
 	}
-	connReport, err := connPred.TrainDataset(connDS)
+	connModel, err := core.TrainDataset(core.Config{Model: core.ModelM5P, Schema: connSchema}, connDS)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training %q M5P for connleak: %w", features.FullConnSchemaName, err)
 	}
@@ -140,11 +132,11 @@ func ExperimentConnLeak(opts Options) (*ConnLeakResult, error) {
 		return nil, err
 	}
 
-	fullPreds, err := fullPred.PredictSeries(testRes.Series)
+	fullPreds, err := fullModel.PredictSeries(testRes.Series)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %q predictions: %w", features.FullSchemaName, err)
 	}
-	connPreds, err := connPred.PredictSeries(testRes.Series)
+	connPreds, err := connModel.PredictSeries(testRes.Series)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %q predictions: %w", features.FullConnSchemaName, err)
 	}
@@ -156,13 +148,13 @@ func ExperimentConnLeak(opts Options) (*ConnLeakResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	hints, err := connPred.RootCause(3)
+	hints, err := connModel.RootCause(3)
 	if err != nil {
 		return nil, err
 	}
 	return &ConnLeakResult{
-		TrainReportFull: fullReport,
-		TrainReportConn: connReport,
+		TrainReportFull: fullModel.Report(),
+		TrainReportConn: connModel.Report(),
 		Full:            fullRep,
 		FullConn:        connRep,
 		CrashTimeSec:    testRes.Series.CrashTimeSec,

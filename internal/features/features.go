@@ -170,4 +170,3 @@ func (e *Extractor) ExtractAll(relation string, series []*monitor.Series, set Va
 	}
 	return e.schemaFor(set).ExtractAll(relation, series)
 }
-

@@ -24,7 +24,7 @@ import (
 //
 // A Schema is compiled at build time into an index-based column program; the
 // per-stream RowExtractor evaluates that program with no map lookups and no
-// per-checkpoint allocations, which is what keeps core.Predictor.Observe
+// per-checkpoint allocations, which is what keeps core.Session.Observe
 // allocation-free in steady state.
 
 // LevelFunc reads one raw metric from a checkpoint. The pointer receiver
@@ -162,6 +162,23 @@ func (s *Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
 // Resources returns a copy of the speed-tracked resource descriptors.
 func (s *Schema) Resources() []ResourceDescriptor {
 	return append([]ResourceDescriptor(nil), s.resources...)
+}
+
+// AttrsEqual reports whether the schema's column names are exactly names, in
+// order. Model persistence uses it as the compatibility check when a saved
+// model is loaded: the schema looked up by name must still generate the
+// column layout the model was trained on, or the loaded model would silently
+// read the wrong features.
+func (s *Schema) AttrsEqual(names []string) bool {
+	if len(names) != len(s.attrs) {
+		return false
+	}
+	for i, n := range names {
+		if n != s.attrs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // String summarises the schema.

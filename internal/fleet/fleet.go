@@ -16,19 +16,19 @@
 //	          └──┬───────────────────────────────────────────────────────────┬─────┘
 //	             │ consistent instance→shard hash, bounded queues             │
 //	        ┌────▼────┐   ┌─────────┐        ┌─────────┐                      │
-//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  Observe on clones   │
+//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  Observe on sessions │
 //	        └────┬────┘   └────┬────┘        └────┬────┘                      │
 //	             └─────────────┴── tick barrier ──┴───────────────────────────┘
 //	          controller: per-instance predictive policies → budgeted
 //	          rejuvenations, crash handling, fleet aggregates
 //
-// Every instance owns a Clone of one shared trained model (train once, fan
-// out read-only), and each clone is touched only by its instance's shard.
-// Decisions happen on the driver goroutine in instance-ID order after the
-// tick barrier, so the whole run — including the -json summary — is a pure
-// function of (seed, instances, duration): byte-identical across
-// repetitions, and identical across shard counts apart from the echoed
-// "shards" field of the report.
+// Every instance owns a Session of one shared immutable core.Model (train —
+// or load — once, fan out per-stream sessions), and each session is touched
+// only by its instance's shard. Decisions happen on the driver goroutine in
+// instance-ID order after the tick barrier, so the whole run — including the
+// -json summary — is a pure function of (seed, instances, duration):
+// byte-identical across repetitions, and identical across shard counts apart
+// from the echoed "shards" field of the report.
 package fleet
 
 import (
@@ -78,23 +78,25 @@ type Config struct {
 	// QueueDepth is the per-shard checkpoint queue bound (0 = 128). Smaller
 	// values apply backpressure to the driver sooner.
 	QueueDepth int
-	// Predictor optionally supplies the shared trained model (it is cloned
-	// per instance and never mutated). Nil trains one with TrainPredictor,
-	// which costs a few wall-clock seconds.
-	Predictor *core.Predictor
-	// Schema selects the feature schema of the shared predictor trained when
-	// Predictor is nil (nil = the full Table 2 schema). Ignored when
-	// Predictor is supplied.
+	// Model optionally supplies the shared trained model (each instance gets
+	// its own Session of it; the model itself is immutable and shared). Nil
+	// trains one with TrainModel, which costs a few wall-clock seconds. A
+	// saved artifact loaded with agingpred.LoadModel plugs in here, so a
+	// fleet can serve without retraining.
+	Model *core.Model
+	// Schema selects the feature schema of the shared model trained when
+	// Model is nil (nil = the full Table 2 schema). Ignored when Model is
+	// supplied.
 	Schema *features.Schema
 	// ClassSchemas chooses a feature schema per instance class: every
-	// instance of a class with a non-nil entry gets a predictor trained on
+	// instance of a class with a non-nil entry gets a model trained on
 	// that schema instead of the shared one (one extra training run per
 	// distinct schema, deterministic in Seed). This is how the conn-leak
 	// class gets the "full+conn" connection-speed derivatives while the rest
 	// of the fleet stays on the paper's variable set. An override naming the
 	// base model's own schema reuses the base; any other override trains on
 	// the fleet's own TrainingSeries(Seed) — so combining a caller-supplied
-	// Predictor (trained on other data) with overrides makes the per-class
+	// Model (trained on other data) with overrides makes the per-class
 	// comparison mix training sources.
 	ClassSchemas map[Class]*features.Schema
 	// Ctx optionally cancels the run between ticks.
@@ -143,8 +145,11 @@ func (c Config) Validate() error {
 	if c.Duration <= 0 {
 		return fmt.Errorf("fleet: non-positive duration %v", c.Duration)
 	}
-	if c.Predictor != nil && !c.Predictor.Trained() {
-		return fmt.Errorf("fleet: supplied predictor is not trained")
+	// core.Train/DecodeModel only hand out fully-built models, but a zero
+	// &core.Model{} is still constructible; reject it here instead of
+	// panicking on its nil schema deep inside the run.
+	if c.Model != nil && c.Model.Schema() == nil {
+		return fmt.Errorf("fleet: supplied model is not a trained model (zero core.Model)")
 	}
 	for class := range c.ClassSchemas {
 		if class < 0 || class >= numClasses {
@@ -320,57 +325,56 @@ func Run(cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	// Resolve the per-class predictors: one shared base model plus one extra
+	// Resolve the per-class models: one shared base model plus one extra
 	// training run per distinct override schema in ClassSchemas. Training
 	// series are generated once and shared, and everything is deterministic
 	// in the seed.
 	var trainSeries []*monitor.Series
-	trainOn := func(schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
+	trainOn := func(schema *features.Schema) (*core.Model, error) {
 		if trainSeries == nil {
 			var err error
 			trainSeries, err = TrainingSeries(cfg.Seed)
 			if err != nil {
-				return nil, core.TrainReport{}, err
+				return nil, err
 			}
 		}
-		return trainPredictorOn(trainSeries, schema)
+		return trainModelOn(trainSeries, schema)
 	}
 
-	base := cfg.Predictor
-	model := "caller-supplied predictor"
+	base := cfg.Model
+	model := "caller-supplied model"
 	if base == nil {
-		var trainRep core.TrainReport
 		var err error
-		base, trainRep, err = trainOn(cfg.Schema)
+		base, err = trainOn(cfg.Schema)
 		if err != nil {
 			return nil, err
 		}
-		model = trainRep.String()
+		model = base.Report().String()
 	}
-	var classBase [numClasses]*core.Predictor
+	var classBase [numClasses]*core.Model
 	for c := range classBase {
 		classBase[c] = base
 	}
 	if len(cfg.ClassSchemas) > 0 {
 		// Seed with the base model so an override naming the base's own
-		// schema reuses it instead of retraining an identical predictor.
-		bySchema := map[string]*core.Predictor{base.Schema().Name(): base}
+		// schema reuses it instead of retraining an identical model.
+		bySchema := map[string]*core.Model{base.Schema().Name(): base}
 		var overrides []string
 		for c := Class(0); c < numClasses; c++ {
 			schema := cfg.ClassSchemas[c]
 			if schema == nil {
 				continue
 			}
-			p, ok := bySchema[schema.Name()]
+			m, ok := bySchema[schema.Name()]
 			if !ok {
 				var err error
-				p, _, err = trainOn(schema)
+				m, err = trainOn(schema)
 				if err != nil {
 					return nil, fmt.Errorf("fleet: training %s model for class %s: %w", schema.Name(), c, err)
 				}
-				bySchema[schema.Name()] = p
+				bySchema[schema.Name()] = m
 			}
-			classBase[c] = p
+			classBase[c] = m
 			overrides = append(overrides, fmt.Sprintf("%s=%s", c, schema.Name()))
 		}
 		if len(overrides) > 0 {
@@ -380,11 +384,11 @@ func Run(cfg Config) (*Report, error) {
 
 	specs := Specs(cfg.Seed, cfg.Instances)
 	instances := make([]*instance, cfg.Instances)
-	clones := make([]*core.Predictor, cfg.Instances)
+	sessions := make([]*core.Session, cfg.Instances)
 	policies := make([]*rejuv.Predictive, cfg.Instances)
 	for i, spec := range specs {
 		instances[i] = newInstance(cfg.Seed, spec)
-		clones[i] = classBase[spec.Class].Clone()
+		sessions[i] = classBase[spec.Class].NewSession()
 		policies[i] = &rejuv.Predictive{Threshold: cfg.TTFThreshold, Confirmations: cfg.Confirmations}
 	}
 
@@ -392,7 +396,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := newPool(cfg.Shards, cfg.QueueDepth, clones)
+	p := newPool(cfg.Shards, cfg.QueueDepth, sessions)
 	defer p.close()
 
 	dt := cfg.CheckpointInterval.Seconds()
@@ -503,7 +507,7 @@ func Run(cfg Config) (*Report, error) {
 		// fresh JVM, a fresh prediction window and a reset policy.
 		for _, id := range ctrl.Advance(t) {
 			instances[id].reset()
-			clones[id].ResetOnline()
+			sessions[id].Reset()
 			policies[id].Reset()
 		}
 	}

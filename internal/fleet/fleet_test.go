@@ -13,23 +13,23 @@ import (
 	"agingpred/internal/monitor"
 )
 
-// sharedPredictor trains the fleet model once per test binary; training is
-// the expensive part of these tests and every fleet run can reuse it.
+// sharedModel trains the fleet model once per test binary; training is the
+// expensive part of these tests and every fleet run can reuse it.
 var (
-	sharedOnce sync.Once
-	sharedPred *core.Predictor
-	sharedErr  error
+	sharedOnce  sync.Once
+	sharedModel *core.Model
+	sharedErr   error
 )
 
-func testPredictor(t testing.TB) *core.Predictor {
+func testModel(t testing.TB) *core.Model {
 	t.Helper()
 	sharedOnce.Do(func() {
-		sharedPred, _, sharedErr = TrainPredictor(1)
+		sharedModel, sharedErr = TrainModel(1)
 	})
 	if sharedErr != nil {
-		t.Fatalf("TrainPredictor: %v", sharedErr)
+		t.Fatalf("TrainModel: %v", sharedErr)
 	}
-	return sharedPred
+	return sharedModel
 }
 
 func TestSpecsDeterministicAndHeterogeneous(t *testing.T) {
@@ -112,12 +112,11 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config{Instances: 10}); err == nil {
 		t.Fatalf("zero duration accepted")
 	}
-	untrained, err := core.NewPredictor(core.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Run(Config{Instances: 10, Duration: time.Hour, Predictor: untrained}); err == nil {
-		t.Fatalf("untrained predictor accepted")
+	// core.Train returns only trained, immutable models, but a zero
+	// &core.Model{} is still constructible; it must be rejected up front,
+	// not panic mid-run.
+	if _, err := Run(Config{Instances: 10, Duration: time.Hour, Model: &core.Model{}}); err == nil {
+		t.Fatalf("zero core.Model accepted")
 	}
 	if _, err := Run(Config{Instances: 10, Duration: time.Hour,
 		ClassSchemas: map[Class]*features.Schema{Class(99): nil}}); err == nil {
@@ -130,14 +129,14 @@ func TestConfigValidation(t *testing.T) {
 // seed must yield a byte-identical JSON summary at 1 shard, 4 shards, and
 // across repetitions.
 func TestRunDeterministicAcrossShardCounts(t *testing.T) {
-	pred := testPredictor(t)
+	model := testModel(t)
 	run := func(shards int) []byte {
 		rep, err := Run(Config{
 			Instances: 24,
 			Shards:    shards,
 			Duration:  90 * time.Minute,
 			Seed:      5,
-			Predictor: pred,
+			Model:     model,
 		})
 		if err != nil {
 			t.Fatalf("Run with %d shards: %v", shards, err)
@@ -232,11 +231,11 @@ func TestConnSchemaImprovesPredictions(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LookupSchema: %v", err)
 	}
-	fullPred, _, err := TrainPredictorSchema(seed, nil)
+	fullModel, err := TrainModelSchema(seed, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	connPred, _, err := TrainPredictorSchema(seed, connSchema)
+	connModel, err := TrainModelSchema(seed, connSchema)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +247,7 @@ func TestConnSchemaImprovesPredictions(t *testing.T) {
 			continue
 		}
 		in := newInstance(seed, spec)
-		fc, cc := fullPred.Clone(), connPred.Clone()
+		fc, cc := fullModel.NewSession(), connModel.NewSession()
 		dt := monitor.DefaultInterval.Seconds()
 		for tick := 1; tick <= 4*240; tick++ { // 4 simulated hours
 			ts := float64(tick) * dt
@@ -293,13 +292,13 @@ func abs(v float64) float64 {
 // actually fires: rejuvenations happen, genuinely-doomed instances dominate
 // them, healthy instances never crash, and the budget cap holds.
 func TestRunClosesTheLoop(t *testing.T) {
-	pred := testPredictor(t)
+	model := testModel(t)
 	rep, err := Run(Config{
 		Instances: 48,
 		Shards:    2,
 		Duration:  3 * time.Hour,
 		Seed:      2,
-		Predictor: pred,
+		Model:     model,
 	})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
@@ -356,13 +355,13 @@ func TestRunClosesTheLoop(t *testing.T) {
 // threshold admits even "infinite" predictions) with a budget of one, so the
 // controller must defer alerts and never exceed one concurrent restart.
 func TestRunBudgetArbitration(t *testing.T) {
-	pred := testPredictor(t)
+	model := testModel(t)
 	rep, err := Run(Config{
 		Instances:          16,
 		Shards:             2,
 		Duration:           30 * time.Minute,
 		Seed:               3,
-		Predictor:          pred,
+		Model:              model,
 		TTFThreshold:       4 * time.Hour, // above the infinite horizon: everything alerts
 		RejuvenationBudget: 1,
 	})
@@ -378,7 +377,7 @@ func TestRunBudgetArbitration(t *testing.T) {
 }
 
 func TestRunHonoursCancelledContext(t *testing.T) {
-	pred := testPredictor(t)
+	model := testModel(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
@@ -387,7 +386,7 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 		Shards:    2,
 		Duration:  24 * time.Hour,
 		Seed:      1,
-		Predictor: pred,
+		Model:     model,
 		Ctx:       ctx,
 	})
 	if err == nil {
@@ -399,8 +398,8 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 }
 
 func TestShardAssignmentConsistent(t *testing.T) {
-	clones := make([]*core.Predictor, 64)
-	p8 := &pool{shards: make([]chan job, 8), clones: clones}
+	sessions := make([]*core.Session, 64)
+	p8 := &pool{shards: make([]chan job, 8), sessions: sessions}
 	counts := make([]int, 8)
 	for id := 0; id < 4096; id++ {
 		s := p8.shardOf(id)

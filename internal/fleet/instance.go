@@ -419,36 +419,34 @@ func TrainingSeries(seed uint64) ([]*monitor.Series, error) {
 	return out, nil
 }
 
-// TrainPredictor trains the fleet's shared base model — an M5P tree over the
+// TrainModel trains the fleet's shared base model — an M5P tree over the
 // full Table 2 variable set — from the fleet's training executions. Train
-// once, then hand the predictor to Config.Predictor (Run clones it per
-// instance; the clones share the read-only tree across shards).
-func TrainPredictor(seed uint64) (*core.Predictor, core.TrainReport, error) {
-	return TrainPredictorSchema(seed, nil)
+// once, then hand the model to Config.Model (Run creates a Session per
+// instance; the immutable model is shared read-only across shards). The
+// model persists with core's Encode/DecodeModel, so a fleet can also serve a
+// previously-saved artifact instead of retraining.
+func TrainModel(seed uint64) (*core.Model, error) {
+	return TrainModelSchema(seed, nil)
 }
 
-// TrainPredictorSchema is TrainPredictor with an explicit feature schema
-// (nil = the full Table 2 schema): the same training executions, extracted
-// and learned under the given schema. This is how a fleet gets e.g. the
-// "full+conn" connection-speed derivatives.
-func TrainPredictorSchema(seed uint64, schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
+// TrainModelSchema is TrainModel with an explicit feature schema (nil = the
+// full Table 2 schema): the same training executions, extracted and learned
+// under the given schema. This is how a fleet gets e.g. the "full+conn"
+// connection-speed derivatives.
+func TrainModelSchema(seed uint64, schema *features.Schema) (*core.Model, error) {
 	series, err := TrainingSeries(seed)
 	if err != nil {
-		return nil, core.TrainReport{}, err
+		return nil, err
 	}
-	return trainPredictorOn(series, schema)
+	return trainModelOn(series, schema)
 }
 
-// trainPredictorOn fits the shared M5P model on already-simulated training
+// trainModelOn fits the shared M5P model on already-simulated training
 // series under the given schema (nil = full).
-func trainPredictorOn(series []*monitor.Series, schema *features.Schema) (*core.Predictor, core.TrainReport, error) {
-	p, err := core.NewPredictor(core.Config{Schema: schema})
+func trainModelOn(series []*monitor.Series, schema *features.Schema) (*core.Model, error) {
+	m, err := core.Train(core.Config{Schema: schema}, series)
 	if err != nil {
-		return nil, core.TrainReport{}, err
+		return nil, fmt.Errorf("fleet: training shared model: %w", err)
 	}
-	report, err := p.Train(series)
-	if err != nil {
-		return nil, core.TrainReport{}, fmt.Errorf("fleet: training shared predictor: %w", err)
-	}
-	return p, report, nil
+	return m, nil
 }

@@ -9,7 +9,7 @@ import (
 )
 
 // job asks a shard worker to run one instance's checkpoint through that
-// instance's predictor clone.
+// instance's prediction session.
 type job struct {
 	id int
 	cp monitor.Checkpoint
@@ -24,9 +24,10 @@ type obsResult struct {
 
 // pool is the sharded prediction layer: every instance is consistently
 // assigned to one shard (an FNV hash of its ID), each shard is one worker
-// goroutine draining a bounded channel, and each instance's predictor clone
-// is touched only by its own shard — so no locks are needed around the
-// clones' mutable sliding-window state.
+// goroutine draining a bounded channel, and each instance's session is
+// touched only by its own shard — so no locks are needed around the
+// sessions' mutable sliding-window state. The trained Model behind the
+// sessions is immutable and shared by all shards.
 //
 // The driver dispatches one tick's checkpoints (blocking on a full shard
 // queue: natural backpressure), then waits on the tick barrier before
@@ -34,21 +35,21 @@ type obsResult struct {
 // exactly one worker per tick, and the WaitGroup barrier orders those writes
 // before the driver's reads.
 type pool struct {
-	shards  []chan job
-	clones  []*core.Predictor
-	results []obsResult
+	shards   []chan job
+	sessions []*core.Session
+	results  []obsResult
 
 	tick    sync.WaitGroup // per-tick barrier
 	workers sync.WaitGroup // worker lifetime, for close
 }
 
-// newPool starts one worker per shard. clones[i] is instance i's private
-// predictor; results has one slot per instance.
-func newPool(shards, queue int, clones []*core.Predictor) *pool {
+// newPool starts one worker per shard. sessions[i] is instance i's private
+// per-stream state; results has one slot per instance.
+func newPool(shards, queue int, sessions []*core.Session) *pool {
 	p := &pool{
-		shards:  make([]chan job, shards),
-		clones:  clones,
-		results: make([]obsResult, len(clones)),
+		shards:   make([]chan job, shards),
+		sessions: sessions,
+		results:  make([]obsResult, len(sessions)),
 	}
 	for s := range p.shards {
 		ch := make(chan job, queue)
@@ -57,7 +58,7 @@ func newPool(shards, queue int, clones []*core.Predictor) *pool {
 		go func() {
 			defer p.workers.Done()
 			for jb := range ch {
-				pred, err := p.clones[jb.id].Observe(jb.cp)
+				pred, err := p.sessions[jb.id].Observe(jb.cp)
 				p.results[jb.id] = obsResult{ttfSec: pred.TTFSec, err: err}
 				p.tick.Done()
 			}

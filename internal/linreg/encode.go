@@ -1,0 +1,72 @@
+package linreg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is the serializable form of a fitted Model: the attribute names,
+// their coefficients and the intercept, exactly the state Predict needs.
+// It is the unit internal/core's versioned model files are built from — both
+// for a standalone linear-regression model and for every node model of an M5P
+// tree — so its JSON field names are part of the persisted format and must
+// not change without bumping the file format version.
+type Snapshot struct {
+	Attrs             []string  `json:"attrs"`
+	Coefficients      []float64 `json:"coefficients"`
+	Intercept         float64   `json:"intercept"`
+	TrainingInstances int       `json:"training_instances,omitempty"`
+	TrainingMAE       float64   `json:"training_mae,omitempty"`
+}
+
+// Snapshot captures the model's state for serialization. The slices are
+// copied, so later mutation of the snapshot cannot corrupt the model.
+func (m *Model) Snapshot() *Snapshot {
+	return &Snapshot{
+		Attrs:             append([]string(nil), m.Attrs...),
+		Coefficients:      append([]float64(nil), m.Coefficients...),
+		Intercept:         m.Intercept,
+		TrainingInstances: m.TrainingInstances,
+		TrainingMAE:       m.TrainingMAE,
+	}
+}
+
+// FromSnapshot reconstructs a Model from its serialized form, validating it
+// so that a corrupt or hand-crafted snapshot yields an error instead of a
+// model that panics or silently predicts garbage. The reconstructed model
+// evaluates term for term like the one Snapshot was called on, so its
+// predictions are bit-identical.
+func FromSnapshot(s *Snapshot) (*Model, error) {
+	if s == nil {
+		return nil, fmt.Errorf("linreg: nil snapshot")
+	}
+	if len(s.Attrs) != len(s.Coefficients) {
+		return nil, fmt.Errorf("linreg: snapshot has %d attributes for %d coefficients",
+			len(s.Attrs), len(s.Coefficients))
+	}
+	if !isFinite(s.Intercept) {
+		return nil, fmt.Errorf("linreg: snapshot intercept is not finite: %v", s.Intercept)
+	}
+	seen := make(map[string]bool, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a == "" {
+			return nil, fmt.Errorf("linreg: snapshot attribute %d has empty name", i)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("linreg: snapshot attribute %q appears twice", a)
+		}
+		seen[a] = true
+		if !isFinite(s.Coefficients[i]) {
+			return nil, fmt.Errorf("linreg: snapshot coefficient of %q is not finite: %v", a, s.Coefficients[i])
+		}
+	}
+	return &Model{
+		Attrs:             append([]string(nil), s.Attrs...),
+		Coefficients:      append([]float64(nil), s.Coefficients...),
+		Intercept:         s.Intercept,
+		TrainingInstances: s.TrainingInstances,
+		TrainingMAE:       s.TrainingMAE,
+	}, nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

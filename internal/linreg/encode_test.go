@@ -1,0 +1,73 @@
+package linreg
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestSnapshotRoundTrip fits a model on the shared linear dataset, pushes it
+// through Snapshot → JSON → FromSnapshot, and checks the reconstructed model
+// predicts bit-identically (exact float64 round trip through JSON).
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := buildLinearDataset(t, 200, []float64{2.5, -1.25, 0.003}, 7.75, 0.01, 5)
+	m, err := Fit(ds, Options{EliminateAttrs: true})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	raw, err := json.Marshal(m.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	got, err := FromSnapshot(&snap)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if got.String() != m.String() {
+		t.Fatalf("equation changed across the round trip:\n%s\nvs\n%s", got.String(), m.String())
+	}
+	if got.TrainingInstances != m.TrainingInstances || got.TrainingMAE != m.TrainingMAE {
+		t.Fatalf("training stats changed: %d/%v vs %d/%v",
+			got.TrainingInstances, got.TrainingMAE, m.TrainingInstances, m.TrainingMAE)
+	}
+	attrs := ds.Attrs()
+	for i := 0; i < ds.Len(); i++ {
+		want, err := m.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != have {
+			t.Fatalf("row %d: reconstructed model predicts %v, original %v", i, have, want)
+		}
+	}
+}
+
+// TestFromSnapshotValidation drives the malformed-snapshot branches.
+func TestFromSnapshotValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"nil", nil},
+		{"length-mismatch", &Snapshot{Attrs: []string{"a", "b"}, Coefficients: []float64{1}}},
+		{"empty-attr-name", &Snapshot{Attrs: []string{""}, Coefficients: []float64{1}}},
+		{"duplicate-attr", &Snapshot{Attrs: []string{"a", "a"}, Coefficients: []float64{1, 2}}},
+		{"nan-coefficient", &Snapshot{Attrs: []string{"a"}, Coefficients: []float64{math.NaN()}}},
+		{"inf-intercept", &Snapshot{Intercept: math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromSnapshot(tc.snap); err == nil {
+				t.Fatalf("malformed snapshot accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,131 @@
+package m5p
+
+import (
+	"fmt"
+
+	"agingpred/internal/linreg"
+)
+
+// Snapshot is the serializable form of a fitted Tree: the training attribute
+// names, the induction options that still matter at prediction time
+// (smoothing), and the node structure with every node's linear model. Its
+// JSON field names are part of internal/core's persisted model format and
+// must not change without bumping the file format version.
+type Snapshot struct {
+	Attrs             []string      `json:"attrs"`
+	TrainingInstances int           `json:"training_instances"`
+	NoSmoothing       bool          `json:"no_smoothing,omitempty"`
+	SmoothingK        float64       `json:"smoothing_k"`
+	Root              *NodeSnapshot `json:"root"`
+}
+
+// NodeSnapshot is one serialized tree node. Leaves carry only their linear
+// model; inner nodes carry the split and both children, plus the node model
+// used for prediction smoothing and as the pruning candidate.
+type NodeSnapshot struct {
+	Leaf      bool             `json:"leaf,omitempty"`
+	Attr      int              `json:"attr,omitempty"`
+	Threshold float64          `json:"threshold,omitempty"`
+	Left      *NodeSnapshot    `json:"left,omitempty"`
+	Right     *NodeSnapshot    `json:"right,omitempty"`
+	Model     *linreg.Snapshot `json:"model"`
+	N         int              `json:"n"`
+	SD        float64          `json:"sd,omitempty"`
+}
+
+// Snapshot captures the tree's state for serialization.
+func (t *Tree) Snapshot() *Snapshot {
+	return &Snapshot{
+		Attrs:             append([]string(nil), t.attrs...),
+		TrainingInstances: t.TrainingInstances,
+		NoSmoothing:       t.opts.NoSmoothing,
+		SmoothingK:        t.opts.SmoothingK,
+		Root:              snapshotNode(t.root),
+	}
+}
+
+func snapshotNode(n *node) *NodeSnapshot {
+	if n == nil {
+		return nil
+	}
+	s := &NodeSnapshot{
+		Leaf:  n.leaf,
+		Model: n.model.Snapshot(),
+		N:     n.n,
+		SD:    n.sd,
+	}
+	if !n.leaf {
+		s.Attr = n.attr
+		s.Threshold = n.threshold
+		s.Left = snapshotNode(n.left)
+		s.Right = snapshotNode(n.right)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a Tree from its serialized form. Every node is
+// validated — split attribute indices in range, both children present on
+// inner nodes, a linear model on every node — so corrupt input yields an
+// error, never a tree that panics at prediction time. The reconstructed tree
+// descends and smooths exactly like the original, so predictions are
+// bit-identical.
+func FromSnapshot(s *Snapshot) (*Tree, error) {
+	if s == nil {
+		return nil, fmt.Errorf("m5p: nil snapshot")
+	}
+	if len(s.Attrs) == 0 {
+		return nil, fmt.Errorf("m5p: snapshot has no attributes")
+	}
+	if s.Root == nil {
+		return nil, fmt.Errorf("m5p: snapshot has no root node")
+	}
+	root, err := nodeFromSnapshot(s.Root, len(s.Attrs))
+	if err != nil {
+		return nil, err
+	}
+	opts := Options{NoSmoothing: s.NoSmoothing, SmoothingK: s.SmoothingK}
+	if opts.SmoothingK <= 0 {
+		opts.SmoothingK = DefaultSmoothingK
+	}
+	return &Tree{
+		root:              root,
+		attrs:             append([]string(nil), s.Attrs...),
+		opts:              opts,
+		TrainingInstances: s.TrainingInstances,
+	}, nil
+}
+
+func nodeFromSnapshot(s *NodeSnapshot, numAttrs int) (*node, error) {
+	if s.Model == nil {
+		return nil, fmt.Errorf("m5p: snapshot node has no linear model")
+	}
+	model, err := linreg.FromSnapshot(s.Model)
+	if err != nil {
+		return nil, fmt.Errorf("m5p: snapshot node model: %w", err)
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("m5p: snapshot node has negative instance count %d", s.N)
+	}
+	n := &node{leaf: s.Leaf, model: model, n: s.N, sd: s.SD}
+	if s.Leaf {
+		if s.Left != nil || s.Right != nil {
+			return nil, fmt.Errorf("m5p: snapshot leaf has children")
+		}
+		return n, nil
+	}
+	if s.Attr < 0 || s.Attr >= numAttrs {
+		return nil, fmt.Errorf("m5p: snapshot split attribute %d out of range [0,%d)", s.Attr, numAttrs)
+	}
+	if s.Left == nil || s.Right == nil {
+		return nil, fmt.Errorf("m5p: snapshot inner node is missing a child")
+	}
+	n.attr = s.Attr
+	n.threshold = s.Threshold
+	if n.left, err = nodeFromSnapshot(s.Left, numAttrs); err != nil {
+		return nil, err
+	}
+	if n.right, err = nodeFromSnapshot(s.Right, numAttrs); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,87 @@
+package m5p
+
+import (
+	"encoding/json"
+	"testing"
+
+	"agingpred/internal/linreg"
+)
+
+// TestSnapshotRoundTrip fits a tree on the shared synthetic dataset, pushes
+// it through Snapshot → JSON → FromSnapshot, and checks the reconstructed
+// tree is structurally identical and predicts bit-identically — including
+// the smoothing filter, which depends on per-node instance counts.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := piecewiseDataset(t, 400, 0.05, 7)
+	tree, err := Fit(ds, Options{MinInstances: 10})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	raw, err := json.Marshal(tree.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	got, err := FromSnapshot(&snap)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if got.Leaves() != tree.Leaves() || got.InnerNodes() != tree.InnerNodes() || got.Depth() != tree.Depth() {
+		t.Fatalf("structure changed: %d/%d/%d vs %d/%d/%d leaves/inner/depth",
+			got.Leaves(), got.InnerNodes(), got.Depth(), tree.Leaves(), tree.InnerNodes(), tree.Depth())
+	}
+	if got.String() != tree.String() {
+		t.Fatalf("rendered tree changed across the round trip")
+	}
+	attrs := ds.Attrs()
+	for i := 0; i < ds.Len(); i++ {
+		want, err := tree.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != have {
+			t.Fatalf("row %d: reconstructed tree predicts %v, original %v", i, have, want)
+		}
+	}
+}
+
+// TestFromSnapshotValidation drives every malformed-snapshot branch: corrupt
+// structure must error, never build a tree that panics later.
+func TestFromSnapshotValidation(t *testing.T) {
+	leaf := func() *NodeSnapshot {
+		return &NodeSnapshot{Leaf: true, N: 10, Model: &linreg.Snapshot{Intercept: 1}}
+	}
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"nil", nil},
+		{"no-attrs", &Snapshot{Root: leaf()}},
+		{"no-root", &Snapshot{Attrs: []string{"a"}}},
+		{"leaf-without-model", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{Leaf: true, N: 1}}},
+		{"leaf-with-children", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Leaf: true, N: 1, Model: &linreg.Snapshot{}, Left: leaf()}}},
+		{"split-out-of-range", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Attr: 5, N: 20, Model: &linreg.Snapshot{}, Left: leaf(), Right: leaf()}}},
+		{"missing-child", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Attr: 0, N: 20, Model: &linreg.Snapshot{}, Left: leaf()}}},
+		{"negative-count", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Leaf: true, N: -3, Model: &linreg.Snapshot{}}}},
+		{"bad-node-model", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Leaf: true, N: 1, Model: &linreg.Snapshot{Attrs: []string{"x"}}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromSnapshot(tc.snap); err == nil {
+				t.Fatalf("malformed snapshot accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+package regtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot is the serializable form of a fitted Tree: the training attribute
+// names and the node structure with constant-valued leaves. Its JSON field
+// names are part of internal/core's persisted model format and must not
+// change without bumping the file format version.
+type Snapshot struct {
+	Attrs             []string      `json:"attrs"`
+	TrainingInstances int           `json:"training_instances"`
+	Root              *NodeSnapshot `json:"root"`
+}
+
+// NodeSnapshot is one serialized tree node: either a constant leaf or a
+// split with both children.
+type NodeSnapshot struct {
+	Leaf      bool          `json:"leaf,omitempty"`
+	Attr      int           `json:"attr,omitempty"`
+	Threshold float64       `json:"threshold,omitempty"`
+	Left      *NodeSnapshot `json:"left,omitempty"`
+	Right     *NodeSnapshot `json:"right,omitempty"`
+	Value     float64       `json:"value,omitempty"`
+	N         int           `json:"n"`
+}
+
+// Snapshot captures the tree's state for serialization.
+func (t *Tree) Snapshot() *Snapshot {
+	return &Snapshot{
+		Attrs:             append([]string(nil), t.attrs...),
+		TrainingInstances: t.TrainingInstances,
+		Root:              snapshotNode(t.root),
+	}
+}
+
+func snapshotNode(n *node) *NodeSnapshot {
+	if n == nil {
+		return nil
+	}
+	s := &NodeSnapshot{Leaf: n.leaf, N: n.n}
+	if n.leaf {
+		s.Value = n.value
+		return s
+	}
+	s.Attr = n.attr
+	s.Threshold = n.threshold
+	s.Left = snapshotNode(n.left)
+	s.Right = snapshotNode(n.right)
+	return s
+}
+
+// FromSnapshot reconstructs a Tree from its serialized form, validating the
+// structure so corrupt input yields an error, never a tree that panics at
+// prediction time. The reconstructed tree descends exactly like the original,
+// so predictions are bit-identical.
+func FromSnapshot(s *Snapshot) (*Tree, error) {
+	if s == nil {
+		return nil, fmt.Errorf("regtree: nil snapshot")
+	}
+	if len(s.Attrs) == 0 {
+		return nil, fmt.Errorf("regtree: snapshot has no attributes")
+	}
+	if s.Root == nil {
+		return nil, fmt.Errorf("regtree: snapshot has no root node")
+	}
+	root, err := nodeFromSnapshot(s.Root, len(s.Attrs))
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{
+		root:              root,
+		attrs:             append([]string(nil), s.Attrs...),
+		opts:              Options{}.withDefaults(),
+		TrainingInstances: s.TrainingInstances,
+	}, nil
+}
+
+func nodeFromSnapshot(s *NodeSnapshot, numAttrs int) (*node, error) {
+	if s.N < 0 {
+		return nil, fmt.Errorf("regtree: snapshot node has negative instance count %d", s.N)
+	}
+	n := &node{leaf: s.Leaf, n: s.N}
+	if s.Leaf {
+		if s.Left != nil || s.Right != nil {
+			return nil, fmt.Errorf("regtree: snapshot leaf has children")
+		}
+		if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+			return nil, fmt.Errorf("regtree: snapshot leaf value is not finite: %v", s.Value)
+		}
+		n.value = s.Value
+		return n, nil
+	}
+	if s.Attr < 0 || s.Attr >= numAttrs {
+		return nil, fmt.Errorf("regtree: snapshot split attribute %d out of range [0,%d)", s.Attr, numAttrs)
+	}
+	if s.Left == nil || s.Right == nil {
+		return nil, fmt.Errorf("regtree: snapshot inner node is missing a child")
+	}
+	n.attr = s.Attr
+	n.threshold = s.Threshold
+	var err error
+	if n.left, err = nodeFromSnapshot(s.Left, numAttrs); err != nil {
+		return nil, err
+	}
+	if n.right, err = nodeFromSnapshot(s.Right, numAttrs); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package regtree
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestSnapshotRoundTrip fits a tree on the shared step dataset, pushes it
+// through Snapshot → JSON → FromSnapshot, and checks the reconstructed tree
+// is structurally identical and predicts bit-identically.
+func TestSnapshotRoundTrip(t *testing.T) {
+	ds := stepDataset(t, 300, 5, 40, 3)
+	tree, err := Fit(ds, Options{MinInstances: 10})
+	if err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	raw, err := json.Marshal(tree.Snapshot())
+	if err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("unmarshal snapshot: %v", err)
+	}
+	got, err := FromSnapshot(&snap)
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	if got.Leaves() != tree.Leaves() || got.InnerNodes() != tree.InnerNodes() {
+		t.Fatalf("structure changed: %d/%d vs %d/%d leaves/inner",
+			got.Leaves(), got.InnerNodes(), tree.Leaves(), tree.InnerNodes())
+	}
+	if got.String() != tree.String() {
+		t.Fatalf("rendered tree changed across the round trip")
+	}
+	attrs := ds.Attrs()
+	for i := 0; i < ds.Len(); i++ {
+		want, err := tree.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		have, err := got.Predict(attrs, ds.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != have {
+			t.Fatalf("row %d: reconstructed tree predicts %v, original %v", i, have, want)
+		}
+	}
+}
+
+// TestFromSnapshotValidation drives the malformed-snapshot branches.
+func TestFromSnapshotValidation(t *testing.T) {
+	leaf := func(v float64) *NodeSnapshot { return &NodeSnapshot{Leaf: true, N: 10, Value: v} }
+	cases := []struct {
+		name string
+		snap *Snapshot
+	}{
+		{"nil", nil},
+		{"no-attrs", &Snapshot{Root: leaf(1)}},
+		{"no-root", &Snapshot{Attrs: []string{"a"}}},
+		{"leaf-with-children", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Leaf: true, N: 1, Left: leaf(1)}}},
+		{"nan-leaf", &Snapshot{Attrs: []string{"a"}, Root: leaf(math.NaN())}},
+		{"split-out-of-range", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Attr: 3, N: 20, Left: leaf(1), Right: leaf(2)}}},
+		{"missing-child", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{
+			Attr: 0, N: 20, Left: leaf(1)}}},
+		{"negative-count", &Snapshot{Attrs: []string{"a"}, Root: &NodeSnapshot{Leaf: true, N: -1, Value: 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromSnapshot(tc.snap); err == nil {
+				t.Fatalf("malformed snapshot accepted")
+			}
+		})
+	}
+}
