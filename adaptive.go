@@ -1,0 +1,48 @@
+package agingpred
+
+// This file exports the adaptive-serving surface backed by internal/adapt:
+// the drift-detecting, background-retraining Supervisor and its per-stream
+// Streams. Like the rest of the root package these are aliases, not wrappers
+// — an *agingpred.Supervisor IS an *adapt.Supervisor.
+
+import "agingpred/internal/adapt"
+
+// The adaptive-serving types.
+type (
+	// Supervisor owns the adaptive loop around one Model: it watches the
+	// resolved prediction error through a drift detector, accumulates
+	// completed labeled run-to-crash executions in a bounded training
+	// buffer, retrains in the background via the same Train pipeline, and
+	// publishes each new model as a ModelEpoch through an atomic swap that
+	// live streams pick up at their next Reset boundary — the Observe hot
+	// path is never locked.
+	Supervisor = adapt.Supervisor
+	// Stream is the adaptive counterpart of a Session: per-stream serving
+	// state that additionally remembers its predictions until the stream's
+	// outcome resolves the labels. ResolveCrash scores them against the
+	// observed crash time and donates the run to the training buffer;
+	// ResolveCensored discards them after a rejuvenation; Reset adopts the
+	// Supervisor's current model epoch.
+	Stream = adapt.Stream
+	// AdaptConfig tunes a Supervisor (drift detector, training-buffer bound,
+	// seed runs).
+	AdaptConfig = adapt.Config
+	// DriftConfig tunes the sliding-window-MAE drift detector (window,
+	// trigger/clear hysteresis band, baseline).
+	DriftConfig = adapt.DetectorConfig
+	// ModelEpoch is one published generation of a Supervisor's serving
+	// model.
+	ModelEpoch = adapt.Epoch
+	// AdaptStats snapshots a Supervisor's adaptation state (current epoch,
+	// retrains, drift trips, buffer fill).
+	AdaptStats = adapt.Stats
+)
+
+// NewSupervisor wraps an initial trained model as epoch 1 of an adaptive
+// serving loop. Create per-stream serving state with Supervisor.NewStream;
+// drive adaptation either synchronously (Supervisor.Adapt after each
+// resolved run) or with the background worker (StartRetrain + TryPublish /
+// Publish).
+func NewSupervisor(cfg AdaptConfig, initial *Model) (*Supervisor, error) {
+	return adapt.NewSupervisor(cfg, initial)
+}

@@ -216,3 +216,46 @@ func TestPublicEvaluate(t *testing.T) {
 		t.Fatalf("report model = %q", rep.Model)
 	}
 }
+
+// TestPublicAdaptiveSupervisor walks the adaptive-serving surface the way an
+// external importer would: wrap a trained model in a Supervisor, serve a
+// stream, resolve a crash, and adapt — hot-swapping a new model epoch that
+// the stream adopts at its Reset boundary.
+func TestPublicAdaptiveSupervisor(t *testing.T) {
+	model := publicModel(t)
+	sup, err := agingpred.NewSupervisor(agingpred.AdaptConfig{
+		// Pinned 1 s baseline: any real prediction error counts as drift, so
+		// the test adapts deterministically on its first resolved crash.
+		Detector: agingpred.DriftConfig{BaselineSec: 1, Hysteresis: 1, MinBaselineSec: 1},
+	}, model)
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	if sup.Current().Seq != 1 || sup.Model() != model {
+		t.Fatalf("initial epoch is not the wrapped model: %+v", sup.Current())
+	}
+	stream := sup.NewStream("public")
+	s := testStream(t)
+	for _, cp := range s.Checkpoints {
+		if _, err := stream.Observe(cp); err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+	}
+	if !s.Crashed {
+		t.Fatalf("test stream did not crash; the fixture changed")
+	}
+	if n := stream.ResolveCrash(s.CrashTimeSec); n == 0 {
+		t.Fatalf("crash resolved no labels")
+	}
+	if !sup.Adapt() {
+		t.Fatalf("no adaptation after a resolved crash against a 1 s drift baseline: %+v", sup.Stats())
+	}
+	stream.Reset()
+	if stream.Epoch() != 2 {
+		t.Fatalf("stream on epoch %d after the swap, want 2", stream.Epoch())
+	}
+	stats := sup.Stats()
+	if stats.Epoch != 2 || stats.Retrains != 1 || stats.BufferedRuns != 1 {
+		t.Fatalf("unexpected supervisor stats after one adaptation: %+v", stats)
+	}
+}

@@ -23,11 +23,27 @@
 //	agingfleet -instances 1000 -save model.bin     # train once, keep the artifact
 //	agingfleet -instances 5000 -load model.bin     # serve it, no retraining
 //
+// -adaptive turns on adaptive serving (the paper's titular contribution at
+// fleet scale): every instance's predictions are scored against its
+// eventually-observed crash time, a drift detector watches the resolved
+// error, and a background worker retrains the shared model on the crashed
+// runs the fleet itself collected, hot-swapping each new model epoch under
+// the live sessions. The report then carries the per-epoch breakdown:
+//
+//	agingfleet -instances 1000 -shards 8 -adaptive
+//
+// The drift detector auto-calibrates its healthy-MAE baseline per epoch;
+// when serving a -load-ed artifact that may already be stale, pin the
+// target instead (auto-calibration would absorb the misfit):
+//
+//	agingfleet -instances 1000 -load model.bin -adaptive -drift-baseline 15m
+//
 // The run is deterministic in -seed: the same seed produces a byte-identical
 // -json summary, and changing -shards changes nothing but the echoed
-// "shards" field. Human-readable output is the default; -json emits the
-// machine-readable report on stdout (progress goes to stderr, so the JSON
-// stays clean for pipelines).
+// "shards" field — with or without -adaptive (the retrain schedule is
+// simulated time, not wall-clock). Human-readable output is the default;
+// -json emits the machine-readable report on stdout (progress goes to
+// stderr, so the JSON stays clean for pipelines).
 package main
 
 import (
@@ -42,6 +58,7 @@ import (
 	"time"
 
 	"agingpred"
+	"agingpred/internal/adapt"
 	"agingpred/internal/features"
 	"agingpred/internal/fleet"
 )
@@ -56,17 +73,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("agingfleet", flag.ContinueOnError)
 	var (
-		instances = fs.Int("instances", 100, "fleet size (simulated application-server instances)")
-		shards    = fs.Int("shards", runtime.GOMAXPROCS(0), "predictor worker shards (affects speed only, never results)")
-		duration  = fs.Duration("duration", 24*time.Hour, "simulated serving time")
-		seed      = fs.Uint64("seed", 1, "seed for the whole run (population, workloads, training)")
-		threshold = fs.Duration("threshold", 10*time.Minute, "predicted-TTF level below which an instance alerts")
-		budget    = fs.Int("budget", 0, "max concurrent rejuvenations (0 = instances/10)")
-		schema    = fs.String("schema", "", "feature schema of the shared model (default \"full\"; see the features schema registry)")
-		classes   = fs.String("class-schema", "", "per-class schema overrides, \"class=schema\" comma list (e.g. conn-leak=full+conn)")
-		loadPath  = fs.String("load", "", "serve a saved model artifact instead of training the shared model")
-		savePath  = fs.String("save", "", "train the shared model, write it as a versioned artifact to this file, then serve it")
-		jsonOut   = fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
+		instances  = fs.Int("instances", 100, "fleet size (simulated application-server instances)")
+		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "predictor worker shards (affects speed only, never results)")
+		duration   = fs.Duration("duration", 24*time.Hour, "simulated serving time")
+		seed       = fs.Uint64("seed", 1, "seed for the whole run (population, workloads, training)")
+		threshold  = fs.Duration("threshold", 10*time.Minute, "predicted-TTF level below which an instance alerts")
+		budget     = fs.Int("budget", 0, "max concurrent rejuvenations (0 = instances/10)")
+		schema     = fs.String("schema", "", "feature schema of the shared model (default \"full\"; see the features schema registry)")
+		classes    = fs.String("class-schema", "", "per-class schema overrides, \"class=schema\" comma list (e.g. conn-leak=full+conn)")
+		loadPath   = fs.String("load", "", "serve a saved model artifact instead of training the shared model")
+		savePath   = fs.String("save", "", "train the shared model, write it as a versioned artifact to this file, then serve it")
+		adaptive   = fs.Bool("adaptive", false, "adaptive serving: drift detection, background retraining on collected crashes, hot model-epoch swaps")
+		retrainLat = fs.Duration("retrain-latency", 0, "simulated time between a drift-triggered retrain and its epoch going live (0 = 10m; needs -adaptive)")
+		baseline   = fs.Duration("drift-baseline", 0, "pin the healthy prediction MAE the drift detector compares against (0 = auto-calibrate per epoch; set this when -load-ing an artifact that may already be stale, since auto-calibration would absorb its misfit; needs -adaptive)")
+		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +113,12 @@ func run(args []string) error {
 		if *schema != "" || *classes != "" {
 			return errors.New("-load serves the artifact's own schema; it cannot be combined with -schema or -class-schema")
 		}
+	}
+	if (*retrainLat != 0 || *baseline != 0) && !*adaptive {
+		return errors.New("-retrain-latency and -drift-baseline only apply to adaptive serving; add -adaptive")
+	}
+	if *baseline < 0 {
+		return errors.New("-drift-baseline must be positive")
 	}
 	if *savePath != "" && *classes != "" {
 		// The artifact holds only the base model, and -load rejects
@@ -146,6 +172,9 @@ func run(args []string) error {
 		Model:              model,
 		Schema:             fleetSchema,
 		ClassSchemas:       classSchemas,
+		Adaptive:           *adaptive,
+		Adapt:              adapt.Config{Detector: adapt.DetectorConfig{BaselineSec: baseline.Seconds()}},
+		RetrainLatency:     *retrainLat,
 		Ctx:                ctx,
 	})
 	if err != nil {

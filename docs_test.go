@@ -1,0 +1,125 @@
+package agingpred_test
+
+// The docs gate: documentation references to package paths and public API
+// symbols are checked against the tree and the parsed root package, so a
+// rename or removal fails the suite instead of silently rotting
+// ARCHITECTURE.md / README.md / EXPERIMENTS.md. CI runs these explicitly as
+// a separate step.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the documents the gate covers.
+var docFiles = []string{"ARCHITECTURE.md", "README.md", "EXPERIMENTS.md", "ROADMAP.md"}
+
+// pkgPathRe matches repository package paths mentioned in the docs
+// (internal/adapt, cmd/agingfleet, examples/adaptive, ...).
+var pkgPathRe = regexp.MustCompile(`\b(?:internal|examples|cmd)/[a-z0-9_]+`)
+
+// symbolRe matches public-API references like agingpred.Supervisor or
+// agingpred.Model (method selectors resolve through the leading type name).
+var symbolRe = regexp.MustCompile(`\bagingpred\.([A-Z][A-Za-z0-9_]*)`)
+
+// TestDocsGatePackagePathsExist fails when a document names a package
+// directory that does not exist in the tree.
+func TestDocsGatePackagePathsExist(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		seen := map[string]bool{}
+		for _, match := range pkgPathRe.FindAllString(string(raw), -1) {
+			if seen[match] {
+				continue
+			}
+			seen[match] = true
+			info, err := os.Stat(filepath.FromSlash(match))
+			if err != nil || !info.IsDir() {
+				t.Errorf("%s references package path %q, which is not a directory in this repository", doc, match)
+			}
+		}
+	}
+}
+
+// exportedRootSymbols parses the non-test Go files of the root package and
+// returns every exported top-level identifier (types, funcs, consts, vars).
+func exportedRootSymbols(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing the root package: %v", err)
+	}
+	pkg, ok := pkgs["agingpred"]
+	if !ok {
+		t.Fatalf("root package agingpred not found (got %v)", pkgs)
+	}
+	symbols := map[string]bool{}
+	for _, file := range pkg.Files {
+		for name := range file.Scope.Objects {
+			if token.IsExported(name) {
+				symbols[name] = true
+			}
+		}
+	}
+	if len(symbols) == 0 {
+		t.Fatalf("no exported symbols parsed; the gate would be vacuous")
+	}
+	return symbols
+}
+
+// TestDocsGateSymbolsExist fails when a document (or doc.go) references an
+// agingpred.X symbol the root package does not export.
+func TestDocsGateSymbolsExist(t *testing.T) {
+	symbols := exportedRootSymbols(t)
+	for _, doc := range append(append([]string{}, docFiles...), "doc.go") {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		seen := map[string]bool{}
+		for _, match := range symbolRe.FindAllStringSubmatch(string(raw), -1) {
+			name := match[1]
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if !symbols[name] {
+				t.Errorf("%s references agingpred.%s, which the root package does not export", doc, name)
+			}
+		}
+	}
+}
+
+// TestDocsGateArchitectureCoversPackages is the inverse direction for the
+// package map: every internal package in the tree must be mentioned in
+// ARCHITECTURE.md, so the map cannot silently fall behind a new subsystem.
+func TestDocsGateArchitectureCoversPackages(t *testing.T) {
+	raw, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatalf("reading ARCHITECTURE.md: %v", err)
+	}
+	arch := string(raw)
+	entries, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatalf("listing internal/: %v", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(arch, e.Name()) {
+			t.Errorf("ARCHITECTURE.md does not mention internal package %q", e.Name())
+		}
+	}
+}

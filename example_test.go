@@ -1,0 +1,105 @@
+package agingpred_test
+
+// Compile-checked godoc examples mirroring the README / doc.go quickstart
+// snippets. They carry no "Output:" comment, so `go test` compiles them
+// without running them — the documented API surface cannot rot: if a
+// snippet here stops compiling, the suite fails and the docs must be
+// updated with it.
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"agingpred"
+)
+
+// loadTrainingSeries stands in for wherever monitored run-to-crash
+// executions come from in a real deployment (the monitor package, a CSV
+// written by agingsim, ...).
+func loadTrainingSeries() []*agingpred.Series { return nil }
+
+// liveCheckpoints stands in for a live 15-second monitoring feed.
+func liveCheckpoints() []agingpred.Checkpoint { return nil }
+
+func triggerRejuvenation() {}
+
+// Example_quickstart is the README quickstart: train an immutable Model on
+// monitored failure executions, fan out a per-stream Session, and act on
+// the predicted time to failure every checkpoint.
+func Example_quickstart() {
+	model, err := agingpred.Train(agingpred.Config{}, loadTrainingSeries())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ... or serve a saved artifact: model, err := agingpred.LoadModel("model.bin")
+
+	sess := model.NewSession() // one per monitored server
+	for _, cp := range liveCheckpoints() {
+		pred, err := sess.Observe(cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pred.CrashExpected && pred.TTF < 10*time.Minute {
+			triggerRejuvenation()
+			sess.Reset()
+		}
+	}
+}
+
+// ExampleModel_NewSession shows the train-once/serve-everywhere split: one
+// immutable Model, one cheap Session per monitored checkpoint stream —
+// sessions are the unit of concurrency, and steady-state Observe allocates
+// nothing.
+func ExampleModel_NewSession() {
+	model, err := agingpred.Train(agingpred.Config{Model: agingpred.ModelM5P}, loadTrainingSeries())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(model.Report())
+
+	// One session per server; the shared model is read-only.
+	fleet := make([]*agingpred.Session, 8)
+	for i := range fleet {
+		fleet[i] = model.NewSession()
+	}
+	for _, cp := range liveCheckpoints() {
+		pred, err := fleet[0].Observe(cp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%.0fs predicted TTF %s\n", cp.TimeSec, pred.TTF)
+	}
+}
+
+// ExampleNewSupervisor is the adaptive-serving quickstart: wrap the model
+// in a Supervisor, serve through a Stream, resolve outcomes, and let drift
+// detection + background retraining hot-swap model epochs under the live
+// stream.
+func ExampleNewSupervisor() {
+	training := loadTrainingSeries()
+	model, err := agingpred.Train(agingpred.Config{}, training)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := agingpred.NewSupervisor(agingpred.AdaptConfig{
+		Seed: training, // retrains extend, not forget, the original coverage
+	}, model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := sup.NewStream("server-42")
+	for _, cp := range liveCheckpoints() {
+		if _, err := stream.Observe(cp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The server crashed: resolve the pending prediction labels, adapt if
+	// the drift detector tripped, and come back on the current epoch.
+	stream.ResolveCrash( /* crashTimeSec = */ 5400)
+	if sup.Adapt() {
+		fmt.Printf("retrained: now serving epoch %d\n", sup.Current().Seq)
+	}
+	stream.Reset()
+}

@@ -1,0 +1,252 @@
+// Package adapt closes the loop the paper's title promises: *adaptive*
+// on-line software aging prediction. The rest of the repository trains a
+// Model once and serves it frozen; this package watches how those predictions
+// actually turn out, decides when the serving model has gone stale, retrains
+// it in the background on freshly collected run-to-crash data, and hot-swaps
+// the new model under live sessions without ever locking the Observe hot
+// path.
+//
+// The subsystem has three layers:
+//
+//   - label resolution (Stream): every on-line prediction is remembered until
+//     the monitored stream's outcome is known. A crash at time T resolves the
+//     prediction issued at time t against the now-observable true time to
+//     failure T−t; a rejuvenation censors the run (no crash was observed, so
+//     the predictions cannot be scored) and the samples are discarded.
+//   - drift detection (Detector): the resolved absolute errors feed a
+//     sliding-window MAE with a hysteresis band. The first CalibrationSamples
+//     (4 windows' worth by default) after a model epoch is published
+//     calibrate the baseline; the detector trips
+//     when the windowed MAE exceeds Trigger×baseline for Hysteresis
+//     consecutive windows, and re-arms only after it falls back under
+//     Clear×baseline. Everything is a pure function of the sample sequence —
+//     no wall clock, no randomness — so a seeded simulation drives it
+//     deterministically.
+//   - supervision (Supervisor): completed labeled runs accumulate in a
+//     bounded training buffer; when the detector has tripped and enough fresh
+//     runs are buffered, a background worker retrains via the existing
+//     core.Train schema pipeline and publishes the result as a new model
+//     epoch through an atomic pointer swap. Live streams keep serving the old
+//     epoch lock-free and pick up the new one at their next Reset boundary
+//     (after a rejuvenation or crash recovery), exactly when their
+//     sliding-window state is being cleared anyway.
+//
+// The model-epoch lifecycle, end to end:
+//
+//	serve epoch N ──► resolve labels ──► Detector trips ──► retrain (background)
+//	      ▲                                                      │
+//	      └────── streams adopt at Reset ◄── publish epoch N+1 ◄─┘
+package adapt
+
+import "fmt"
+
+// Default drift-detector parameters. They are deliberately conservative: a
+// regime change that matters moves the windowed MAE by multiples, not
+// percents, and a retrain is expensive enough that flapping must be
+// impossible by construction.
+const (
+	// DefaultWindow is the sliding-window length, in resolved error samples,
+	// the MAE is computed over.
+	DefaultWindow = 64
+	// DefaultTrigger is the windowed-MAE-to-baseline ratio above which a
+	// window counts toward tripping the detector.
+	DefaultTrigger = 2.0
+	// DefaultClear is the ratio under which a tripped detector re-arms
+	// (hysteresis: Clear < Trigger, so the detector cannot flap on a MAE
+	// hovering at the trigger level).
+	DefaultClear = 1.25
+	// DefaultHysteresis is how many consecutive over-trigger windows are
+	// needed before the detector trips.
+	DefaultHysteresis = 8
+	// DefaultMinBaselineSec floors the calibrated baseline MAE so that an
+	// unusually lucky calibration window cannot make ordinary noise look
+	// like drift.
+	DefaultMinBaselineSec = 120
+	// DefaultCalibrationFactor sizes the auto-calibration sample (factor ×
+	// Window): the baseline is the MAE over that many samples, a far better
+	// estimator of the healthy error level than a single window.
+	DefaultCalibrationFactor = 4
+)
+
+// DetectorConfig parameterises a Detector. The zero value uses the defaults
+// above.
+type DetectorConfig struct {
+	// Window is the sliding-window length in samples (0 = DefaultWindow).
+	Window int
+	// Trigger is the MAE/baseline ratio that arms a trip (0 = DefaultTrigger).
+	Trigger float64
+	// Clear is the MAE/baseline ratio under which a tripped detector re-arms
+	// (0 = DefaultClear). Must stay below Trigger.
+	Clear float64
+	// Hysteresis is the number of consecutive over-trigger windows required
+	// to trip (0 = DefaultHysteresis).
+	Hysteresis int
+	// BaselineSec pins the healthy-model MAE, in seconds. 0 auto-calibrates:
+	// the MAE over the first CalibrationSamples after each Rebaseline sets
+	// it.
+	BaselineSec float64
+	// CalibrationSamples is how many samples the auto-calibration averages
+	// over (0 = DefaultCalibrationFactor × Window). Ignored when BaselineSec
+	// is pinned.
+	CalibrationSamples int
+	// MinBaselineSec floors the auto-calibrated baseline
+	// (0 = DefaultMinBaselineSec).
+	MinBaselineSec float64
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Trigger <= 0 {
+		c.Trigger = DefaultTrigger
+	}
+	if c.Clear <= 0 {
+		c.Clear = DefaultClear
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = DefaultHysteresis
+	}
+	if c.MinBaselineSec <= 0 {
+		c.MinBaselineSec = DefaultMinBaselineSec
+	}
+	if c.CalibrationSamples <= 0 {
+		c.CalibrationSamples = DefaultCalibrationFactor * c.Window
+	}
+	return c
+}
+
+// Validate checks the configuration after defaults.
+func (c DetectorConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Clear >= c.Trigger {
+		return fmt.Errorf("adapt: clear ratio %g must stay below trigger ratio %g (hysteresis band)", c.Clear, c.Trigger)
+	}
+	if c.BaselineSec < 0 {
+		return fmt.Errorf("adapt: negative baseline %g s", c.BaselineSec)
+	}
+	return nil
+}
+
+// Detector is the on-line drift detector: a sliding-window MAE over resolved
+// prediction errors, compared against a baseline with a hysteresis band.
+// It is a pure state machine over its sample sequence — deterministic under
+// any seeded driver — and is not safe for concurrent use (the Supervisor
+// serialises access to it).
+type Detector struct {
+	cfg DetectorConfig
+
+	ring []float64 // last Window absolute errors, seconds
+	next int       // ring write position
+	n    int       // samples currently in the ring (≤ Window)
+	sum  float64   // sum of the ring
+
+	baseline    float64 // healthy-model MAE, seconds (0 = not yet calibrated)
+	calibrating bool    // true while the calibration sample is accumulating
+	calSum      float64 // calibration accumulator
+	calN        int
+	over        int // consecutive full windows above Trigger×baseline
+	tripped     bool
+	trips       int // lifetime trip count
+}
+
+// NewDetector builds a drift detector.
+func NewDetector(cfg DetectorConfig) (*Detector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	d := &Detector{cfg: cfg, ring: make([]float64, cfg.Window)}
+	d.Rebaseline()
+	return d, nil
+}
+
+// Rebaseline resets the detector for a freshly published model epoch: the
+// window is cleared, the trip state re-arms, and — unless the baseline is
+// pinned by the config — the first CalibrationSamples of the new epoch's
+// errors recalibrate it.
+func (d *Detector) Rebaseline() {
+	d.next, d.n, d.sum = 0, 0, 0
+	d.over = 0
+	d.tripped = false
+	d.baseline = d.cfg.BaselineSec
+	d.calibrating = d.cfg.BaselineSec == 0
+	d.calSum, d.calN = 0, 0
+}
+
+// Add feeds one resolved absolute prediction error (seconds) and reports
+// whether the detector is tripped after it. Samples arriving while the window
+// is still filling only accumulate; every sample after that slides the window
+// by one.
+func (d *Detector) Add(absErrSec float64) bool {
+	if absErrSec < 0 {
+		absErrSec = -absErrSec
+	}
+	if d.n == len(d.ring) {
+		d.sum -= d.ring[d.next]
+	} else {
+		d.n++
+	}
+	d.ring[d.next] = absErrSec
+	d.sum += absErrSec
+	d.next++
+	if d.next == len(d.ring) {
+		d.next = 0
+	}
+	if d.calibrating {
+		d.calSum += absErrSec
+		d.calN++
+		if d.calN >= d.cfg.CalibrationSamples {
+			d.baseline = d.calSum / float64(d.calN)
+			if d.baseline < d.cfg.MinBaselineSec {
+				d.baseline = d.cfg.MinBaselineSec
+			}
+			d.calibrating = false
+		}
+		return d.tripped
+	}
+	if d.n < len(d.ring) {
+		return d.tripped // window still filling
+	}
+	mae := d.sum / float64(d.n)
+	switch {
+	case d.tripped:
+		if mae <= d.cfg.Clear*d.baseline {
+			d.tripped = false
+			d.over = 0
+		}
+	case mae > d.cfg.Trigger*d.baseline:
+		d.over++
+		if d.over >= d.cfg.Hysteresis {
+			d.tripped = true
+			d.trips++
+		}
+	default:
+		d.over = 0
+	}
+	return d.tripped
+}
+
+// Tripped reports whether the detector currently signals drift.
+func (d *Detector) Tripped() bool { return d.tripped }
+
+// Trips returns how many times the detector has tripped over its lifetime.
+func (d *Detector) Trips() int { return d.trips }
+
+// BaselineSec returns the current baseline MAE (0 while auto-calibration is
+// still waiting for its first full window).
+func (d *Detector) BaselineSec() float64 {
+	if d.calibrating {
+		return 0
+	}
+	return d.baseline
+}
+
+// WindowMAESec returns the MAE of the current window, or 0 while the window
+// is still filling.
+func (d *Detector) WindowMAESec() float64 {
+	if d.n < len(d.ring) {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}

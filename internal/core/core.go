@@ -221,6 +221,13 @@ type Prediction struct {
 //
 // The shim remains so existing call sites keep compiling; it will not grow
 // new behaviour.
+//
+// Deprecation timeline: frozen since the v1 Model/Session split. New code —
+// including new code inside this repository — must not use it; the serving
+// stack (fleet, experiments, the commands, the adaptive supervisor) is
+// entirely on Model/Session. The shim will be deleted in the next major API
+// revision, once the remaining legacy test fixtures in this package are
+// migrated.
 type Predictor struct {
 	cfg    Config
 	schema *features.Schema

@@ -39,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"agingpred/internal/adapt"
 	"agingpred/internal/core"
 	"agingpred/internal/evalx"
 	"agingpred/internal/features"
@@ -88,6 +89,25 @@ type Config struct {
 	// Model is nil (nil = the full Table 2 schema). Ignored when Model is
 	// supplied.
 	Schema *features.Schema
+	// Adaptive turns on adaptive serving (internal/adapt): every instance's
+	// predictions are scored against its eventually-observed crash time, a
+	// drift detector watches the resolved error, and a background worker
+	// retrains the shared model on the crashed runs the fleet itself
+	// collected, publishing each new model as an epoch that instances adopt
+	// at their next post-crash/post-rejuvenation reset. The run stays
+	// deterministic: retraining input is fixed at the trigger tick and the
+	// publish lands exactly RetrainLatency of simulated time later,
+	// regardless of how long the background training really takes.
+	Adaptive bool
+	// Adapt tunes the adaptive loop (drift detector, training-buffer bound).
+	// When its Seed is nil and the fleet trains its own base model, the
+	// supervisor's buffer is seeded with that training series so a retrain
+	// extends the coverage instead of forgetting it. Ignored unless Adaptive.
+	Adapt adapt.Config
+	// RetrainLatency is the simulated time between a drift-triggered retrain
+	// starting and its model epoch being published (0 = 10 min). Ignored
+	// unless Adaptive.
+	RetrainLatency time.Duration
 	// ClassSchemas chooses a feature schema per instance class: every
 	// instance of a class with a non-nil entry gets a model trained on
 	// that schema instead of the shared one (one extra training run per
@@ -134,6 +154,9 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 128
 	}
+	if c.RetrainLatency <= 0 {
+		c.RetrainLatency = 10 * time.Minute
+	}
 	return c
 }
 
@@ -156,6 +179,12 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fleet: ClassSchemas key %d is not a valid class (know %s)",
 				int(class), strings.Join(ClassNames(), ", "))
 		}
+	}
+	if c.Adaptive && len(c.ClassSchemas) > 0 {
+		// Adaptive serving retrains and swaps the shared base model; the
+		// per-class override models would stay frozen beside it and the
+		// epoch accounting would be ambiguous. Support one axis at a time.
+		return fmt.Errorf("fleet: Adaptive cannot be combined with ClassSchemas (the per-class override models would not adapt)")
 	}
 	return nil
 }
@@ -180,6 +209,26 @@ type ClassReport struct {
 	SMAESec    float64 `json:"smae_sec"`
 	PreMAESec  float64 `json:"pre_mae_sec"`
 	PostMAESec float64 `json:"post_mae_sec"`
+}
+
+// EpochReport aggregates one model epoch of an adaptive fleet run: when it
+// was published, what it was trained on, and how the predictions made under
+// it scored against the frozen-rate reference TTF.
+type EpochReport struct {
+	// Epoch is the epoch sequence number (1 = the initial model).
+	Epoch int `json:"epoch"`
+	// PublishedAtSec is the simulated time the epoch went live (0 for the
+	// initial epoch, which serves from the start).
+	PublishedAtSec float64 `json:"published_at_sec"`
+	// TrainedRuns is how many buffered labeled runs the epoch was trained on
+	// (0 for the initial epoch); FreshRuns how many of those the fleet
+	// collected on-line since the previous epoch.
+	TrainedRuns int `json:"trained_runs"`
+	FreshRuns   int `json:"fresh_runs"`
+	// Checkpoints counts the predictions served under this epoch; MAESec is
+	// their mean absolute error against the reference TTF.
+	Checkpoints int64   `json:"checkpoints"`
+	MAESec      float64 `json:"mae_sec"`
 }
 
 // Report is the outcome of one fleet run. It contains no wall-clock values:
@@ -221,6 +270,14 @@ type Report struct {
 	LostRequests   float64 `json:"lost_requests"`
 	// Classes breaks the fleet down per instance class, in Class order.
 	Classes []ClassReport `json:"classes"`
+	// Adaptive says whether the run served adaptively; the remaining fields
+	// are only set when it did. DriftTrips counts drift-detector trips,
+	// Retrains the published epochs beyond the initial one, and Epochs the
+	// per-epoch breakdown in publication order.
+	Adaptive   bool          `json:"adaptive,omitempty"`
+	DriftTrips int           `json:"drift_trips,omitempty"`
+	Retrains   int           `json:"retrains,omitempty"`
+	Epochs     []EpochReport `json:"epochs,omitempty"`
 }
 
 // JSON renders the report as deterministic, machine-readable JSON.
@@ -253,6 +310,22 @@ func (r *Report) String() string {
 			c.Class, c.Schema, c.Instances, c.Checkpoints, c.Crashes, c.Rejuvenations,
 			evalx.FormatDuration(c.MAESec), evalx.FormatDuration(c.SMAESec),
 			evalx.FormatDuration(c.PreMAESec), evalx.FormatDuration(c.PostMAESec))
+	}
+	if r.Adaptive {
+		fmt.Fprintf(&b, "  adaptive serving: %d drift trips, %d retrains\n", r.DriftTrips, r.Retrains)
+		fmt.Fprintf(&b, "  %-6s %12s %12s %9s %10s\n", "epoch", "published", "trained-on", "ckpts", "MAE")
+		for _, e := range r.Epochs {
+			published := "start"
+			if e.PublishedAtSec > 0 {
+				published = evalx.FormatDuration(e.PublishedAtSec)
+			}
+			trained := "off-line"
+			if e.TrainedRuns > 0 {
+				trained = fmt.Sprintf("%d runs", e.TrainedRuns)
+			}
+			fmt.Fprintf(&b, "  %-6d %12s %12s %9d %10s\n",
+				e.Epoch, published, trained, e.Checkpoints, evalx.FormatDuration(e.MAESec))
+		}
 	}
 	return b.String()
 }
@@ -382,13 +455,47 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	// Adaptive serving wraps the base model in a supervisor (seeded with the
+	// fleet's own training series when the model was trained here, so a
+	// retrain extends the coverage); frozen serving fans out plain sessions.
+	var sup *adapt.Supervisor
+	if cfg.Adaptive {
+		acfg := cfg.Adapt
+		if acfg.Seed == nil && trainSeries != nil {
+			acfg.Seed = trainSeries
+		}
+		var err error
+		sup, err = adapt.NewSupervisor(acfg, base)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		model += "; adaptive"
+		// A retrain triggered within the last RetrainLatency of the run (or
+		// before a cancellation) never reaches its publish tick; join the
+		// background goroutine instead of letting it outlive the run.
+		defer sup.Discard()
+	}
+
 	specs := Specs(cfg.Seed, cfg.Instances)
 	instances := make([]*instance, cfg.Instances)
-	sessions := make([]*core.Session, cfg.Instances)
+	observers := make([]observer, cfg.Instances)
+	var sessions []*core.Session
+	var streams []*adapt.Stream
+	if sup != nil {
+		streams = make([]*adapt.Stream, cfg.Instances)
+	} else {
+		sessions = make([]*core.Session, cfg.Instances)
+	}
 	policies := make([]*rejuv.Predictive, cfg.Instances)
 	for i, spec := range specs {
 		instances[i] = newInstance(cfg.Seed, spec)
-		sessions[i] = classBase[spec.Class].NewSession()
+		if sup != nil {
+			streams[i] = sup.NewStream(fmt.Sprintf("fleet/inst/%d", i))
+			observers[i] = streams[i]
+		} else {
+			sessions[i] = classBase[spec.Class].NewSession()
+			observers[i] = sessions[i]
+		}
 		policies[i] = &rejuv.Predictive{Threshold: cfg.TTFThreshold, Confirmations: cfg.Confirmations}
 	}
 
@@ -396,7 +503,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := newPool(cfg.Shards, cfg.QueueDepth, sessions)
+	p := newPool(cfg.Shards, cfg.QueueDepth, observers)
 	defer p.close()
 
 	dt := cfg.CheckpointInterval.Seconds()
@@ -423,6 +530,28 @@ func Run(cfg Config) (*Report, error) {
 	}
 	horizon := monitor.InfiniteTTFSec * 0.999
 	dispatched := make([]int, 0, cfg.Instances)
+
+	// Adaptive bookkeeping: per-epoch accuracy aggregates (indexed by epoch
+	// sequence − 1; entries appended as epochs publish) and the deterministic
+	// publish schedule — a drift-triggered retrain starts at some tick and
+	// its epoch goes live exactly retrainTicks later, however long the
+	// background training really takes.
+	type epochAgg struct {
+		publishedAtSec float64
+		trainedRuns    int
+		freshRuns      int
+		checkpoints    int64
+		absSum         float64
+	}
+	var epochAggs []epochAgg
+	publishAt := -1
+	retrainTicks := int(cfg.RetrainLatency / cfg.CheckpointInterval)
+	if retrainTicks < 1 {
+		retrainTicks = 1
+	}
+	if sup != nil {
+		epochAggs = append(epochAggs, epochAgg{}) // epoch 1 serves from the start
+	}
 
 	cancelled := func() error {
 		if cfg.Ctx == nil {
@@ -452,6 +581,12 @@ func Run(cfg Config) (*Report, error) {
 				ctrl.Crash(i, t, cfg.CrashDowntime.Seconds())
 				rep.CrashesSuffered++
 				stats[in.spec.Class].crashes++
+				if streams != nil {
+					// The crash resolves every pending prediction label of
+					// the stream and donates the observed run-to-crash
+					// execution to the supervisor's training buffer.
+					streams[i].ResolveCrash(t)
+				}
 				// The crash interval itself served nothing: its offered
 				// traffic is lost and its time is downtime, on top of the
 				// recovery the controller just scheduled.
@@ -483,6 +618,15 @@ func Run(cfg Config) (*Report, error) {
 			in := instances[i]
 			st := &stats[in.spec.Class]
 			st.observe(in.refTTFSec, res.ttfSec)
+			if streams != nil {
+				ea := &epochAggs[streams[i].Epoch()-1]
+				ea.checkpoints++
+				if d := res.ttfSec - in.refTTFSec; d >= 0 {
+					ea.absSum += d
+				} else {
+					ea.absSum -= d
+				}
+			}
 			if !policies[i].Decide(t, res.ttfSec) {
 				continue
 			}
@@ -504,11 +648,41 @@ func Run(cfg Config) (*Report, error) {
 		// Finished downtimes, at the end of the tick so every outage is
 		// charged for each interval it overlaps (an instance released here
 		// resumes serving on the next tick). The instance returns with a
-		// fresh JVM, a fresh prediction window and a reset policy.
+		// fresh JVM, a fresh prediction window and a reset policy — and, in
+		// an adaptive fleet, on the current model epoch: the reset boundary
+		// is where a hot-swapped model reaches live serving.
 		for _, id := range ctrl.Advance(t) {
 			instances[id].reset()
-			sessions[id].Reset()
+			if streams != nil {
+				streams[id].Reset()
+			} else {
+				sessions[id].Reset()
+			}
 			policies[id].Reset()
+		}
+
+		// Adaptive supervision, after the control pass so a tick's crashes
+		// have already fed the detector and the buffer. Both the retrain
+		// trigger and the publish tick are pure functions of the simulated
+		// run, so the whole adaptive trajectory is deterministic; only the
+		// background training work overlaps with the following ticks.
+		if sup != nil {
+			if publishAt < 0 && sup.StartRetrain() {
+				publishAt = tick + retrainTicks
+			}
+			if publishAt >= 0 && tick >= publishAt {
+				publishAt = -1
+				if sup.Publish() {
+					cur := sup.Current()
+					epochAggs = append(epochAggs, epochAgg{
+						publishedAtSec: t,
+						trainedRuns:    cur.TrainedRuns,
+						freshRuns:      cur.FreshRuns,
+					})
+				} else if err := sup.Err(); err != nil {
+					return nil, fmt.Errorf("fleet: %w", err)
+				}
+			}
 		}
 	}
 
@@ -522,6 +696,25 @@ func Run(cfg Config) (*Report, error) {
 			continue
 		}
 		rep.Classes = append(rep.Classes, stats[c].report(c, classBase[c].Schema().Name()))
+	}
+	if sup != nil {
+		s := sup.Stats()
+		rep.Adaptive = true
+		rep.DriftTrips = s.Trips
+		rep.Retrains = s.Retrains
+		for i, ea := range epochAggs {
+			er := EpochReport{
+				Epoch:          i + 1,
+				PublishedAtSec: ea.publishedAtSec,
+				TrainedRuns:    ea.trainedRuns,
+				FreshRuns:      ea.freshRuns,
+				Checkpoints:    ea.checkpoints,
+			}
+			if ea.checkpoints > 0 {
+				er.MAESec = ea.absSum / float64(ea.checkpoints)
+			}
+			rep.Epochs = append(rep.Epochs, er)
+		}
 	}
 	return rep, nil
 }

@@ -398,7 +398,7 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 }
 
 func TestShardAssignmentConsistent(t *testing.T) {
-	sessions := make([]*core.Session, 64)
+	sessions := make([]observer, 64)
 	p8 := &pool{shards: make([]chan job, 8), sessions: sessions}
 	counts := make([]int, 8)
 	for id := 0; id < 4096; id++ {

@@ -8,6 +8,15 @@ import (
 	"agingpred/internal/monitor"
 )
 
+// observer is what a shard worker drives per instance: a per-stream
+// prediction state whose Observe consumes one checkpoint. A frozen fleet
+// serves plain core.Sessions; an adaptive fleet serves adapt.Streams, which
+// additionally remember their predictions for label resolution. Either way
+// the observer is touched only by its instance's shard.
+type observer interface {
+	Observe(cp monitor.Checkpoint) (core.Prediction, error)
+}
+
 // job asks a shard worker to run one instance's checkpoint through that
 // instance's prediction session.
 type job struct {
@@ -36,7 +45,7 @@ type obsResult struct {
 // before the driver's reads.
 type pool struct {
 	shards   []chan job
-	sessions []*core.Session
+	sessions []observer
 	results  []obsResult
 
 	tick    sync.WaitGroup // per-tick barrier
@@ -45,7 +54,7 @@ type pool struct {
 
 // newPool starts one worker per shard. sessions[i] is instance i's private
 // per-stream state; results has one slot per instance.
-func newPool(shards, queue int, sessions []*core.Session) *pool {
+func newPool(shards, queue int, sessions []observer) *pool {
 	p := &pool{
 		shards:   make([]chan job, shards),
 		sessions: sessions,

@@ -532,7 +532,8 @@ func (t *Tree) predictNode(n *node, attrs []string, row []float64, colOf []int) 
 // every node's linear model are pre-resolved to row indices, so Predict
 // performs no name lookups and no per-call allocations — the requirement of
 // the per-checkpoint Observe hot path. A BoundTree is immutable and safe for
-// concurrent use; fleet clones share one per schema.
+// concurrent use; every Session of a core.Model evaluates the model's one
+// shared BoundTree.
 type BoundTree struct {
 	root        *boundNode
 	noSmoothing bool
