@@ -176,6 +176,71 @@ func BenchmarkFleet(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetBatch isolates the batched prediction engine from the fleet
+// simulation: a shard-sized group of sessions of one shared model serves the
+// same deterministic checkpoint stream, either one Session.Observe at a time
+// (scalar) or staged into a core.Batch and evaluated with one PredictBatch
+// sweep per tick (batch). One op is one tick of the whole group, so the pair
+// is the scalar-vs-batch before/after of the serving hot path; the
+// differential suite proves the two produce bit-identical predictions.
+func BenchmarkFleetBatch(b *testing.B) {
+	model, err := fleet.TrainModel(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	series, err := fleet.TrainingSeries(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cps := series[0].Checkpoints
+	// Replaying the stream cyclically must keep checkpoint time monotone or
+	// the sliding-window speed trackers would reject every post-wrap sample.
+	tickAt := func(i int) monitor.Checkpoint {
+		cp := cps[i%len(cps)]
+		cp.TimeSec = float64(i+1) * series[0].IntervalSec
+		return cp
+	}
+	const group = 256
+	newSessions := func() []*core.Session {
+		sessions := make([]*core.Session, group)
+		for i := range sessions {
+			sessions[i] = model.NewSession()
+		}
+		return sessions
+	}
+	b.Run("scalar", func(b *testing.B) {
+		sessions := newSessions()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp := tickAt(i)
+			for _, s := range sessions {
+				if _, err := s.Observe(cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*group/b.Elapsed().Seconds(), "instance-checkpoints/sec")
+	})
+	b.Run("batch", func(b *testing.B) {
+		sessions := newSessions()
+		batch := model.NewBatch(group)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cp := tickAt(i)
+			batch.Reset()
+			for _, s := range sessions {
+				if err := batch.Stage(s, &cp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := batch.Predict(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*group/b.Elapsed().Seconds(), "instance-checkpoints/sec")
+	})
+}
+
 // --- ablation benchmarks -------------------------------------------------
 
 // ablationData builds (once) a deterministic-aging training set and test

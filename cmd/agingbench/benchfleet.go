@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"agingpred/internal/benchjson"
+	"agingpred/internal/core"
+	"agingpred/internal/fleet"
+	"agingpred/internal/monitor"
+)
+
+// runBenchJSON is the -bench-json mode: it measures the fleet serving stack —
+// end-to-end instance-checkpoints/sec at 1, 4 and GOMAXPROCS shards, plus the
+// per-checkpoint serving-engine cost through the scalar Session.Observe path
+// and the batched core.Batch path — and appends the datapoints to the given
+// trajectory file (BENCH_fleet.json by convention). The simulated workload is
+// fixed (256 instances, 45 simulated minutes, the benchmark seed), so
+// successive datapoints of one machine are comparable.
+func runBenchJSON(path string, seed uint64, stamp string) error {
+	const (
+		instances = 256
+		duration  = 45 * time.Minute
+		// engineCps is the checkpoint count of the serving-engine
+		// micro-measurement; ~2M checkpoints keeps timer noise under a
+		// percent on a single-core box.
+		engineCps = 1 << 21
+		groupSize = 256 // one simulated shard tick
+	)
+
+	fmt.Printf("bench-json: training shared model (seed %d)...\n", seed)
+	model, err := fleet.TrainModel(seed)
+	if err != nil {
+		return err
+	}
+	series, err := fleet.TrainingSeries(seed)
+	if err != nil {
+		return err
+	}
+	cps := series[0].Checkpoints
+	if len(cps) == 0 {
+		return fmt.Errorf("bench-json: empty training series")
+	}
+	// Replay the recorded stream cyclically with strictly monotone time, so
+	// the sliding-window trackers never hit their time-went-backwards path.
+	tickAt := func(i int) monitor.Checkpoint {
+		cp := cps[i%len(cps)]
+		cp.TimeSec = float64(i+1) * series[0].IntervalSec
+		return cp
+	}
+
+	out := &benchjson.File{
+		Bench:   "fleet",
+		Command: fmt.Sprintf("agingbench -bench-json %s -seed %d", path, seed),
+		Env:     benchjson.CurrentEnv(),
+	}
+	addRun := func(label string, metrics map[string]float64) {
+		out.Runs = append(out.Runs, benchjson.Run{Label: label, Stamp: stamp, Metrics: metrics})
+	}
+
+	// Serving engine, scalar path: one session, grouped like a shard tick.
+	sessions := make([]*core.Session, 1)
+	sessions[0] = model.NewSession()
+	start := time.Now()
+	for i := 0; i < engineCps; i++ {
+		if _, err := sessions[0].Observe(tickAt(i)); err != nil {
+			return fmt.Errorf("bench-json: scalar observe: %w", err)
+		}
+	}
+	elapsed := time.Since(start)
+	scalarNs := float64(elapsed.Nanoseconds()) / engineCps
+	addRun("observe/scalar", map[string]float64{
+		"ns_per_checkpoint": scalarNs,
+		"icp_per_sec":       1e9 / scalarNs,
+	})
+	fmt.Printf("bench-json: observe/scalar %.0f ns/checkpoint\n", scalarNs)
+
+	// Serving engine, batch path: one shard-tick batch per group.
+	sess := model.NewSession()
+	batch := model.NewBatch(groupSize)
+	var cp monitor.Checkpoint // reused staging slot, like the fleet pool's
+	start = time.Now()
+	for i := 0; i < engineCps/groupSize; i++ {
+		batch.Reset()
+		for j := 0; j < groupSize; j++ {
+			cp = tickAt(i*groupSize + j)
+			if err := batch.Stage(sess, &cp); err != nil {
+				return fmt.Errorf("bench-json: stage: %w", err)
+			}
+		}
+		if _, err := batch.Predict(); err != nil {
+			return fmt.Errorf("bench-json: batch predict: %w", err)
+		}
+	}
+	elapsed = time.Since(start)
+	batchNs := float64(elapsed.Nanoseconds()) / float64(engineCps/groupSize*groupSize)
+	addRun("observe/batch", map[string]float64{
+		"ns_per_checkpoint": batchNs,
+		"icp_per_sec":       1e9 / batchNs,
+	})
+	fmt.Printf("bench-json: observe/batch  %.0f ns/checkpoint\n", batchNs)
+
+	// End-to-end fleet runs (simulator + serving + controller) per shard
+	// count. Shard counts never change results, only wall-clock speed.
+	shardCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, shards := range shardCounts {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		start := time.Now()
+		rep, err := fleet.Run(fleet.Config{
+			Instances: instances,
+			Shards:    shards,
+			Duration:  duration,
+			Seed:      seed,
+			Model:     model,
+		})
+		if err != nil {
+			return fmt.Errorf("bench-json: fleet run (%d shards): %w", shards, err)
+		}
+		elapsed := time.Since(start)
+		icps := float64(rep.Checkpoints) / elapsed.Seconds()
+		addRun(fmt.Sprintf("fleet/shards-%d", shards), map[string]float64{
+			"icp_per_sec":       icps,
+			"ns_per_checkpoint": 1e9 / icps,
+			"checkpoints":       float64(rep.Checkpoints),
+		})
+		fmt.Printf("bench-json: fleet/shards-%d %.0f instance-checkpoints/sec\n", shards, icps)
+	}
+
+	if err := benchjson.Merge(path, out); err != nil {
+		return err
+	}
+	fmt.Printf("bench-json: appended %d runs to %s\n", len(out.Runs), path)
+	return nil
+}

@@ -74,9 +74,18 @@ func run(args []string) error {
 		verbose    = fs.Bool("v", false, "matrix mode: print every cell summary, not just the aggregate table")
 		jsonOut    = fs.Bool("json", false, "matrix mode: emit machine-readable JSON (cells + aggregates) on stdout")
 		list       = fs.Bool("list", false, "list the registered scenarios and exit")
+		benchJSON  = fs.String("bench-json", "", "measure the fleet serving stack (end-to-end icp/sec per shard count, scalar vs batch ns/checkpoint) and append the datapoints to this trajectory file (e.g. BENCH_fleet.json), then exit")
+		benchStamp = fs.String("bench-stamp", "", "stamp recorded with -bench-json datapoints (default: today's date)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		stamp := *benchStamp
+		if stamp == "" {
+			stamp = time.Now().Format("2006-01-02")
+		}
+		return runBenchJSON(*benchJSON, *seed, stamp)
 	}
 	if *list {
 		fmt.Printf("%-10s %-11s %s\n", "SCENARIO", "SCHEMA", "DESCRIPTION")

@@ -68,6 +68,22 @@ func (st *Stream) Observe(cp monitor.Checkpoint) (core.Prediction, error) {
 	if err != nil {
 		return pred, err
 	}
+	st.Record(&cp, pred)
+	return pred, nil
+}
+
+// Session returns the stream's current core.Session — the extraction and
+// prediction half of Observe. Batch serving (core.Batch) stages the session
+// directly and then hands the issued prediction back through Record; the two
+// calls together are exactly Observe.
+func (st *Stream) Session() *core.Session { return st.sess }
+
+// Record remembers one issued prediction for later label resolution — the
+// bookkeeping half of Observe, split out so batch serving can evaluate the
+// session through a core.Batch and still feed the adaptive layer. cp must be
+// the checkpoint the prediction was issued for; it is read, never retained
+// (the collection buffer stores a copy).
+func (st *Stream) Record(cp *monitor.Checkpoint, pred core.Prediction) {
 	st.seen++
 	if st.seen > st.sup.cfg.WarmupCheckpoints {
 		// Warm-up predictions (sliding windows still filling) are excluded
@@ -77,9 +93,8 @@ func (st *Stream) Observe(cp monitor.Checkpoint) (core.Prediction, error) {
 		st.preds = append(st.preds, pred.TTFSec)
 	}
 	if !st.sup.cfg.DisableCollection {
-		st.cps = append(st.cps, cp)
+		st.cps = append(st.cps, *cp)
 	}
-	return pred, nil
 }
 
 // ResolveCrash reports that the stream's server crashed at crashTimeSec: the

@@ -1,0 +1,78 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *File {
+	return &File{
+		Bench:   "fleet",
+		Command: "agingbench -bench-json BENCH_fleet.json",
+		Env:     CurrentEnv(),
+		Runs: []Run{
+			{
+				Label:   "fleet/shards-1",
+				Stamp:   "2026-08-08",
+				Metrics: map[string]float64{"icp_per_sec": 2.35e6},
+			},
+		},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != want.Bench || got.Command != want.Command || got.Env != want.Env {
+		t.Fatalf("header round-trip mismatch: %+v != %+v", got, want)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Label != "fleet/shards-1" ||
+		got.Runs[0].Metrics["icp_per_sec"] != 2.35e6 {
+		t.Fatalf("runs round-trip mismatch: %+v", got.Runs)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "}\n") {
+		t.Fatalf("file should end with a single trailing newline, got %q", data[len(data)-4:])
+	}
+}
+
+func TestMergeAppendsRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := Merge(path, sample()); err != nil { // creates
+		t.Fatal(err)
+	}
+	second := sample()
+	second.Runs[0].Label = "fleet/shards-4"
+	if err := Merge(path, second); err != nil { // appends
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 2 || got.Runs[0].Label != "fleet/shards-1" || got.Runs[1].Label != "fleet/shards-4" {
+		t.Fatalf("merge should append runs in order, got %+v", got.Runs)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("parsing garbage succeeded")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"agingpred/internal/features"
+	"agingpred/internal/monitor"
+)
+
+// Batch evaluates one checkpoint for each of many sessions of the same Model
+// in a single pass. The per-stream feature rows are staged back to back in a
+// contiguous struct-of-arrays buffer (features.RowBatch) and the regressor is
+// evaluated over the whole batch at once (PredictBatch on the flattened,
+// schema-bound form), so a shard of a server fleet costs one cache-friendly
+// sweep per tick instead of one independent pointer walk per instance.
+//
+// Batch predictions are bit-for-bit identical to calling Session.Observe on
+// each session in staging order: staging runs the very same projected
+// extractor step, and PredictBatch is defined as the scalar Predict applied
+// row by row (the differential suite in internal/difftest pins this).
+//
+// A Batch is reused tick after tick — Reset keeps every buffer, so
+// steady-state batch serving allocates nothing. It serves one goroutine
+// (e.g. one fleet shard worker) and is not safe for concurrent use; the
+// sessions staged into it follow the usual Session ownership rules.
+type Batch struct {
+	m     *Model
+	rows  *features.RowBatch
+	times []float64
+	raw   []float64
+	preds []Prediction
+}
+
+// NewBatch creates an empty prediction batch for the model, with buffers
+// pre-allocated for capacity rows (the expected shard size; the batch grows
+// past it if needed).
+func (m *Model) NewBatch(capacity int) *Batch {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Batch{
+		m:     m,
+		rows:  features.NewRowBatch(len(m.attrs), capacity),
+		times: make([]float64, 0, capacity),
+		raw:   make([]float64, capacity),
+		preds: make([]Prediction, capacity),
+	}
+}
+
+// Model returns the shared model the batch predicts with.
+func (b *Batch) Model() *Model { return b.m }
+
+// Len returns the number of staged rows.
+func (b *Batch) Len() int { return b.rows.Len() }
+
+// Reset empties the batch for the next tick, keeping all backing storage.
+func (b *Batch) Reset() {
+	b.rows.Reset()
+	b.times = b.times[:0]
+}
+
+// Stage advances one session by one checkpoint, writing its feature row into
+// the batch's buffer. It is exactly the extraction half of Session.Observe —
+// the same projected extractor step, mutating the same sliding-window state —
+// with the regressor evaluation deferred to Predict. The session must belong
+// to the batch's model.
+func (b *Batch) Stage(s *Session, cp *monitor.Checkpoint) error {
+	if s.m != b.m {
+		return fmt.Errorf("core: staging a session of a different model into batch")
+	}
+	s.stream.StepInto(cp, b.rows.Next())
+	b.times = append(b.times, cp.TimeSec)
+	return nil
+}
+
+// Predict evaluates the regressor over every staged row and returns one
+// Prediction per row, in staging order. The returned slice is valid until the
+// next call to Predict or Reset. Results are bit-identical to Session.Observe
+// on each staged session.
+func (b *Batch) Predict() ([]Prediction, error) {
+	n := b.rows.Len()
+	if cap(b.raw) < n {
+		b.raw = make([]float64, n)
+		b.preds = make([]Prediction, n)
+	}
+	raw, preds := b.raw[:n], b.preds[:n]
+	m := b.m
+	if m.bound != nil {
+		m.bound.PredictBatch(b.rows.Rows(), raw)
+		for i := 0; i < n; i++ {
+			preds[i] = m.clamp(b.times[i], raw[i])
+		}
+		return preds, nil
+	}
+	// Name-resolving fallback for unbound models: row-by-row through the
+	// serialised PredictRow path, same as Session.Observe would take.
+	rows := b.rows.Rows()
+	for i := 0; i < n; i++ {
+		pr, err := m.PredictRow(b.times[i], m.attrs, rows[i])
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = pr
+	}
+	return preds, nil
+}

@@ -152,8 +152,15 @@ var (
 // boundRegressor is a model pre-bound to the model's schema: index-based
 // evaluation with no name resolution and no per-call allocations. All three
 // model families provide one via Bind; it is the Observe hot path.
+// PredictBatch evaluates many rows with the scalar arithmetic (bit-identical
+// results) while keeping the model's flattened arrays hot in cache, and
+// Columns reports exactly which row columns the model can read — sessions
+// project feature extraction onto that set, skipping derived columns the
+// model can never look at.
 type boundRegressor interface {
 	Predict(row []float64) float64
+	PredictBatch(rows [][]float64, out []float64)
+	Columns() []int
 }
 
 // Statically verify the three bound forms satisfy the interface.

@@ -36,6 +36,10 @@ type Model struct {
 	// attributes outside the schema — a dataset trained under a wider schema —
 	// in which case sessions fall back to the name-resolving path.
 	bound boundRegressor
+	// boundCols caches bound.Columns(): the schema columns the bound
+	// regressor can read. Sessions project their feature extraction onto
+	// this set.
+	boundCols []int
 	// fallbackMu serialises the name-resolving fallback: the regressors'
 	// Predict caches attribute resolutions lazily, so without the lock
 	// concurrent sessions of an unbound model would race on that shared
@@ -136,6 +140,7 @@ func fitEffective(cfg Config, ds *dataset.Dataset) (*Model, error) {
 // mismatch per call.
 func (m *Model) bind() {
 	m.bound = nil
+	m.boundCols = nil
 	switch r := m.reg.(type) {
 	case *m5p.Tree:
 		if bt, err := r.Bind(m.attrs); err == nil {
@@ -149,6 +154,9 @@ func (m *Model) bind() {
 		if bt, err := r.Bind(m.attrs); err == nil {
 			m.bound = bt
 		}
+	}
+	if m.bound != nil {
+		m.boundCols = m.bound.Columns()
 	}
 }
 
@@ -357,8 +365,20 @@ type Session struct {
 	stream *features.RowExtractor
 }
 
-// NewSession creates a fresh per-stream session for the model.
+// NewSession creates a fresh per-stream session for the model. For a
+// schema-bound model the session's feature extraction is projected onto the
+// columns the bound regressor can actually read (Columns of the flattened
+// layout): derived columns the model never looks at are not computed at all,
+// which is a large share of the per-checkpoint cost for typical M5P trees.
+// Projection cannot change any prediction — the computed columns go through
+// exactly the full extractor's arithmetic, and the skipped ones are, by
+// construction, never read.
 func (m *Model) NewSession() *Session {
+	if m.bound != nil {
+		if stream, err := m.schema.StreamFor(m.boundCols); err == nil {
+			return &Session{m: m, stream: stream}
+		}
+	}
 	return &Session{m: m, stream: m.schema.Stream()}
 }
 

@@ -1,0 +1,76 @@
+package features
+
+import "fmt"
+
+// RowBatch is a reusable struct-of-arrays feature buffer: the rows of one
+// shard tick, laid out back to back in a single flat backing array so a
+// whole batch of feature vectors is contiguous in memory for the tree
+// evaluators. A RowBatch is reused tick after tick (Reset keeps the
+// backing), so steady-state batch serving allocates nothing.
+//
+// Usage per tick: Reset, then one Next per stream — the extractor writes the
+// stream's features straight into the returned slot (RowExtractor.StepInto)
+// — then Rows to view the staged batch. A RowBatch serves one goroutine and
+// is not safe for concurrent use.
+type RowBatch struct {
+	width int
+	buf   []float64
+	rows  [][]float64
+}
+
+// NewRowBatch returns an empty batch of rows of the given width (the
+// schema's NumAttrs), with capacity pre-allocated for capHint rows.
+func NewRowBatch(width, capHint int) *RowBatch {
+	if width <= 0 {
+		panic(fmt.Sprintf("features: non-positive row width %d", width))
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
+	return &RowBatch{
+		width: width,
+		buf:   make([]float64, 0, width*capHint),
+		rows:  make([][]float64, 0, capHint),
+	}
+}
+
+// Width returns the row width.
+func (b *RowBatch) Width() int { return b.width }
+
+// Len returns the number of staged rows.
+func (b *RowBatch) Len() int { return len(b.buf) / b.width }
+
+// Reset empties the batch, keeping the backing storage.
+func (b *RowBatch) Reset() {
+	b.buf = b.buf[:0]
+}
+
+// Next appends one zeroed row and returns it for the caller to fill. The
+// returned slice is valid for writing until the next call to Next or Reset
+// (growing the backing array may move it); use Rows to read the batch back
+// after staging is complete.
+func (b *RowBatch) Next() []float64 {
+	n := len(b.buf)
+	if cap(b.buf)-n < b.width {
+		grown := make([]float64, n, 2*n+b.width)
+		copy(grown, b.buf)
+		b.buf = grown
+	}
+	b.buf = b.buf[: n+b.width : cap(b.buf)]
+	row := b.buf[n : n+b.width]
+	for i := range row {
+		row[i] = 0
+	}
+	return row
+}
+
+// Rows returns one view per staged row into the contiguous backing array.
+// The views are valid until the next call to Next or Reset and share the
+// batch's storage.
+func (b *RowBatch) Rows() [][]float64 {
+	b.rows = b.rows[:0]
+	for n := 0; n < len(b.buf); n += b.width {
+		b.rows = append(b.rows, b.buf[n:n+b.width:n+b.width])
+	}
+	return b.rows
+}

@@ -336,6 +336,14 @@ func (s *Schema) ExtractAll(relation string, series []*monitor.Series) (*dataset
 // reusable output row. Step is the per-checkpoint hot path — index-based,
 // no map lookups, no allocations in steady state. A RowExtractor serves one
 // checkpoint stream and is not safe for concurrent use.
+//
+// An extractor can be projected onto a column subset (StreamFor): only the
+// selected columns — and only the sliding-window state they read — are
+// computed, with the remaining row entries left zero. Every computed column
+// performs exactly the operations the full extractor performs, so projected
+// and full extraction agree bit-for-bit on the selected columns. This is how
+// a serving session skips the derived features its bound model can never
+// read.
 type RowExtractor struct {
 	s        *Schema
 	trackers []*sliding.SpeedTracker
@@ -346,10 +354,60 @@ type RowExtractor struct {
 	level []float64 // per-resource level of the current checkpoint
 	swa   []float64 // per-resource SWA speed after observing it
 	row   []float64 // reusable output buffer
+
+	// Projection state: the resources and smoothed levels Step actually
+	// updates (all of them for a full extractor).
+	resOn    []int
+	smoothOn []int
+
+	// The compiled column program for the selected columns, split by kind so
+	// the per-checkpoint loops iterate compact 16/12-byte steps instead of
+	// the schema's fat column structs. Raw and derived columns are pure
+	// reads of disjoint state, so running the raw program first is
+	// bit-identical to the schema's column order.
+	rawProg     []rawStep
+	derivedProg []derivedStep
 }
 
-// Stream returns a fresh extraction state for one checkpoint stream.
+// rawStep copies one raw checkpoint metric into its output column.
+type rawStep struct {
+	dst   int32
+	level LevelFunc
+}
+
+// derivedStep computes one derived column from the per-resource speed/level
+// state (or a smoothed-level window, for opSmoothedLevel).
+type derivedStep struct {
+	dst, res int32
+	op       colOp
+}
+
+// compile builds the split column program for the selected schema columns,
+// in schema order within each kind.
+func (x *RowExtractor) compile(cols []int) {
+	for _, ci := range cols {
+		c := &x.s.cols[ci]
+		if c.op == opRaw {
+			x.rawProg = append(x.rawProg, rawStep{dst: int32(ci), level: c.level})
+			continue
+		}
+		x.derivedProg = append(x.derivedProg, derivedStep{dst: int32(ci), res: int32(c.res), op: c.op})
+	}
+}
+
+// Stream returns a fresh extraction state for one checkpoint stream,
+// computing every column of the schema.
 func (s *Schema) Stream() *RowExtractor {
+	x, _ := s.StreamFor(nil)
+	return x
+}
+
+// StreamFor returns a fresh extraction state that computes only the given
+// columns (schema column indices) and maintains only the sliding-window
+// state those columns read; the remaining entries of the returned rows stay
+// zero. nil selects every column. Out-of-range or duplicate indices are an
+// error.
+func (s *Schema) StreamFor(cols []int) (*RowExtractor, error) {
 	x := &RowExtractor{
 		s:        s,
 		trackers: make([]*sliding.SpeedTracker, len(s.resources)),
@@ -364,7 +422,60 @@ func (s *Schema) Stream() *RowExtractor {
 	for i := range s.smoothed {
 		x.windows[i] = sliding.NewWindow(s.smoothedWindow(i))
 	}
-	return x
+	if cols == nil {
+		// A full extractor computes every column and maintains every
+		// tracker, whether or not a column reads it.
+		colsOn := make([]int, len(s.cols))
+		for i := range s.cols {
+			colsOn[i] = i
+		}
+		x.compile(colsOn)
+		x.resOn = make([]int, len(s.resources))
+		for i := range s.resources {
+			x.resOn[i] = i
+		}
+		x.smoothOn = make([]int, len(s.smoothed))
+		for i := range s.smoothed {
+			x.smoothOn[i] = i
+		}
+		return x, nil
+	}
+	seen := make(map[int]bool, len(cols))
+	for _, ci := range cols {
+		if ci < 0 || ci >= len(s.cols) {
+			return nil, fmt.Errorf("features: schema %q has no column %d (have %d)", s.name, ci, len(s.cols))
+		}
+		if seen[ci] {
+			return nil, fmt.Errorf("features: duplicate projected column %d", ci)
+		}
+		seen[ci] = true
+	}
+	colsOn := append([]int(nil), cols...)
+	sort.Ints(colsOn)
+	x.compile(colsOn)
+	resSeen := make([]bool, len(s.resources))
+	smoothSeen := make([]bool, len(s.smoothed))
+	for _, ci := range colsOn {
+		c := &s.cols[ci]
+		switch c.op {
+		case opRaw:
+		case opSmoothedLevel:
+			smoothSeen[c.res] = true
+		default:
+			resSeen[c.res] = true
+		}
+	}
+	for i, on := range resSeen {
+		if on {
+			x.resOn = append(x.resOn, i)
+		}
+	}
+	for i, on := range smoothSeen {
+		if on {
+			x.smoothOn = append(x.smoothOn, i)
+		}
+	}
+	return x, nil
 }
 
 // Schema returns the schema the extractor was compiled from.
@@ -376,10 +487,19 @@ func (x *RowExtractor) Schema() *Schema { return x.s }
 // need to keep a row must copy it (dataset.Append already does).
 func (x *RowExtractor) Step(cp monitor.Checkpoint) []float64 {
 	x.cp = cp
-	p := &x.cp
+	return x.StepInto(&x.cp, x.row)
+}
+
+// StepInto is Step writing the feature row into dst (len >= the schema's
+// NumAttrs) instead of the extractor's internal buffer, so many streams can
+// extract into one contiguous struct-of-arrays batch (RowBatch) per shard
+// tick. The checkpoint is read through the pointer and not retained; dst is
+// returned truncated to the row width. Entries outside a projected
+// extractor's column set are left untouched.
+func (x *RowExtractor) StepInto(cp *monitor.Checkpoint, dst []float64) []float64 {
 	s := x.s
-	for i := range s.resources {
-		lvl := s.resources[i].Level(p)
+	for _, i := range x.resOn {
+		lvl := s.resources[i].Level(cp)
 		// Errors can only come from non-finite values or time going
 		// backwards; checkpoints are produced by the monitor in time order
 		// with finite values, and a defensive drop of one speed sample is
@@ -388,34 +508,37 @@ func (x *RowExtractor) Step(cp monitor.Checkpoint) []float64 {
 		x.level[i] = lvl
 		x.swa[i] = x.trackers[i].SWA()
 	}
-	for i := range s.smoothed {
-		x.windows[i].Push(s.smoothed[i].level(p))
+	for _, i := range x.smoothOn {
+		x.windows[i].Push(s.smoothed[i].level(cp))
 	}
 	th := cp.Throughput
-	for i := range s.cols {
-		c := &s.cols[i]
-		var v float64
-		switch c.op {
-		case opRaw:
-			v = c.level(p)
-		case opSpeed:
-			v = x.swa[c.res]
-		case opSpeedPerTH:
-			v = sliding.SafeDiv(x.swa[c.res], th)
-		case opInvSpeed:
-			v = sliding.Inverse(x.swa[c.res])
-		case opLevelOverSpeed:
-			v = sliding.SafeDiv(x.level[c.res], x.swa[c.res])
-		case opInvSpeedPerTH:
-			v = sliding.SafeDiv(sliding.Inverse(x.swa[c.res]), th)
-		case opLevelOverSpeedPerTH:
-			v = sliding.SafeDiv(sliding.SafeDiv(x.level[c.res], x.swa[c.res]), th)
-		case opSmoothedLevel:
-			v = x.windows[c.res].Mean()
-		}
-		x.row[i] = v
+	dst = dst[:len(s.cols)]
+	for i := range x.rawProg {
+		r := &x.rawProg[i]
+		dst[r.dst] = r.level(cp)
 	}
-	return x.row
+	for i := range x.derivedProg {
+		d := &x.derivedProg[i]
+		var v float64
+		switch d.op {
+		case opSpeed:
+			v = x.swa[d.res]
+		case opSpeedPerTH:
+			v = sliding.SafeDiv(x.swa[d.res], th)
+		case opInvSpeed:
+			v = sliding.Inverse(x.swa[d.res])
+		case opLevelOverSpeed:
+			v = sliding.SafeDiv(x.level[d.res], x.swa[d.res])
+		case opInvSpeedPerTH:
+			v = sliding.SafeDiv(sliding.Inverse(x.swa[d.res]), th)
+		case opLevelOverSpeedPerTH:
+			v = sliding.SafeDiv(sliding.SafeDiv(x.level[d.res], x.swa[d.res]), th)
+		case opSmoothedLevel:
+			v = x.windows[d.res].Mean()
+		}
+		dst[d.dst] = v
+	}
+	return dst
 }
 
 // Reset clears all sliding-window state (e.g. after a rejuvenation action),

@@ -91,10 +91,12 @@ func TestAdaptiveFleetSwapsEpochs(t *testing.T) {
 }
 
 // TestAdaptiveFleetDeterministicAcrossShardCounts extends the fleet's core
-// determinism guarantee to adaptive serving: the drift trajectory, the
-// retrain schedule and the per-epoch stats are pure functions of the seed,
-// so the JSON report stays byte-identical across shard counts even though
-// the retrains themselves run on background goroutines.
+// determinism guarantee to adaptive serving over the batched prediction
+// path: adaptive streams are staged into per-model shard batches (one
+// core.Batch per live epoch per shard), the drift trajectory, the retrain
+// schedule and the per-epoch stats are pure functions of the seed, and the
+// JSON report stays byte-identical across shard counts even though the
+// retrains themselves run on background goroutines.
 func TestAdaptiveFleetDeterministicAcrossShardCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs three adaptive fleets, each retraining in the background")

@@ -12,12 +12,12 @@
 // instances. The architecture:
 //
 //	          ┌──────────── driver (one tick = one checkpoint interval) ───────────┐
-//	instances │ step instance model, emit Table 2 checkpoints (ID order)           │
+//	instances │ step instance model, stage Table 2 checkpoints (ID order)          │
 //	          └──┬───────────────────────────────────────────────────────────┬─────┘
-//	             │ consistent instance→shard hash, bounded queues             │
-//	        ┌────▼────┐   ┌─────────┐        ┌─────────┐                      │
-//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  Observe on sessions │
-//	        └────┬────┘   └────┬────┘        └────┬────┘                      │
+//	             │ consistent instance→shard hash, one wake-up per shard      │
+//	        ┌────▼────┐   ┌─────────┐        ┌─────────┐  batch extraction +  │
+//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  PredictBatch sweep  │
+//	        └────┬────┘   └────┬────┘        └────┬────┘  per shard tick      │
 //	             └─────────────┴── tick barrier ──┴───────────────────────────┘
 //	          controller: per-instance predictive policies → budgeted
 //	          rejuvenations, crash handling, fleet aggregates
@@ -35,6 +35,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"strings"
 	"time"
@@ -76,9 +77,6 @@ type Config struct {
 	// restart, cache warm-up (0 = 10 min). Crashing must hurt more than
 	// rejuvenating, or predicting would be pointless.
 	CrashDowntime time.Duration
-	// QueueDepth is the per-shard checkpoint queue bound (0 = 128). Smaller
-	// values apply backpressure to the driver sooner.
-	QueueDepth int
 	// Model optionally supplies the shared trained model (each instance gets
 	// its own Session of it; the model itself is immutable and shared). Nil
 	// trains one with TrainModel, which costs a few wall-clock seconds. A
@@ -150,9 +148,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CrashDowntime <= 0 {
 		c.CrashDowntime = 10 * time.Minute
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 128
 	}
 	if c.RetrainLatency <= 0 {
 		c.RetrainLatency = 10 * time.Minute
@@ -345,13 +340,21 @@ type classStats struct {
 	preN, postN     int64
 }
 
+// postWindowSec hoists the PRE/POST boundary out of the per-checkpoint
+// accuracy accounting (Duration.Seconds costs two integer divisions).
+var postWindowSec = evalx.DefaultPostWindow.Seconds()
+
+// observe is evalx's AbsError/SoftAbsError accounting inlined for the
+// per-checkpoint hot path; the sums it produces are bit-identical to the
+// original Prediction-based formulation.
 func (s *classStats) observe(refSec, predSec float64) {
-	pr := evalx.Prediction{TrueTTF: refSec, PredictedTTF: predSec}
-	err := pr.AbsError()
+	err := math.Abs(refSec - predSec)
 	s.absSum += err
 	s.n++
-	s.softSum += pr.SoftAbsError(evalx.DefaultSecurityMargin)
-	if refSec <= evalx.DefaultPostWindow.Seconds() {
+	if err > evalx.DefaultSecurityMargin*math.Abs(refSec) {
+		s.softSum += err
+	}
+	if refSec <= postWindowSec {
 		s.postSum += err
 		s.postN++
 	} else {
@@ -494,7 +497,7 @@ func Run(cfg Config) (*Report, error) {
 			observers[i] = streams[i]
 		} else {
 			sessions[i] = classBase[spec.Class].NewSession()
-			observers[i] = sessions[i]
+			observers[i] = sessionObserver{sessions[i]}
 		}
 		policies[i] = &rejuv.Predictive{Threshold: cfg.TTFThreshold, Confirmations: cfg.Confirmations}
 	}
@@ -503,7 +506,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := newPool(cfg.Shards, cfg.QueueDepth, observers)
+	p := newPool(cfg.Shards, observers)
 	defer p.close()
 
 	dt := cfg.CheckpointInterval.Seconds()
@@ -566,18 +569,20 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
 		}
 
-		// Step the live instances and stream their checkpoints to the
+		// Step the live instances and stage their checkpoints for the
 		// shards. Down instances emit nothing and keep losing the traffic
 		// their users offer.
 		dispatched = dispatched[:0]
+		p.begin()
 		for i, in := range instances {
 			if ctrl.State(i) != rejuv.StateHealthy {
 				rep.DowntimeSec += dt
 				rep.LostRequests += in.expectedThroughput(t) * dt
 				continue
 			}
-			cp, crashed := in.step(t, dt)
-			if crashed {
+			// Step straight into the instance's pool slot: the 160-byte
+			// checkpoint is written once and never copied again.
+			if in.step(t, dt, &p.cps[i]) {
 				ctrl.Crash(i, t, cfg.CrashDowntime.Seconds())
 				rep.CrashesSuffered++
 				stats[in.spec.Class].crashes++
@@ -594,14 +599,15 @@ func Run(cfg Config) (*Report, error) {
 				rep.LostRequests += in.expectedThroughput(t) * dt
 				continue
 			}
-			rep.ServedRequests += cp.Throughput * dt
+			rep.ServedRequests += p.cps[i].Throughput * dt
 			rep.Checkpoints++
 			stats[in.spec.Class].checkpoints++
-			if !p.dispatch(cfg.Ctx, i, cp) {
-				break // cancelled mid-tick; the top of the loop reports it
-			}
+			p.stage(i)
 			dispatched = append(dispatched, i)
 		}
+		// One wake-up per shard evaluates the whole tick in batch; a
+		// cancellation mid-flush is reported right after the barrier.
+		p.flush(cfg.Ctx)
 		p.wait()
 		if err := cancelled(); err != nil {
 			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)

@@ -125,9 +125,13 @@ func TestConfigValidation(t *testing.T) {
 }
 
 // TestRunDeterministicAcrossShardCounts is the core guarantee of the fleet
-// engine: shard count is a throughput knob, not a behaviour knob. The same
-// seed must yield a byte-identical JSON summary at 1 shard, 4 shards, and
-// across repetitions.
+// engine: shard count is a throughput knob, not a behaviour knob. Every
+// prediction now flows through the shard workers' batch path (staged feature
+// rows, PredictBatch sweeps), and the shard count decides how instances are
+// grouped into batches — so this test is also the pin that batch grouping
+// never changes results. The same seed must yield a byte-identical JSON
+// summary at 1 shard, 3 shards (ragged groups), 4 shards, and across
+// repetitions.
 func TestRunDeterministicAcrossShardCounts(t *testing.T) {
 	model := testModel(t)
 	run := func(shards int) []byte {
@@ -150,9 +154,13 @@ func TestRunDeterministicAcrossShardCounts(t *testing.T) {
 	}
 	one := run(1)
 	again := run(1)
+	three := run(3)
 	four := run(4)
 	if !bytes.Equal(one, again) {
 		t.Fatalf("two identical runs differ:\n%s\nvs\n%s", one, again)
+	}
+	if !bytes.Equal(one, three) {
+		t.Fatalf("1-shard and 3-shard runs differ:\n%s\nvs\n%s", one, three)
 	}
 	if !bytes.Equal(one, four) {
 		t.Fatalf("1-shard and 4-shard runs differ:\n%s\nvs\n%s", one, four)
@@ -251,8 +259,8 @@ func TestConnSchemaImprovesPredictions(t *testing.T) {
 		dt := monitor.DefaultInterval.Seconds()
 		for tick := 1; tick <= 4*240; tick++ { // 4 simulated hours
 			ts := float64(tick) * dt
-			cp, crashed := in.step(ts, dt)
-			if crashed {
+			var cp monitor.Checkpoint
+			if in.step(ts, dt, &cp) {
 				break
 			}
 			pf, err := fc.Observe(cp)
@@ -398,12 +406,10 @@ func TestRunHonoursCancelledContext(t *testing.T) {
 }
 
 func TestShardAssignmentConsistent(t *testing.T) {
-	sessions := make([]observer, 64)
-	p8 := &pool{shards: make([]chan job, 8), sessions: sessions}
 	counts := make([]int, 8)
 	for id := 0; id < 4096; id++ {
-		s := p8.shardOf(id)
-		if s != p8.shardOf(id) {
+		s := shardOf(id, 8)
+		if s != shardOf(id, 8) {
 			t.Fatalf("shard assignment of %d is not stable", id)
 		}
 		counts[s%8]++

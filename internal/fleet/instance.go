@@ -241,12 +241,15 @@ func (in *instance) expectedThroughput(tSec float64) float64 {
 }
 
 // step advances the instance by one checkpoint interval ending at tSec and
-// returns the monitored checkpoint, or crashed=true (and no checkpoint) when
-// a resource ran out during the interval. All randomness comes from the
-// instance's own stream (which keeps its position across resets), so the
-// whole trajectory is a pure function of (seed, spec, sequence of step
-// calls) — independent of fleet size, shard count and sibling instances.
-func (in *instance) step(tSec, dtSec float64) (cp monitor.Checkpoint, crashed bool) {
+// writes the monitored checkpoint into *cp, or returns crashed=true (leaving
+// *cp untouched) when a resource ran out during the interval. The out
+// parameter lets the fleet driver step straight into the prediction pool's
+// per-instance slot instead of copying the 20-field checkpoint twice per
+// tick. All randomness comes from the instance's own stream (which keeps its
+// position across resets), so the whole trajectory is a pure function of
+// (seed, spec, sequence of step calls) — independent of fleet size, shard
+// count and sibling instances.
+func (in *instance) step(tSec, dtSec float64, cp *monitor.Checkpoint) (crashed bool) {
 	active := in.activeEBs(tSec)
 
 	// Response time degrades super-linearly as the old generation fills
@@ -296,27 +299,36 @@ func (in *instance) step(tSec, dtSec float64) (cp monitor.Checkpoint, crashed bo
 	// reasons: heap exhaustion, thread exhaustion, connection-pool
 	// exhaustion.
 	if in.oldUsedMB >= oldMaxMB || threads >= maxThreads || conns >= maxDBConns {
-		return monitor.Checkpoint{}, true
+		return true
 	}
 
 	// Ground-truth time to failure under the current rates — the "freeze the
 	// current injection rate" reference the paper uses for experiment 4.2.
+	// Every candidate is positive here (the exhaustion check above ruled out
+	// depleted resources), so plain comparisons replace math.Min/Max without
+	// changing a single bit.
 	ttf := monitor.InfiniteTTFSec
 	if memRate > 1e-9 {
-		ttf = math.Min(ttf, (oldMaxMB-in.oldUsedMB)/memRate)
+		if v := (oldMaxMB - in.oldUsedMB) / memRate; v < ttf {
+			ttf = v
+		}
 	}
 	if thrRate > 1e-9 {
-		ttf = math.Min(ttf, (maxThreads-threads)/thrRate)
+		if v := (maxThreads - threads) / thrRate; v < ttf {
+			ttf = v
+		}
 	}
 	if connRate > 1e-9 {
-		ttf = math.Min(ttf, (maxDBConns-conns)/connRate)
+		if v := (maxDBConns - conns) / connRate; v < ttf {
+			ttf = v
+		}
 	}
-	in.refTTFSec = math.Max(0, ttf)
+	in.refTTFSec = ttf
 
 	in.diskMB += in.thr * dtSec * logMBPerRequest
 	youngUsed := in.src.Float64Between(16, youngMaxMB*0.85)
 	tomcatMem := jvmBaseMB + in.oldUsedMB + youngUsed + stackMBPerThread*threads
-	return monitor.Checkpoint{
+	*cp = monitor.Checkpoint{
 		TimeSec:         tSec,
 		Throughput:      in.thr,
 		Workload:        active,
@@ -336,7 +348,8 @@ func (in *instance) step(tSec, dtSec float64) (cp monitor.Checkpoint, crashed bo
 		OldUsedMB:       in.oldUsedMB,
 		YoungPct:        100 * youngUsed / youngMaxMB,
 		OldPct:          100 * in.oldUsedMB / oldMaxMB,
-	}, false
+	}
+	return false
 }
 
 func pow4(x float64) float64 { x *= x; return x * x }
@@ -394,8 +407,8 @@ func TrainingSeries(seed uint64) ([]*monitor.Series, error) {
 		}
 		for tick := 1; tick <= maxTicks; tick++ {
 			t := float64(tick) * dt
-			cp, crashed := in.step(t, dt)
-			if crashed {
+			var cp monitor.Checkpoint
+			if in.step(t, dt, &cp) {
 				s.Crashed = true
 				s.CrashTimeSec = t
 				s.CrashReason = "resource exhaustion"

@@ -8,21 +8,23 @@ import (
 	"agingpred/internal/monitor"
 )
 
-// observer is what a shard worker drives per instance: a per-stream
-// prediction state whose Observe consumes one checkpoint. A frozen fleet
-// serves plain core.Sessions; an adaptive fleet serves adapt.Streams, which
-// additionally remember their predictions for label resolution. Either way
-// the observer is touched only by its instance's shard.
+// observer is what the prediction layer drives per instance: the underlying
+// core.Session to stage into its shard's batch, plus a Record hook invoked
+// with the issued prediction. A frozen fleet wraps plain core.Sessions
+// (Record is a no-op); an adaptive fleet serves adapt.Streams, whose Record
+// remembers the prediction for later label resolution. Either way the
+// observer is touched only by its instance's shard worker.
 type observer interface {
-	Observe(cp monitor.Checkpoint) (core.Prediction, error)
+	Session() *core.Session
+	Record(cp *monitor.Checkpoint, pred core.Prediction)
 }
 
-// job asks a shard worker to run one instance's checkpoint through that
-// instance's prediction session.
-type job struct {
-	id int
-	cp monitor.Checkpoint
-}
+// sessionObserver adapts a plain frozen-model session to the observer
+// interface; staging plus the (empty) Record is exactly Session.Observe.
+type sessionObserver struct{ s *core.Session }
+
+func (o sessionObserver) Session() *core.Session                      { return o.s }
+func (o sessionObserver) Record(*monitor.Checkpoint, core.Prediction) {}
 
 // obsResult is one worker's answer, written into the pool's results slot for
 // the instance.
@@ -31,54 +33,129 @@ type obsResult struct {
 	err    error
 }
 
-// pool is the sharded prediction layer: every instance is consistently
-// assigned to one shard (an FNV hash of its ID), each shard is one worker
-// goroutine draining a bounded channel, and each instance's session is
-// touched only by its own shard — so no locks are needed around the
-// sessions' mutable sliding-window state. The trained Model behind the
-// sessions is immutable and shared by all shards.
-//
-// The driver dispatches one tick's checkpoints (blocking on a full shard
-// queue: natural backpressure), then waits on the tick barrier before
-// reading results. Result slots are indexed by instance, each written by
-// exactly one worker per tick, and the WaitGroup barrier orders those writes
-// before the driver's reads.
-type pool struct {
-	shards   []chan job
-	sessions []observer
-	results  []obsResult
-
-	tick    sync.WaitGroup // per-tick barrier
-	workers sync.WaitGroup // worker lifetime, for close
+// modelBatch is one shard worker's reusable prediction batch for one distinct
+// model. A worker keeps one per model its instances serve — usually exactly
+// one; a few under per-class schemas or adaptive epochs — found by linear
+// scan, and holds on to retired epochs' batches (cheap, and a stream may come
+// back from downtime still serving an old epoch).
+type modelBatch struct {
+	m   *core.Model
+	b   *core.Batch
+	ids []int // instance IDs staged this tick, in staging order
 }
 
-// newPool starts one worker per shard. sessions[i] is instance i's private
-// per-stream state; results has one slot per instance.
-func newPool(shards, queue int, sessions []observer) *pool {
+// pool is the sharded batch-prediction layer: every instance is consistently
+// assigned to one shard (an FNV-1a hash of its ID), each shard is one worker
+// goroutine, and each instance's session is touched only by its own shard —
+// so no locks are needed around the sessions' mutable sliding-window state.
+// The trained models behind the sessions are immutable and shared by all
+// shards.
+//
+// The unit of dispatch is a whole shard tick, not a checkpoint: the driver
+// stages every live instance's checkpoint into per-instance slots (stage),
+// then wakes each worker once (flush). A worker runs its entire shard as
+// core.Batch evaluations — feature rows staged back to back per model, the
+// flattened regressor swept over the contiguous batch — writes one result
+// slot per instance, and hits the tick barrier. One channel send and one
+// WaitGroup count per shard per tick is all the synchronisation there is.
+//
+// Memory ordering: the flush sends publish the driver's checkpoint/ID writes
+// to the workers, and the tick WaitGroup orders the workers' result and
+// Record writes before the driver's reads in wait.
+type pool struct {
+	sessions []observer
+	shardIdx []int                // static instance→shard assignment
+	cps      []monitor.Checkpoint // per-instance checkpoint slot for the tick
+	ids      [][]int              // per-shard instance IDs staged this tick
+	results  []obsResult
+
+	work    []chan struct{} // per-shard tick signal
+	tick    sync.WaitGroup  // per-tick barrier: one count per signalled shard
+	workers sync.WaitGroup  // worker lifetime, for close
+}
+
+// newPool precomputes the instance→shard map and starts one worker per
+// shard. sessions[i] is instance i's private per-stream state; results has
+// one slot per instance.
+func newPool(shards int, sessions []observer) *pool {
 	p := &pool{
-		shards:   make([]chan job, shards),
 		sessions: sessions,
+		shardIdx: make([]int, len(sessions)),
+		cps:      make([]monitor.Checkpoint, len(sessions)),
+		ids:      make([][]int, shards),
 		results:  make([]obsResult, len(sessions)),
+		work:     make([]chan struct{}, shards),
 	}
-	for s := range p.shards {
-		ch := make(chan job, queue)
-		p.shards[s] = ch
+	counts := make([]int, shards)
+	for id := range p.shardIdx {
+		s := shardOf(id, shards)
+		p.shardIdx[id] = s
+		counts[s]++
+	}
+	for s := range p.work {
+		p.ids[s] = make([]int, 0, counts[s])
+		ch := make(chan struct{}, 1)
+		p.work[s] = ch
 		p.workers.Add(1)
-		go func() {
-			defer p.workers.Done()
-			for jb := range ch {
-				pred, err := p.sessions[jb.id].Observe(jb.cp)
-				p.results[jb.id] = obsResult{ttfSec: pred.TTFSec, err: err}
-				p.tick.Done()
-			}
-		}()
+		go p.worker(s, ch, counts[s])
 	}
 	return p
 }
 
+// worker serves one shard: on every tick signal it evaluates the shard's
+// staged instances in batch, per distinct model, and records the results.
+func (p *pool) worker(s int, ch <-chan struct{}, capacity int) {
+	defer p.workers.Done()
+	var batches []*modelBatch
+	for range ch {
+		for _, mb := range batches {
+			mb.b.Reset()
+			mb.ids = mb.ids[:0]
+		}
+		for _, id := range p.ids[s] {
+			sess := p.sessions[id].Session()
+			m := sess.Model()
+			var mb *modelBatch
+			for _, c := range batches {
+				if c.m == m {
+					mb = c
+					break
+				}
+			}
+			if mb == nil {
+				mb = &modelBatch{m: m, b: m.NewBatch(capacity)}
+				batches = append(batches, mb)
+			}
+			if err := mb.b.Stage(sess, &p.cps[id]); err != nil {
+				p.results[id] = obsResult{err: err}
+				continue
+			}
+			mb.ids = append(mb.ids, id)
+		}
+		for _, mb := range batches {
+			if len(mb.ids) == 0 {
+				continue
+			}
+			preds, err := mb.b.Predict()
+			if err != nil {
+				for _, id := range mb.ids {
+					p.results[id] = obsResult{err: err}
+				}
+				continue
+			}
+			for k, id := range mb.ids {
+				pred := preds[k]
+				p.sessions[id].Record(&p.cps[id], pred)
+				p.results[id] = obsResult{ttfSec: pred.TTFSec}
+			}
+		}
+		p.tick.Done()
+	}
+}
+
 // shardOf is the consistent instance→shard assignment: a 64-bit FNV-1a hash
-// of the instance ID. Stable across runs and independent of dispatch order.
-func (p *pool) shardOf(id int) int {
+// of the instance ID. Stable across runs and independent of staging order.
+func shardOf(id, shards int) int {
 	const (
 		offset = 14695981039346656037
 		prime  = 1099511628211
@@ -90,35 +167,53 @@ func (p *pool) shardOf(id int) int {
 		h *= prime
 		x >>= 8
 	}
-	return int(h % uint64(len(p.shards)))
+	return int(h % uint64(shards))
 }
 
-// dispatch queues one checkpoint on the instance's shard, blocking while the
-// shard's queue is full (backpressure). It returns false without queueing if
-// ctx is cancelled first; a nil ctx never cancels.
-func (p *pool) dispatch(ctx context.Context, id int, cp monitor.Checkpoint) bool {
-	p.tick.Add(1)
-	ch := p.shards[p.shardOf(id)]
-	if ctx == nil {
-		ch <- job{id: id, cp: cp}
-		return true
-	}
-	select {
-	case ch <- job{id: id, cp: cp}:
-		return true
-	case <-ctx.Done():
-		p.tick.Done()
-		return false
+// begin starts a new tick, emptying the per-shard staging lists. Call before
+// the tick's first stage; the workers are parked between ticks, so the
+// slices are safe to reuse.
+func (p *pool) begin() {
+	for s := range p.ids {
+		p.ids[s] = p.ids[s][:0]
 	}
 }
 
-// wait blocks until every dispatched checkpoint of the tick is predicted.
+// stage queues one instance for the current tick. The driver has already
+// written the instance's checkpoint slot (p.cps[id]) in place — steppers
+// write straight into it, so the 160-byte checkpoint is never copied.
+// Purely driver-local — the workers are parked until flush.
+func (p *pool) stage(id int) {
+	p.ids[p.shardIdx[id]] = append(p.ids[p.shardIdx[id]], id)
+}
+
+// flush hands the staged tick to the workers, one signal per shard. It
+// returns false if ctx is cancelled before every shard was signalled (the
+// barrier stays consistent — call wait regardless); a nil ctx never cancels.
+func (p *pool) flush(ctx context.Context) bool {
+	for _, ch := range p.work {
+		p.tick.Add(1)
+		if ctx == nil {
+			ch <- struct{}{}
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		case <-ctx.Done():
+			p.tick.Done()
+			return false
+		}
+	}
+	return true
+}
+
+// wait blocks until every signalled shard has finished its tick.
 func (p *pool) wait() { p.tick.Wait() }
 
-// close shuts the shard channels down and waits for the workers to exit.
-// Call only after wait (no in-flight jobs).
+// close shuts the tick channels down and waits for the workers to exit.
+// Call only after wait (no tick in flight).
 func (p *pool) close() {
-	for _, ch := range p.shards {
+	for _, ch := range p.work {
 		close(ch)
 	}
 	p.workers.Wait()

@@ -544,6 +544,45 @@ func (b *BoundModel) Predict(row []float64) float64 {
 	return pred
 }
 
+// PredictBatch evaluates the bound model on every row, writing one prediction
+// per row into out (len(out) must be >= len(rows)). Each row is evaluated by
+// exactly the scalar Predict arithmetic, so batch and scalar results are
+// bit-identical; batching exists to amortise call overhead and keep the
+// model's coefficient arrays hot in cache across a whole shard tick.
+func (b *BoundModel) PredictBatch(rows [][]float64, out []float64) {
+	for i, row := range rows {
+		pred := b.intercept
+		for j, idx := range b.cols {
+			pred += b.coeffs[j] * row[idx]
+		}
+		out[i] = pred
+	}
+}
+
+// Columns returns the row columns the bound model reads, sorted ascending and
+// de-duplicated. Consumers use it to skip computing feature columns a model
+// can never look at.
+func (b *BoundModel) Columns() []int {
+	out := append([]int(nil), b.cols...)
+	sort.Ints(out)
+	n := 0
+	for i, c := range out {
+		if i == 0 || c != out[n-1] {
+			out[n] = c
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// Terms exposes the bound model's compiled form — the intercept and the
+// parallel (coefficient, row column) arrays Predict iterates, in evaluation
+// order. Flattened tree layouts inline leaf models through it. The returned
+// slices are the model's own storage and must not be modified.
+func (b *BoundModel) Terms() (intercept float64, coeffs []float64, cols []int) {
+	return b.intercept, b.coeffs, b.cols
+}
+
 // String renders the regression equation in a human-readable form, e.g.
 // "ttf = 120.5 - 3.2*tomcat_mem + 0.8*threads".
 func (m *Model) String() string {

@@ -1,0 +1,227 @@
+package m5p
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the flattened, array-backed form of a schema-bound M5P tree.
+// Binding used to produce a pointer-linked mirror of the training tree; the
+// serving hot path now walks parallel arrays instead:
+//
+//	node i   col[i]        split column, or leafCol (-1) for a leaf
+//	         threshold[i]  split test is "row[col[i]] <= threshold[i]"
+//	         left[i]       index of the <=-child (noChild for leaves)
+//	         right[i]      index of the >-child (noChild for leaves)
+//	         parent[i]     index of the parent (-1 for the root)
+//	         n[i]          training instances reaching the node (smoothing)
+//	         intercept[i]  constant term of the node's linear model
+//	         modelOff[i]   first index of the node's terms in coeffs/cols;
+//	                       the model spans [modelOff[i], modelOff[i+1])
+//
+// Nodes are stored in preorder, so every child index is strictly greater
+// than its parent's — validate enforces it, which both bounds Predict's
+// descent (indices strictly increase, so the walk terminates even if a
+// corrupt layout were to slip through) and makes the downward walk move
+// forward through memory. All leaf/inner linear models share the two
+// contiguous coeffs/cols arrays, so evaluating a prediction touches a
+// handful of small flat slices instead of chasing one heap object per node.
+
+const (
+	// leafCol marks a leaf in col.
+	leafCol int32 = -1
+	// noChild marks the absent children of a leaf in left/right.
+	noChild int32 = -1
+)
+
+// BoundTree is a Tree bound once to a fixed row schema and flattened into
+// parallel node arrays: split columns and every node's linear model are
+// pre-resolved to row indices, so Predict performs no name lookups and no
+// per-call allocations — the requirement of the per-checkpoint Observe hot
+// path. A BoundTree is immutable and safe for concurrent use; every Session
+// of a core.Model evaluates the model's one shared BoundTree.
+type BoundTree struct {
+	noSmoothing bool
+	k           float64
+	width       int // bound row width, for validation
+
+	col       []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	parent    []int32
+	n         []float64
+
+	// Node linear models, laid out contiguously in node order.
+	intercept []float64
+	modelOff  []int32 // len(col)+1 entries; modelOff[len(col)] == len(coeffs)
+	coeffs    []float64
+	cols      []int32
+}
+
+// Predict evaluates the bound tree on a row laid out in the bound schema.
+// The arithmetic — leaf-model evaluation and the smoothing filter back up
+// the ancestor chain — matches Tree.Predict operation for operation, so the
+// two paths produce bit-identical results. The ancestor walk uses the parent
+// array, so smoothing needs no recursion and no per-call stack regardless of
+// tree depth.
+func (t *BoundTree) Predict(row []float64) float64 {
+	// Local slice headers let the descent loop keep base pointers in
+	// registers instead of reloading them through t every hop.
+	col, threshold, left, right := t.col, t.threshold, t.left, t.right
+	i := int32(0)
+	for col[i] >= 0 {
+		if row[col[i]] <= threshold[i] {
+			i = left[i]
+		} else {
+			i = right[i]
+		}
+	}
+	pred := t.evalModel(i, row)
+	if t.noSmoothing {
+		return pred
+	}
+	for i != 0 {
+		p := t.parent[i]
+		pred = (t.n[i]*pred + t.k*t.evalModel(p, row)) / (t.n[i] + t.k)
+		i = p
+	}
+	return pred
+}
+
+// evalModel evaluates node i's linear model on the row, term for term in the
+// same order as linreg.BoundModel.Predict (so inlined and stand-alone leaf
+// models are bit-identical).
+func (t *BoundTree) evalModel(i int32, row []float64) float64 {
+	pred := t.intercept[i]
+	coeffs, cols := t.coeffs, t.cols
+	end := t.modelOff[i+1]
+	for j := t.modelOff[i]; j < end; j++ {
+		pred += coeffs[j] * row[cols[j]]
+	}
+	return pred
+}
+
+// PredictBatch evaluates the bound tree on every row, writing one prediction
+// per row into out (len(out) must be >= len(rows)). Each row goes through
+// exactly the scalar Predict walk, so batch and scalar results are
+// bit-identical; batching amortises call overhead and keeps the node arrays
+// hot in cache across a whole shard tick.
+func (t *BoundTree) PredictBatch(rows [][]float64, out []float64) {
+	for i, row := range rows {
+		out[i] = t.Predict(row)
+	}
+}
+
+// Columns returns every row column the bound tree can read — split columns
+// plus all node-model columns — sorted ascending and de-duplicated.
+// Consumers use it to skip computing feature columns the tree can never look
+// at.
+func (t *BoundTree) Columns() []int {
+	seen := make(map[int]bool)
+	for _, c := range t.col {
+		if c >= 0 {
+			seen[int(c)] = true
+		}
+	}
+	for _, c := range t.cols {
+		seen[int(c)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// validate checks every structural invariant the Predict walk relies on, so
+// that a malformed layout is rejected at construction time instead of
+// panicking (or looping) at prediction time: consistent array lengths,
+// children in range and strictly after their parent (which bounds the
+// descent), a consistent parent array (which bounds the smoothing walk-up),
+// split columns and model columns inside the bound row width, finite
+// thresholds and model terms, and non-negative instance counts.
+func (t *BoundTree) validate() error {
+	nodes := len(t.col)
+	if nodes == 0 {
+		return fmt.Errorf("m5p: flattened tree has no nodes")
+	}
+	if len(t.threshold) != nodes || len(t.left) != nodes || len(t.right) != nodes ||
+		len(t.parent) != nodes || len(t.n) != nodes || len(t.intercept) != nodes {
+		return fmt.Errorf("m5p: flattened tree arrays disagree on node count %d", nodes)
+	}
+	if len(t.modelOff) != nodes+1 {
+		return fmt.Errorf("m5p: flattened tree has %d model offsets for %d nodes", len(t.modelOff), nodes)
+	}
+	if len(t.coeffs) != len(t.cols) {
+		return fmt.Errorf("m5p: flattened tree has %d coefficients for %d model columns", len(t.coeffs), len(t.cols))
+	}
+	if t.width <= 0 {
+		return fmt.Errorf("m5p: flattened tree bound to non-positive row width %d", t.width)
+	}
+	if !t.noSmoothing && !(t.k > 0) || math.IsInf(t.k, 0) {
+		return fmt.Errorf("m5p: flattened tree smoothing constant %v is not positive and finite", t.k)
+	}
+	if t.modelOff[0] != 0 || int(t.modelOff[nodes]) != len(t.coeffs) {
+		return fmt.Errorf("m5p: flattened tree model offsets do not cover the term arrays")
+	}
+	if t.parent[0] != -1 {
+		return fmt.Errorf("m5p: flattened tree root has parent %d", t.parent[0])
+	}
+	for i := 0; i < nodes; i++ {
+		if t.modelOff[i] > t.modelOff[i+1] {
+			return fmt.Errorf("m5p: flattened tree node %d has negative-length model", i)
+		}
+		if math.IsNaN(t.intercept[i]) || math.IsInf(t.intercept[i], 0) {
+			return fmt.Errorf("m5p: flattened tree node %d intercept is not finite: %v", i, t.intercept[i])
+		}
+		if math.IsNaN(t.n[i]) || math.IsInf(t.n[i], 0) || t.n[i] < 0 {
+			return fmt.Errorf("m5p: flattened tree node %d has invalid instance count %v", i, t.n[i])
+		}
+		if i > 0 {
+			p := t.parent[i]
+			if p < 0 || int(p) >= i {
+				return fmt.Errorf("m5p: flattened tree node %d has parent %d outside [0,%d)", i, p, i)
+			}
+			if t.left[p] != int32(i) && t.right[p] != int32(i) {
+				return fmt.Errorf("m5p: flattened tree node %d is not a child of its parent %d", i, p)
+			}
+		}
+		if t.col[i] < 0 {
+			// Leaf: no split, no children.
+			if t.col[i] != leafCol {
+				return fmt.Errorf("m5p: flattened tree node %d has invalid split column %d", i, t.col[i])
+			}
+			if t.left[i] != noChild || t.right[i] != noChild {
+				return fmt.Errorf("m5p: flattened tree leaf %d has children", i)
+			}
+			continue
+		}
+		if int(t.col[i]) >= t.width {
+			return fmt.Errorf("m5p: flattened tree node %d split column %d out of range [0,%d)", i, t.col[i], t.width)
+		}
+		if math.IsNaN(t.threshold[i]) || math.IsInf(t.threshold[i], 0) {
+			return fmt.Errorf("m5p: flattened tree node %d threshold is not finite: %v", i, t.threshold[i])
+		}
+		l, r := t.left[i], t.right[i]
+		// Children strictly after the parent is what guarantees the descent
+		// terminates: the node index strictly increases on every hop.
+		if int(l) <= i || int(l) >= nodes || int(r) <= i || int(r) >= nodes {
+			return fmt.Errorf("m5p: flattened tree node %d child indices (%d,%d) out of range (%d,%d)", i, l, r, i, nodes)
+		}
+		if l == r {
+			return fmt.Errorf("m5p: flattened tree node %d has the same node %d as both children", i, l)
+		}
+	}
+	for j, c := range t.cols {
+		if c < 0 || int(c) >= t.width {
+			return fmt.Errorf("m5p: flattened tree model column %d out of range [0,%d)", c, t.width)
+		}
+		if math.IsNaN(t.coeffs[j]) || math.IsInf(t.coeffs[j], 0) {
+			return fmt.Errorf("m5p: flattened tree model coefficient %d is not finite: %v", j, t.coeffs[j])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package m5p
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"agingpred/internal/dataset"
+)
+
+// FuzzFlattenTree fuzzes the flattened-tree layer below the encode/decode
+// format (FuzzDecodeModel covers the artifact bytes): arbitrary parallel-array
+// layouts — corrupt child/parent indices, NaN thresholds, out-of-range model
+// columns, truncated term arrays — are handed to validate, which must reject
+// every inconsistent layout with an error, never a panic or a hang. Layouts
+// that validate accepts are then evaluated: Predict must terminate (the
+// strictly-increasing child indices it just verified bound the descent) and
+// PredictBatch must agree with it bit for bit.
+//
+// The seed corpus is real flattened trees — smoothed, unsmoothed, single-leaf
+// — serialized by flatBytes, so the fuzzer starts from valid layouts and
+// mutates them into near-valid ones, the corruptions validate exists for.
+func FuzzFlattenTree(f *testing.F) {
+	for _, tree := range corpusTrees(f) {
+		f.Add(flatBytes(tree))
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bt := decodeFlat(data)
+		if bt == nil {
+			return
+		}
+		if err := bt.validate(); err != nil {
+			return // rejected is fine; only panics and hangs are bugs
+		}
+		rows := fuzzRows(bt.width)
+		out := make([]float64, len(rows))
+		bt.PredictBatch(rows, out)
+		for i, row := range rows {
+			if got := bt.Predict(row); math.Float64bits(got) != math.Float64bits(out[i]) {
+				t.Fatalf("row %d: batch %v != scalar %v", i, out[i], got)
+			}
+		}
+	})
+}
+
+// corpusTrees fits a few small real trees covering the layout variants.
+func corpusTrees(f *testing.F) []*BoundTree {
+	attrs := []string{"a", "b", "c"}
+	ds, err := dataset.New("fuzz-corpus", attrs, "y")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		a := float64(i%40) - 20
+		b := float64((i*7)%30) - 15
+		c := float64((i * 13) % 11)
+		y := 2*a - b
+		if a > 0 {
+			y += 5 * c
+		}
+		if err := ds.Append([]float64{a, b, c}, y); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var trees []*BoundTree
+	for _, opts := range []Options{
+		{MinInstances: 5},
+		{MinInstances: 5, NoSmoothing: true},
+		{MinInstances: 200}, // single leaf
+	} {
+		tree, err := Fit(ds, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		bound, err := tree.Bind(attrs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		trees = append(trees, bound)
+	}
+	return trees
+}
+
+// The corpus wire format: a small header, then the parallel arrays in field
+// order. decodeFlat reads it back leniently — arrays cut short by truncated
+// input stay short — so byte-level truncations become exactly the
+// inconsistent-length layouts validate must reject.
+func flatBytes(t *BoundTree) []byte {
+	var b bytes.Buffer
+	le := binary.LittleEndian
+	w := func(v any) { _ = binary.Write(&b, le, v) }
+	w(uint16(len(t.col)))
+	w(uint16(t.width))
+	var flags uint8
+	if t.noSmoothing {
+		flags = 1
+	}
+	w(flags)
+	w(t.k)
+	w(uint32(len(t.coeffs)))
+	w(t.col)
+	w(t.threshold)
+	w(t.left)
+	w(t.right)
+	w(t.parent)
+	w(t.n)
+	w(t.intercept)
+	w(t.modelOff)
+	w(t.coeffs)
+	w(t.cols)
+	return b.Bytes()
+}
+
+const (
+	fuzzMaxNodes = 1 << 10
+	fuzzMaxWidth = 1 << 8
+	fuzzMaxTerms = 1 << 12
+)
+
+// decodeFlat builds a candidate BoundTree from fuzz bytes, without judging
+// its consistency — that is validate's job. It returns nil only when the
+// header is unreadable or the sizes would allocate unreasonably.
+func decodeFlat(data []byte) *BoundTree {
+	r := bytes.NewReader(data)
+	le := binary.LittleEndian
+	var nodes, width uint16
+	var flags uint8
+	var k float64
+	var terms uint32
+	if binary.Read(r, le, &nodes) != nil ||
+		binary.Read(r, le, &width) != nil ||
+		binary.Read(r, le, &flags) != nil ||
+		binary.Read(r, le, &k) != nil ||
+		binary.Read(r, le, &terms) != nil {
+		return nil
+	}
+	if nodes == 0 || nodes > fuzzMaxNodes || width > fuzzMaxWidth || terms > fuzzMaxTerms {
+		return nil
+	}
+	n := int(nodes)
+	bt := &BoundTree{
+		noSmoothing: flags&1 != 0,
+		k:           k,
+		width:       int(width),
+		col:         readI32(r, n),
+		threshold:   readF64(r, n),
+		left:        readI32(r, n),
+		right:       readI32(r, n),
+		parent:      readI32(r, n),
+		n:           readF64(r, n),
+		intercept:   readF64(r, n),
+		modelOff:    readI32(r, n+1),
+		coeffs:      readF64(r, int(terms)),
+		cols:        readI32(r, int(terms)),
+	}
+	return bt
+}
+
+// readI32/readF64 read up to n values, returning a short slice when the
+// input runs out (a truncated layout, for validate to reject).
+func readI32(r *bytes.Reader, n int) []int32 {
+	out := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		var v int32
+		if binary.Read(r, binary.LittleEndian, &v) != nil {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func readF64(r *bytes.Reader, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		var v float64
+		if binary.Read(r, binary.LittleEndian, &v) != nil {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// fuzzRows deterministically covers the input space a valid tree must cope
+// with: ordinary magnitudes, huge magnitudes, zeros, and NaN/Inf entries
+// (comparisons against NaN simply fall to the right child — no panic).
+func fuzzRows(width int) [][]float64 {
+	if width <= 0 {
+		return nil
+	}
+	specials := []float64{0, 1, -1, 1e300, -1e300, math.NaN(), math.Inf(1), math.Inf(-1)}
+	rows := make([][]float64, 0, 8+len(specials))
+	for i := 0; i < 8; i++ {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = float64((i*37+j*11)%200 - 100)
+		}
+		rows = append(rows, row)
+	}
+	for _, s := range specials {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = s
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

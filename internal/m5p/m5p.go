@@ -528,89 +528,69 @@ func (t *Tree) predictNode(n *node, attrs []string, row []float64, colOf []int) 
 	return (cn*childPred + k*nodePred) / (cn + k), nil
 }
 
-// BoundTree is a Tree bound once to a fixed row schema: split columns and
-// every node's linear model are pre-resolved to row indices, so Predict
-// performs no name lookups and no per-call allocations — the requirement of
-// the per-checkpoint Observe hot path. A BoundTree is immutable and safe for
-// concurrent use; every Session of a core.Model evaluates the model's one
-// shared BoundTree.
-type BoundTree struct {
-	root        *boundNode
-	noSmoothing bool
-	k           float64
-}
-
-// boundNode mirrors node with the split attribute and the linear model
-// resolved against the bound schema.
-type boundNode struct {
-	col       int
-	threshold float64
-	left      *boundNode
-	right     *boundNode
-
-	leaf  bool
-	model *linreg.BoundModel
-	n     float64 // training instances reaching the node, for smoothing
-}
-
-// Bind resolves the tree against the given row schema once. The schema may
+// Bind resolves the tree against the given row schema once and compiles it
+// into the flattened array layout of BoundTree (see flat.go). The schema may
 // be wider or reordered as long as every training attribute is present.
 func (t *Tree) Bind(attrs []string) (*BoundTree, error) {
 	colOf, err := t.bindSchema(attrs)
 	if err != nil {
 		return nil, err
 	}
-	root, err := bindNode(t.root, attrs, colOf)
-	if err != nil {
+	b := &BoundTree{
+		noSmoothing: t.opts.NoSmoothing,
+		k:           t.opts.SmoothingK,
+		width:       len(attrs),
+	}
+	if _, err := b.flatten(t.root, attrs, colOf, -1); err != nil {
 		return nil, err
 	}
-	return &BoundTree{root: root, noSmoothing: t.opts.NoSmoothing, k: t.opts.SmoothingK}, nil
-}
-
-func bindNode(n *node, attrs []string, colOf []int) (*boundNode, error) {
-	if n == nil {
-		return nil, nil
-	}
-	bm, err := n.model.Bind(attrs)
-	if err != nil {
-		return nil, err
-	}
-	b := &boundNode{leaf: n.leaf, model: bm, n: float64(n.n)}
-	if !n.leaf {
-		b.col = colOf[n.attr]
-		b.threshold = n.threshold
-		if b.left, err = bindNode(n.left, attrs, colOf); err != nil {
-			return nil, err
-		}
-		if b.right, err = bindNode(n.right, attrs, colOf); err != nil {
-			return nil, err
-		}
+	b.modelOff = append(b.modelOff, int32(len(b.coeffs)))
+	// Bind only ever emits well-formed layouts; validating here guarantees
+	// that invariant holds for every tree the hot path will walk, at a cost
+	// paid once per binding, never per prediction.
+	if err := b.validate(); err != nil {
+		return nil, fmt.Errorf("m5p: flattened tree failed validation: %w", err)
 	}
 	return b, nil
 }
 
-// Predict evaluates the bound tree on a row laid out in the bound schema.
-// The arithmetic — leaf evaluation and the smoothing filter back up the
-// ancestor chain — matches Tree.Predict operation for operation, so the two
-// paths produce bit-identical results.
-func (t *BoundTree) Predict(row []float64) float64 {
-	return t.predict(t.root, row)
-}
-
-func (t *BoundTree) predict(n *boundNode, row []float64) float64 {
+// flatten appends n's subtree to the bound tree in preorder (children always
+// at higher indices than their parent) and returns n's node index.
+func (b *BoundTree) flatten(n *node, attrs []string, colOf []int, parent int32) (int32, error) {
+	bm, err := n.model.Bind(attrs)
+	if err != nil {
+		return 0, err
+	}
+	i := int32(len(b.col))
+	b.col = append(b.col, leafCol)
+	b.threshold = append(b.threshold, 0)
+	b.left = append(b.left, noChild)
+	b.right = append(b.right, noChild)
+	b.parent = append(b.parent, parent)
+	b.n = append(b.n, float64(n.n))
+	intercept, coeffs, cols := bm.Terms()
+	b.intercept = append(b.intercept, intercept)
+	b.modelOff = append(b.modelOff, int32(len(b.coeffs)))
+	for j := range coeffs {
+		b.coeffs = append(b.coeffs, coeffs[j])
+		b.cols = append(b.cols, int32(cols[j]))
+	}
 	if n.leaf {
-		return n.model.Predict(row)
+		return i, nil
 	}
-	child := n.right
-	if row[n.col] <= n.threshold {
-		child = n.left
+	b.col[i] = int32(colOf[n.attr])
+	b.threshold[i] = n.threshold
+	l, err := b.flatten(n.left, attrs, colOf, i)
+	if err != nil {
+		return 0, err
 	}
-	childPred := t.predict(child, row)
-	if t.noSmoothing {
-		return childPred
+	r, err := b.flatten(n.right, attrs, colOf, i)
+	if err != nil {
+		return 0, err
 	}
-	nodePred := n.model.Predict(row)
-	return (child.n*childPred + t.k*nodePred) / (child.n + t.k)
+	b.left[i] = l
+	b.right[i] = r
+	return i, nil
 }
 
 // PredictDataset returns predictions for every instance of ds.

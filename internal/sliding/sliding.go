@@ -56,7 +56,11 @@ func (w *Window) Push(v float64) {
 	}
 	w.buf[w.next] = v
 	w.sum += v
-	w.next = (w.next + 1) % len(w.buf)
+	// Branch instead of % — the capacity is not a power of two, so the
+	// modulo would be a real integer division on the hottest path.
+	if w.next++; w.next == len(w.buf) {
+		w.next = 0
+	}
 	w.total++
 
 	// Floating-point error accumulates in the incremental sum over very long
@@ -162,7 +166,10 @@ func NewSpeedTracker(windowLen int) *SpeedTracker {
 // an observation at the same instant as the previous one is ignored (the
 // speed would be undefined).
 func (t *SpeedTracker) Observe(timeSec, level float64) error {
-	if math.IsNaN(timeSec) || math.IsNaN(level) || math.IsInf(timeSec, 0) || math.IsInf(level, 0) {
+	// x−x is 0 for every finite x and NaN for NaN/±Inf, so this single
+	// comparison screens both inputs; the slow path re-derives which one
+	// offended for the message.
+	if timeSec-timeSec != 0 || level-level != 0 {
 		return fmt.Errorf("sliding: non-finite observation (t=%v, level=%v)", timeSec, level)
 	}
 	if !t.havePrev {
