@@ -9,6 +9,7 @@ import (
 	"agingpred/internal/core"
 	"agingpred/internal/fleet"
 	"agingpred/internal/monitor"
+	"agingpred/internal/obs"
 )
 
 // runBenchJSON is the -bench-json mode: it measures the fleet serving stack —
@@ -130,6 +131,39 @@ func runBenchJSON(path string, seed uint64, stamp string) error {
 		})
 		fmt.Printf("bench-json: fleet/shards-%d %.0f instance-checkpoints/sec\n", shards, icps)
 	}
+
+	// Instrumentation overhead A/B: the same end-to-end run with the global
+	// metrics gate on (the serving default) vs off, at a fixed shard count so
+	// only the gate differs. The pair is what EXPERIMENTS.md quotes as the
+	// measured observability overhead.
+	for _, on := range []bool{true, false} {
+		obs.SetEnabled(on)
+		label := "fleet/obs-on"
+		if !on {
+			label = "fleet/obs-off"
+		}
+		start := time.Now()
+		rep, err := fleet.Run(fleet.Config{
+			Instances: instances,
+			Shards:    4,
+			Duration:  duration,
+			Seed:      seed,
+			Model:     model,
+		})
+		if err != nil {
+			obs.SetEnabled(true)
+			return fmt.Errorf("bench-json: fleet run (%s): %w", label, err)
+		}
+		elapsed := time.Since(start)
+		icps := float64(rep.Checkpoints) / elapsed.Seconds()
+		addRun(label, map[string]float64{
+			"icp_per_sec":       icps,
+			"ns_per_checkpoint": 1e9 / icps,
+			"checkpoints":       float64(rep.Checkpoints),
+		})
+		fmt.Printf("bench-json: %s %.0f instance-checkpoints/sec\n", label, icps)
+	}
+	obs.SetEnabled(true)
 
 	if err := benchjson.Merge(path, out); err != nil {
 		return err

@@ -38,16 +38,29 @@
 //
 //	agingfleet -instances 1000 -load model.bin -adaptive -drift-baseline 15m
 //
+// The run is observable while it happens: -listen serves the process-wide
+// metrics registry in Prometheus text format at /metrics, a JSON liveness
+// probe with the current model epoch at /healthz, and the standard runtime
+// profiles under /debug/pprof; -events journals the run's discrete lifecycle
+// events (crashes, rejuvenation alerts/dispatches/completions, drift trips,
+// retrains, epoch swaps) as JSONL:
+//
+//	agingfleet -instances 1000 -adaptive -listen :9090 -events run.jsonl
+//
 // The run is deterministic in -seed: the same seed produces a byte-identical
 // -json summary, and changing -shards changes nothing but the echoed
 // "shards" field — with or without -adaptive (the retrain schedule is
-// simulated time, not wall-clock). Human-readable output is the default;
-// -json emits the machine-readable report on stdout (progress goes to
-// stderr, so the JSON stays clean for pipelines).
+// simulated time, not wall-clock), and with or without scrapers attached
+// (metrics are observation-only). The -events journal is itself
+// deterministic: same seed, same bytes, whatever the shard count.
+// Human-readable output is the default; -json emits the machine-readable
+// report on stdout with a final metrics snapshot under "metrics" (progress
+// goes to stderr, so the JSON stays clean for pipelines).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -86,7 +99,9 @@ func run(args []string) error {
 		adaptive   = fs.Bool("adaptive", false, "adaptive serving: drift detection, background retraining on collected crashes, hot model-epoch swaps")
 		retrainLat = fs.Duration("retrain-latency", 0, "simulated time between a drift-triggered retrain and its epoch going live (0 = 10m; needs -adaptive)")
 		baseline   = fs.Duration("drift-baseline", 0, "pin the healthy prediction MAE the drift detector compares against (0 = auto-calibrate per epoch; set this when -load-ing an artifact that may already be stale, since auto-calibration would absorb its misfit; needs -adaptive)")
-		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON report on stdout")
+		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON report on stdout (with a final metrics snapshot under \"metrics\")")
+		listen     = fs.String("listen", "", "serve /metrics (Prometheus text format), /healthz and /debug/pprof on this address while the fleet runs (e.g. :9090)")
+		events     = fs.String("events", "", "write the run's lifecycle events (crashes, rejuvenations, drift trips, retrains, epoch swaps) as JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +170,23 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *listen != "" {
+		addr, stopSrv, err := startObsServer(*listen)
+		if err != nil {
+			return fmt.Errorf("-listen: %w", err)
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "serving /metrics, /healthz and /debug/pprof on http://%s\n", addr)
+	}
+	var jnl *agingpred.EventJournal
+	if *events != "" {
+		var err error
+		jnl, err = agingpred.CreateEventJournal(*events)
+		if err != nil {
+			return fmt.Errorf("-events: %w", err)
+		}
+	}
+
 	verb := "training the shared model and serving"
 	if model != nil {
 		verb = "serving"
@@ -175,15 +207,32 @@ func run(args []string) error {
 		Adaptive:           *adaptive,
 		Adapt:              adapt.Config{Detector: adapt.DetectorConfig{BaselineSec: baseline.Seconds()}},
 		RetrainLatency:     *retrainLat,
+		Journal:            jnl,
 		Ctx:                ctx,
 	})
+	if jnl != nil {
+		if cerr := jnl.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("writing -events journal: %w", cerr)
+		}
+	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// An interrupt mid-run is a clean operator-requested shutdown, not
+			// a failure; the CI smoke test relies on the zero exit status.
+			fmt.Fprintf(os.Stderr, "agingfleet: %v\n", err)
+			return nil
+		}
 		return err
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
 	if *jsonOut {
-		js, err := rep.JSON()
+		// The report stays the deterministic core; the wall-clock-bearing
+		// metrics snapshot rides alongside it under its own key.
+		js, err := json.MarshalIndent(struct {
+			*fleet.Report
+			Metrics map[string]float64 `json:"metrics"`
+		}{rep, agingpred.Metrics().Snapshot()}, "", "  ")
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,13 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"agingpred"
+
+	// The blank imports pull in every instrumented subsystem so their metric
+	// series are registered before the metrics docs gate reads the registry
+	// (fleet transitively registers core, adapt and rejuv).
+	_ "agingpred/internal/fleet"
 )
 
 // docFiles are the documents the gate covers.
@@ -120,6 +127,32 @@ func TestDocsGateArchitectureCoversPackages(t *testing.T) {
 		}
 		if !strings.Contains(arch, e.Name()) {
 			t.Errorf("ARCHITECTURE.md does not mention internal package %q", e.Name())
+		}
+	}
+}
+
+// TestDocsGateMetricsSeriesDocumented requires README.md to document every
+// metric series the instrumented subsystems register and every event type the
+// journal can carry: an undocumented series cannot silently appear on the
+// /metrics endpoint, and a renamed one cannot leave the docs stale.
+func TestDocsGateMetricsSeriesDocumented(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	readme := string(raw)
+	names := agingpred.Metrics().Names()
+	if len(names) < 10 {
+		t.Fatalf("only %d metric series registered; the instrumented packages did not load", len(names))
+	}
+	for _, name := range names {
+		if !strings.Contains(readme, name) {
+			t.Errorf("README.md does not document metric series %q", name)
+		}
+	}
+	for _, et := range agingpred.EventTypes() {
+		if !strings.Contains(readme, string(et)) {
+			t.Errorf("README.md does not document journal event type %q", et)
 		}
 	}
 }

@@ -1,0 +1,44 @@
+package adapt
+
+import "agingpred/internal/obs"
+
+// The adaptive-serving metric series. All of them are written under the
+// supervisor mutex (or from the retraining goroutine, for the wall-clock
+// duration histogram) and none is ever read back into a decision, so the
+// deterministic adaptation runs are unaffected by instrumentation.
+//
+// Wall-clock time flows only into the retrain-duration histogram — epochs,
+// trip counts and MAE gauges all carry simulation-derived values.
+var (
+	mDriftTrips = obs.Default.Counter("agingpred_drift_trips_total",
+		"Drift-detector trips (windowed MAE degraded past the tripping threshold).")
+	mDrifted = obs.Default.Gauge("agingpred_drifted",
+		"1 while the drift detector is tripped, 0 otherwise.")
+	mWindowMAE = obs.Default.Gauge("agingpred_drift_window_mae_seconds",
+		"Windowed mean absolute TTF prediction error the detector sees now.")
+	mBaselineMAE = obs.Default.Gauge("agingpred_drift_baseline_mae_seconds",
+		"Healthy-regime baseline MAE the detector compares the window against.")
+	mCurrentEpoch = obs.Default.Gauge("agingpred_current_epoch",
+		"Sequence number of the model epoch currently serving predictions.")
+	mRetrains = obs.Default.Counter("agingpred_retrains_total",
+		"Background retraining rounds that published a new model epoch.")
+	mRetrainFailures = obs.Default.Counter("agingpred_retrain_failures_total",
+		"Background retraining rounds that errored, leaving the old epoch serving.")
+	mBufferRuns = obs.Default.Gauge("agingpred_training_buffer_runs",
+		"Labeled run-to-crash executions currently held in the training buffer.")
+	mRetrainDuration = obs.Default.Histogram("agingpred_retrain_duration_seconds",
+		"Wall-clock duration of background retraining rounds.",
+		obs.ExpBuckets(0.001, 4, 10))
+)
+
+// syncDetectorMetrics publishes the detector's current view to the gauges.
+// Caller holds s.mu.
+func (s *Supervisor) syncDetectorMetrics() {
+	if s.det.Tripped() {
+		mDrifted.Set(1)
+	} else {
+		mDrifted.Set(0)
+	}
+	mWindowMAE.Set(s.det.WindowMAESec())
+	mBaselineMAE.Set(s.det.BaselineSec())
+}

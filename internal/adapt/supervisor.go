@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"agingpred/internal/core"
 	"agingpred/internal/monitor"
@@ -158,6 +159,7 @@ func NewSupervisor(cfg Config, initial *core.Model) (*Supervisor, error) {
 		s.cfg.WarmupCheckpoints = s.trainCfg.WindowLength
 	}
 	s.cur.Store(&Epoch{Seq: 1, Model: initial})
+	mCurrentEpoch.Set(1)
 	for _, run := range cfg.Seed {
 		s.addRunLocked(run)
 	}
@@ -191,6 +193,7 @@ func (s *Supervisor) addRunLocked(run *monitor.Series) {
 	}
 	s.buf = append(s.buf, run)
 	s.fresh++
+	mBufferRuns.Set(float64(len(s.buf)))
 }
 
 // resolveErrors feeds a batch of resolved absolute prediction errors
@@ -200,9 +203,14 @@ func (s *Supervisor) resolveErrors(absErrsSec []float64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tripped := s.det.Tripped()
+	tripsBefore := s.det.Trips()
 	for _, e := range absErrsSec {
 		tripped = s.det.Add(e)
 	}
+	if d := s.det.Trips() - tripsBefore; d > 0 {
+		mDriftTrips.Add(uint64(d))
+	}
+	s.syncDetectorMetrics()
 	return tripped
 }
 
@@ -232,7 +240,9 @@ func (s *Supervisor) StartRetrain() bool {
 	s.pending = job
 	s.fresh = 0
 	go func() {
+		start := time.Now()
 		job.model, job.err = core.Train(cfg, snapshot)
+		mRetrainDuration.Observe(time.Since(start).Seconds())
 		close(job.done)
 	}()
 	return true
@@ -277,12 +287,16 @@ func (s *Supervisor) publishLocked() bool {
 	if job.err != nil {
 		s.failures++
 		s.lastErr = fmt.Errorf("adapt: retraining on %d buffered runs: %w", job.runs, job.err)
+		mRetrainFailures.Inc()
 		return false
 	}
 	prev := s.cur.Load()
 	s.cur.Store(&Epoch{Seq: prev.Seq + 1, Model: job.model, TrainedRuns: job.runs, FreshRuns: job.fresh})
 	s.retrains++
 	s.det.Rebaseline() // the new epoch calibrates its own healthy baseline
+	mRetrains.Inc()
+	mCurrentEpoch.Set(float64(s.cur.Load().Seq))
+	s.syncDetectorMetrics()
 	return true
 }
 

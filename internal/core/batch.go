@@ -79,6 +79,7 @@ func (b *Batch) Stage(s *Session, cp *monitor.Checkpoint) error {
 // on each staged session.
 func (b *Batch) Predict() ([]Prediction, error) {
 	n := b.rows.Len()
+	mPredictions.Add(uint64(n))
 	if cap(b.raw) < n {
 		b.raw = make([]float64, n)
 		b.preds = make([]Prediction, n)

@@ -1,0 +1,15 @@
+package core
+
+import "agingpred/internal/obs"
+
+// The serving layer's metric series, resolved once at package init so the
+// Observe/Predict hot paths pay one atomic gate load plus one atomic add per
+// update — no lookups, no allocations, and never a read back into control
+// flow (metrics are observation-only, which is what keeps the deterministic
+// simulations byte-identical with instrumentation compiled in).
+var (
+	mPredictions = obs.Default.Counter("agingpred_predictions_total",
+		"On-line TTF predictions served, across every Session.Observe and Batch.Predict.")
+	mSessions = obs.Default.Counter("agingpred_sessions_opened_total",
+		"Per-stream serving sessions created with Model.NewSession.")
+)

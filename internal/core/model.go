@@ -374,6 +374,7 @@ type Session struct {
 // exactly the full extractor's arithmetic, and the skipped ones are, by
 // construction, never read.
 func (m *Model) NewSession() *Session {
+	mSessions.Inc()
 	if m.bound != nil {
 		if stream, err := m.schema.StreamFor(m.boundCols); err == nil {
 			return &Session{m: m, stream: stream}
@@ -391,6 +392,7 @@ func (s *Session) Model() *Model { return s.m }
 // schema extractor and the regressor is evaluated through its schema-bound
 // form (BenchmarkObserve pins 0 allocs/op).
 func (s *Session) Observe(cp monitor.Checkpoint) (Prediction, error) {
+	mPredictions.Inc()
 	row := s.stream.Step(cp)
 	m := s.m
 	if m.bound != nil {

@@ -45,6 +45,7 @@ import (
 	"agingpred/internal/evalx"
 	"agingpred/internal/features"
 	"agingpred/internal/monitor"
+	"agingpred/internal/obs"
 	"agingpred/internal/rejuv"
 )
 
@@ -117,6 +118,13 @@ type Config struct {
 	// Model (trained on other data) with overrides makes the per-class
 	// comparison mix training sources.
 	ClassSchemas map[Class]*features.Schema
+	// Journal optionally receives the run's discrete lifecycle events
+	// (crashes, rejuvenation alerts/dispatches/completions, drift trips,
+	// retrains, epoch swaps) as JSONL records; nil means journaling off. All
+	// events are emitted from the driver goroutine in tick order behind the
+	// tick barrier, in instance-ID order within a tick, so the journal of a
+	// seeded run is byte-identical across repetitions and shard counts.
+	Journal *obs.Journal
 	// Ctx optionally cancels the run between ticks.
 	Ctx context.Context
 }
@@ -563,7 +571,40 @@ func Run(cfg Config) (*Report, error) {
 		return cfg.Ctx.Err()
 	}
 
+	// Journaling helpers. The journal is driven only from this goroutine, in
+	// tick order; epochOf labels instance-scoped events with the model epoch
+	// the instance is serving (always 1 in a frozen fleet). pollDrift turns
+	// the supervisor's tripped/cleared state changes into journal events —
+	// polling instead of hooking keeps the detector a pure state machine, and
+	// is deterministic because only driver-called paths mutate it.
+	jnl := cfg.Journal
+	epochOf := func(i int) int {
+		if streams != nil {
+			return streams[i].Epoch()
+		}
+		return 1
+	}
+	prevDrifted := false
+	pollDrift := func(t float64) {
+		if sup == nil || jnl == nil {
+			return
+		}
+		d := sup.Drifted()
+		if d == prevDrifted {
+			return
+		}
+		prevDrifted = d
+		s := sup.Stats()
+		typ := obs.EventDriftClear
+		if d {
+			typ = obs.EventDriftTrip
+		}
+		jnl.Emit(obs.Event{Type: typ, TimeSec: t, Instance: -1, Epoch: s.Epoch,
+			Detail: fmt.Sprintf("window MAE %.3fs vs baseline %.3fs", s.WindowMAESec, s.BaselineMAESec)})
+	}
+
 	for tick := 1; tick <= ticks; tick++ {
+		tickStart := time.Now()
 		t := float64(tick) * dt
 		if err := cancelled(); err != nil {
 			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
@@ -586,6 +627,9 @@ func Run(cfg Config) (*Report, error) {
 				ctrl.Crash(i, t, cfg.CrashDowntime.Seconds())
 				rep.CrashesSuffered++
 				stats[in.spec.Class].crashes++
+				mClassCrashes[in.spec.Class].Inc()
+				jnl.Emit(obs.Event{Type: obs.EventInstanceCrash, TimeSec: t,
+					Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
 				if streams != nil {
 					// The crash resolves every pending prediction label of
 					// the stream and donates the observed run-to-crash
@@ -636,14 +680,22 @@ func Run(cfg Config) (*Report, error) {
 			if !policies[i].Decide(t, res.ttfSec) {
 				continue
 			}
+			jnl.Emit(obs.Event{Type: obs.EventRejuvAlert, TimeSec: t,
+				Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
 			if !ctrl.Alert(i, t, cfg.RejuvenationDowntime.Seconds()) {
 				// The instance is healthy (we just stepped it), so a denial
 				// is the budget: the policy stays primed and will re-raise.
 				rep.BudgetDenied++
+				mBudgetDenied.Inc()
+				jnl.Emit(obs.Event{Type: obs.EventRejuvDenied, TimeSec: t,
+					Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
 				continue
 			}
 			rep.Rejuvenations++
 			st.rejuvenations++
+			mClassRejuvs[in.spec.Class].Inc()
+			jnl.Emit(obs.Event{Type: obs.EventRejuvDispatch, TimeSec: t,
+				Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
 			if in.refTTFSec < horizon {
 				rep.CrashesAvoided++
 			} else {
@@ -657,14 +709,31 @@ func Run(cfg Config) (*Report, error) {
 		// fresh JVM, a fresh prediction window and a reset policy — and, in
 		// an adaptive fleet, on the current model epoch: the reset boundary
 		// is where a hot-swapped model reaches live serving.
-		for _, id := range ctrl.Advance(t) {
+		for _, comp := range ctrl.AdvanceDetailed(t) {
+			id := comp.ID
 			instances[id].reset()
+			prevEpoch := 0
 			if streams != nil {
+				prevEpoch = streams[id].Epoch()
 				streams[id].Reset()
 			} else {
 				sessions[id].Reset()
 			}
 			policies[id].Reset()
+			typ := obs.EventRejuvComplete
+			if comp.Was == rejuv.StateCrashed {
+				typ = obs.EventCrashRecovered
+			}
+			class := instances[id].spec.Class.String()
+			jnl.Emit(obs.Event{Type: typ, TimeSec: t,
+				Instance: id, Class: class, Epoch: epochOf(id)})
+			if streams != nil && streams[id].Epoch() != prevEpoch {
+				// The reset boundary is where a hot-swapped model reaches live
+				// serving; journal which instance moved to which epoch.
+				jnl.Emit(obs.Event{Type: obs.EventEpochSwap, TimeSec: t,
+					Instance: id, Class: class, Epoch: streams[id].Epoch(),
+					Detail: fmt.Sprintf("from epoch %d", prevEpoch)})
+			}
 		}
 
 		// Adaptive supervision, after the control pass so a tick's crashes
@@ -673,8 +742,15 @@ func Run(cfg Config) (*Report, error) {
 		// run, so the whole adaptive trajectory is deterministic; only the
 		// background training work overlaps with the following ticks.
 		if sup != nil {
+			pollDrift(t)
 			if publishAt < 0 && sup.StartRetrain() {
 				publishAt = tick + retrainTicks
+				if jnl != nil {
+					s := sup.Stats()
+					jnl.Emit(obs.Event{Type: obs.EventRetrainStart, TimeSec: t,
+						Instance: -1, Epoch: s.Epoch,
+						Detail: fmt.Sprintf("%d buffered runs", s.BufferedRuns)})
+				}
 			}
 			if publishAt >= 0 && tick >= publishAt {
 				publishAt = -1
@@ -685,11 +761,27 @@ func Run(cfg Config) (*Report, error) {
 						trainedRuns:    cur.TrainedRuns,
 						freshRuns:      cur.FreshRuns,
 					})
+					jnl.Emit(obs.Event{Type: obs.EventRetrainPublish, TimeSec: t,
+						Instance: -1, Epoch: cur.Seq,
+						Detail: fmt.Sprintf("trained on %d runs (%d fresh)", cur.TrainedRuns, cur.FreshRuns)})
+					// The publish rebaselines the detector, so the matching
+					// drift_clear lands at this very tick, after the publish.
+					pollDrift(t)
 				} else if err := sup.Err(); err != nil {
 					return nil, fmt.Errorf("fleet: %w", err)
 				}
 			}
 		}
+
+		// Tick bookkeeping for the exposition layer: everything here reflects
+		// the simulated run (and is never read back), except the tick-latency
+		// histogram, which is the one place wall-clock time flows into.
+		mTicks.Inc()
+		mCheckpoints.Add(uint64(len(dispatched)))
+		mQueueDepth.Set(float64(len(dispatched)))
+		mSimTime.Set(t)
+		mInstancesDown.Set(float64(ctrl.Down()))
+		mTickLatency.Observe(time.Since(tickStart).Seconds())
 	}
 
 	rep.MaxConcurrentRejuvenations = ctrl.MaxInFlight()

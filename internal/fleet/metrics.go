@@ -1,0 +1,49 @@
+package fleet
+
+import "agingpred/internal/obs"
+
+// The fleet driver's metric series. Everything here is written from the
+// driver goroutine (or the shard workers, for the per-shard batch-size
+// histogram) and never read back into the simulation, so instrumentation
+// cannot perturb the deterministic runs. Counters accumulate across runs in
+// one process, like any long-lived Prometheus target; gauges track the most
+// recent tick. Wall-clock time flows only into the tick-latency histogram —
+// every other series carries simulated quantities.
+var (
+	mTicks = obs.Default.Counter("agingpred_fleet_ticks_total",
+		"Completed fleet driver ticks (one checkpoint interval each).")
+	mCheckpoints = obs.Default.Counter("agingpred_fleet_checkpoints_total",
+		"Instance checkpoints stepped, staged and predicted by the fleet.")
+	mBudgetDenied = obs.Default.Counter("agingpred_fleet_budget_denied_total",
+		"Rejuvenation alerts deferred by the fleet because the budget was exhausted.")
+	mSimTime = obs.Default.Gauge("agingpred_fleet_sim_time_seconds",
+		"Simulated time of the most recently completed fleet tick.")
+	mInstancesDown = obs.Default.Gauge("agingpred_fleet_instances_down",
+		"Instances down (rejuvenating or crash-recovering) at the end of the last tick.")
+	mQueueDepth = obs.Default.Gauge("agingpred_fleet_queue_depth",
+		"Checkpoints staged for the shard workers in the last tick (the tick's dispatch queue).")
+	mTickLatency = obs.Default.Histogram("agingpred_fleet_tick_latency_seconds",
+		"Wall-clock latency of one fleet tick: stepping, batch prediction and the control pass.",
+		obs.ExpBuckets(1e-5, 4, 12))
+	mBatchSize = obs.Default.Histogram("agingpred_fleet_shard_batch_size",
+		"Rows per shard-tick model batch handed to PredictBatch.",
+		obs.ExpBuckets(1, 4, 10))
+)
+
+// Per-class outcome counters, one labelled series per instance class,
+// resolved once at init and indexed by Class on the driver's crash and
+// rejuvenation paths.
+var (
+	mClassCrashes [numClasses]*obs.Counter
+	mClassRejuvs  [numClasses]*obs.Counter
+)
+
+func init() {
+	for c := Class(0); c < numClasses; c++ {
+		label := obs.Label{Key: "class", Value: c.String()}
+		mClassCrashes[c] = obs.Default.Counter("agingpred_fleet_crashes_total",
+			"Instance crashes suffered by the fleet, by instance class.", label)
+		mClassRejuvs[c] = obs.Default.Counter("agingpred_fleet_rejuvenations_total",
+			"Controlled rejuvenations started by the fleet, by instance class.", label)
+	}
+}

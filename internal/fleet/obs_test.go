@@ -1,0 +1,174 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"agingpred/internal/obs"
+)
+
+// journalRun drives one adaptive fleet run with a journal into a buffer and
+// returns the raw JSONL bytes.
+func journalRun(t *testing.T, shards int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	jnl := obs.NewJournal(&buf)
+	cfg := adaptiveTestConfig(t, shards)
+	cfg.Journal = jnl
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestJournalDeterministicAcrossShardCounts is the journal's analogue of the
+// report determinism guard: all events are emitted from the driver goroutine
+// behind the tick barrier, so the journal of a seeded run must be
+// byte-identical whether one shard or four evaluated the predictions.
+func TestJournalDeterministicAcrossShardCounts(t *testing.T) {
+	a := journalRun(t, 1)
+	b := journalRun(t, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("journal differs across shard counts:\n1 shard: %d bytes\n4 shards: %d bytes", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatalf("adaptive run journaled nothing")
+	}
+
+	// The adaptive scenario crosses every lifecycle the journal covers except
+	// budget denial (16 instances never exhaust the default budget): crashes
+	// feed the detector, the detector trips, a retrain publishes epoch 2, and
+	// recovering instances swap onto it.
+	want := map[obs.EventType]bool{
+		obs.EventInstanceCrash:  true,
+		obs.EventCrashRecovered: true,
+		obs.EventDriftTrip:      true,
+		obs.EventRetrainStart:   true,
+		obs.EventRetrainPublish: true,
+		obs.EventEpochSwap:      true,
+	}
+	var seq uint64
+	for _, line := range bytes.Split(bytes.TrimSpace(a), []byte("\n")) {
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		seq++
+		if e.Seq != seq {
+			t.Fatalf("journal seq gap: got %d, want %d", e.Seq, seq)
+		}
+		delete(want, e.Type)
+	}
+	if len(want) != 0 {
+		t.Fatalf("adaptive journal missing event types %v", want)
+	}
+}
+
+// TestJournalCoversRejuvenationEvents drives a frozen fleet long enough for
+// predictive rejuvenations and checks the alert → dispatch → complete chain
+// shows up, instance-scoped and classed.
+func TestJournalCoversRejuvenationEvents(t *testing.T) {
+	var buf bytes.Buffer
+	jnl := obs.NewJournal(&buf)
+	rep, err := Run(Config{
+		Instances: 16,
+		Shards:    2,
+		Duration:  2 * time.Hour,
+		Seed:      5,
+		Model:     testModel(t),
+		Journal:   jnl,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if rep.Rejuvenations == 0 {
+		t.Fatalf("frozen scenario produced no rejuvenations; journal test needs a longer run")
+	}
+	var alerts, dispatches, completes int
+	for _, line := range bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n")) {
+		var e obs.Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		switch e.Type {
+		case obs.EventRejuvAlert:
+			alerts++
+		case obs.EventRejuvDispatch:
+			dispatches++
+			if e.Instance < 0 || e.Class == "" || e.Epoch != 1 {
+				t.Fatalf("dispatch event not instance-scoped: %+v", e)
+			}
+		case obs.EventRejuvComplete:
+			completes++
+		}
+	}
+	if dispatches != rep.Rejuvenations {
+		t.Fatalf("journaled %d dispatches, report counts %d rejuvenations", dispatches, rep.Rejuvenations)
+	}
+	if alerts < dispatches {
+		t.Fatalf("journaled %d alerts but %d dispatches", alerts, dispatches)
+	}
+	if completes == 0 {
+		t.Fatalf("no rejuvenation ever completed in a 2h run")
+	}
+}
+
+// TestFleetMetricsMatchReport checks the metric deltas of one run against its
+// own report: the counters are cumulative across runs in a process, so the
+// test compares before/after values rather than absolutes.
+func TestFleetMetricsMatchReport(t *testing.T) {
+	val := func(key string) float64 {
+		v, _ := obs.Default.Value(key)
+		return v
+	}
+	ckptsBefore := val("agingpred_fleet_checkpoints_total")
+	deniedBefore := val("agingpred_fleet_budget_denied_total")
+	crashBefore := make(map[string]float64)
+	rejuvBefore := make(map[string]float64)
+	for c := Class(0); c < numClasses; c++ {
+		k := `{class="` + c.String() + `"}`
+		crashBefore[c.String()] = val("agingpred_fleet_crashes_total" + k)
+		rejuvBefore[c.String()] = val("agingpred_fleet_rejuvenations_total" + k)
+	}
+
+	rep, err := Run(Config{
+		Instances: 16,
+		Shards:    2,
+		Duration:  time.Hour,
+		Seed:      5,
+		Model:     testModel(t),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if got := val("agingpred_fleet_checkpoints_total") - ckptsBefore; got != float64(rep.Checkpoints) {
+		t.Errorf("checkpoint counter delta %v, report says %d", got, rep.Checkpoints)
+	}
+	if got := val("agingpred_fleet_budget_denied_total") - deniedBefore; got != float64(rep.BudgetDenied) {
+		t.Errorf("budget-denied counter delta %v, report says %d", got, rep.BudgetDenied)
+	}
+	var crashes, rejuvs float64
+	for c := Class(0); c < numClasses; c++ {
+		k := `{class="` + c.String() + `"}`
+		crashes += val("agingpred_fleet_crashes_total"+k) - crashBefore[c.String()]
+		rejuvs += val("agingpred_fleet_rejuvenations_total"+k) - rejuvBefore[c.String()]
+	}
+	if crashes != float64(rep.CrashesSuffered) {
+		t.Errorf("per-class crash counters sum to %v, report says %d", crashes, rep.CrashesSuffered)
+	}
+	if rejuvs != float64(rep.Rejuvenations) {
+		t.Errorf("per-class rejuvenation counters sum to %v, report says %d", rejuvs, rep.Rejuvenations)
+	}
+	if v := val("agingpred_fleet_sim_time_seconds"); v != rep.DurationSec {
+		t.Errorf("sim-time gauge %v after the run, want %v", v, rep.DurationSec)
+	}
+}

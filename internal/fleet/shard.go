@@ -136,6 +136,7 @@ func (p *pool) worker(s int, ch <-chan struct{}, capacity int) {
 			if len(mb.ids) == 0 {
 				continue
 			}
+			mBatchSize.Observe(float64(len(mb.ids)))
 			preds, err := mb.b.Predict()
 			if err != nil {
 				for _, id := range mb.ids {

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// EventType names one kind of discrete lifecycle event in the serving stack.
+type EventType string
+
+// The event vocabulary. Every type carries the simulated time it happened at;
+// instance-scoped events carry the instance ID and class, model-lifecycle
+// events carry the epoch sequence number.
+const (
+	// EventInstanceCrash: an instance failed on its own (the aging fault won).
+	EventInstanceCrash EventType = "instance_crash"
+	// EventRejuvAlert: an instance's predictive policy raised a rejuvenation
+	// alert (predicted TTF under the threshold for enough checkpoints).
+	EventRejuvAlert EventType = "rejuv_alert"
+	// EventRejuvDispatch: the fleet controller accepted the alert and started
+	// a controlled restart within the rejuvenation budget.
+	EventRejuvDispatch EventType = "rejuv_dispatch"
+	// EventRejuvDenied: the alert was deferred because the budget was
+	// exhausted; the policy stays primed and will re-raise.
+	EventRejuvDenied EventType = "rejuv_denied"
+	// EventRejuvComplete: a controlled restart finished and the instance is
+	// serving again.
+	EventRejuvComplete EventType = "rejuv_complete"
+	// EventCrashRecovered: a crashed instance finished recovering.
+	EventCrashRecovered EventType = "crash_recovered"
+	// EventDriftTrip: the drift detector decided the serving model has gone
+	// stale; EventDriftClear: the windowed error fell back under the
+	// hysteresis band.
+	EventDriftTrip  EventType = "drift_trip"
+	EventDriftClear EventType = "drift_clear"
+	// EventRetrainStart: a background retraining round began on a snapshot of
+	// the training buffer; EventRetrainPublish: its model went live as a new
+	// epoch.
+	EventRetrainStart   EventType = "retrain_start"
+	EventRetrainPublish EventType = "retrain_publish"
+	// EventEpochSwap: one instance's stream adopted a newer model epoch at its
+	// reset boundary.
+	EventEpochSwap EventType = "epoch_swap"
+)
+
+// EventTypes returns every event type the journal can carry, in a stable
+// order. The docs gate uses it to require the journal schema documentation to
+// cover the full vocabulary.
+func EventTypes() []EventType {
+	return []EventType{
+		EventInstanceCrash, EventRejuvAlert, EventRejuvDispatch, EventRejuvDenied,
+		EventRejuvComplete, EventCrashRecovered, EventDriftTrip, EventDriftClear,
+		EventRetrainStart, EventRetrainPublish, EventEpochSwap,
+	}
+}
+
+// Event is one journal record. A serialized event is a single JSON line:
+//
+//	{"seq":17,"event":"drift_trip","t_sec":6300,"instance":-1,"epoch":1,"detail":"..."}
+//
+// Seq is assigned by the journal at emission (1-based, gapless). Instance is
+// -1 for events that are not scoped to one instance (drift and retrain
+// events). Class and Epoch are omitted when empty/zero.
+type Event struct {
+	Seq      uint64    `json:"seq"`
+	Type     EventType `json:"event"`
+	TimeSec  float64   `json:"t_sec"`
+	Instance int       `json:"instance"`
+	Class    string    `json:"class,omitempty"`
+	Epoch    int       `json:"epoch,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// Journal is an append-only JSONL event log. Writes are buffered and
+// serialised by an internal mutex; the first write error sticks and turns
+// every later Emit into a no-op (check Err or the Close result). All methods
+// are safe on a nil *Journal, so instrumented code can emit unconditionally
+// and a nil journal means "journaling off".
+//
+// Ordering is the caller's contract: the fleet driver emits all events from
+// its single control goroutine in tick order (behind the tick barrier), so a
+// journal of a seeded run is deterministic — byte-identical across
+// repetitions and shard counts.
+type Journal struct {
+	mu   sync.Mutex
+	bw   *bufio.Writer
+	c    io.Closer
+	seq  uint64
+	err  error
+	line []byte // reused marshal buffer
+}
+
+// NewJournal starts a journal writing to w. Close flushes the buffer; it
+// closes w only if w is an io.Closer obtained through CreateJournal.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{bw: bufio.NewWriter(w)}
+}
+
+// CreateJournal creates (or truncates) the file at path and journals into it.
+func CreateJournal(path string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	j := NewJournal(f)
+	j.c = f
+	return j, nil
+}
+
+// Emit appends one event, assigning its sequence number. The passed event's
+// Seq field is ignored. No-op on a nil journal or after a write error.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	e.Seq = j.seq
+	line, err := json.Marshal(&e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.line = append(j.line[:0], line...)
+	j.line = append(j.line, '\n')
+	if _, err := j.bw.Write(j.line); err != nil {
+		j.err = err
+	}
+}
+
+// Len returns how many events have been emitted.
+func (j *Journal) Len() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Err returns the sticky write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes the journal (and closes the underlying file when the journal
+// was opened with CreateJournal), returning the first error encountered over
+// the journal's lifetime.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.bw.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	if j.c != nil {
+		cerr := j.c.Close()
+		j.c = nil
+		if j.err == nil {
+			j.err = cerr
+		}
+	}
+	return j.err
+}

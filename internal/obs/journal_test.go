@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJournalGolden pins the JSONL wire format: one compact JSON object per
+// line, gapless 1-based sequence numbers, omitted empty optional fields.
+func TestJournalGolden(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	j.Emit(Event{Type: EventInstanceCrash, TimeSec: 900, Instance: 3, Class: "mem-leak", Epoch: 1})
+	j.Emit(Event{Type: EventDriftTrip, TimeSec: 1800, Instance: -1, Epoch: 1, Detail: "window MAE 1200.0s vs baseline 120.0s"})
+	j.Emit(Event{Seq: 999, Type: EventRejuvComplete, TimeSec: 2700, Instance: 7, Class: "healthy"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":1,"event":"instance_crash","t_sec":900,"instance":3,"class":"mem-leak","epoch":1}
+{"seq":2,"event":"drift_trip","t_sec":1800,"instance":-1,"epoch":1,"detail":"window MAE 1200.0s vs baseline 120.0s"}
+{"seq":3,"event":"rejuv_complete","t_sec":2700,"instance":7,"class":"healthy"}
+`
+	if got := b.String(); got != want {
+		t.Errorf("journal format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if j.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", j.Len())
+	}
+}
+
+// TestJournalLinesParse round-trips every event type through the JSONL
+// format.
+func TestJournalLinesParse(t *testing.T) {
+	var b strings.Builder
+	j := NewJournal(&b)
+	for i, et := range EventTypes() {
+		j.Emit(Event{Type: et, TimeSec: float64(i) * 15, Instance: i, Epoch: 1})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != len(EventTypes()) {
+		t.Fatalf("%d lines for %d events", len(lines), len(EventTypes()))
+	}
+	for i, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i, err, line)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("line %d has seq %d", i, e.Seq)
+		}
+		if e.Type != EventTypes()[i] {
+			t.Errorf("line %d has type %q, want %q", i, e.Type, EventTypes()[i])
+		}
+	}
+}
+
+// TestJournalNilSafe: a nil journal is "journaling off" — every method is a
+// no-op, so instrumented code never branches on it.
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(Event{Type: EventInstanceCrash})
+	if j.Len() != 0 {
+		t.Errorf("nil journal Len() = %d", j.Len())
+	}
+	if err := j.Err(); err != nil {
+		t.Errorf("nil journal Err() = %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil journal Close() = %v", err)
+	}
+}
+
+// failWriter fails after the first n bytes.
+type failWriter struct{ left int }
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errSink
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errSink
+	}
+	return n, nil
+}
+
+// TestJournalStickyError: the first write error is remembered and surfaced by
+// Err and Close; later Emits are dropped silently instead of panicking
+// mid-run.
+func TestJournalStickyError(t *testing.T) {
+	j := NewJournal(&failWriter{left: 10})
+	// Overflow the 4 KiB bufio buffer to force real writes.
+	long := strings.Repeat("x", 4096)
+	j.Emit(Event{Type: EventInstanceCrash, Detail: long})
+	j.Emit(Event{Type: EventInstanceCrash, Detail: long})
+	j.Emit(Event{Type: EventInstanceCrash, Detail: long})
+	if err := j.Err(); !errors.Is(err, errSink) {
+		t.Fatalf("Err() = %v, want the sink failure", err)
+	}
+	if err := j.Close(); !errors.Is(err, errSink) {
+		t.Fatalf("Close() = %v, want the sink failure", err)
+	}
+}
+
+// TestCreateJournal exercises the file-backed constructor end to end.
+func TestCreateJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	j, err := CreateJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Emit(Event{Type: EventRetrainStart, TimeSec: 60, Instance: -1, Epoch: 1})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"event":"retrain_start"`) {
+		t.Fatalf("journal file content: %s", raw)
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Fatalf("journal file does not end in a newline")
+	}
+}

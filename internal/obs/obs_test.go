@@ -1,0 +1,364 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter value %d, want 42", got)
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge value %g, want 1", got)
+	}
+}
+
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "different help is fine")
+	if a != b {
+		t.Fatalf("same (name, labels) returned distinct counter handles")
+	}
+	la := r.Counter("same_total", "h", Label{"class", "x"})
+	lb := r.Counter("same_total", "h", Label{"class", "y"})
+	if la == lb || la == a {
+		t.Fatalf("distinct label sets must be distinct series")
+	}
+	h1 := r.Histogram("hist", "h", []float64{1, 2})
+	h2 := r.Histogram("hist", "h", []float64{5, 6, 7}) // existing series keeps its buckets
+	if h1 != h2 {
+		t.Fatalf("histogram re-registration returned a new handle")
+	}
+	if len(h1.bounds) != 2 {
+		t.Fatalf("histogram re-registration replaced the buckets: %v", h1.bounds)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mixed", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("mixed", "h")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("invalid metric name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("invalid label name did not panic")
+			}
+		}()
+		r.Counter("fine_total", "h", Label{"bad-key", "v"})
+	}()
+}
+
+// TestHistogramBucketBoundaries pins the `le` semantics: bounds are
+// inclusive upper limits, values above every bound (and NaN) land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "h", []float64{0.1, 1, 10})
+	for _, v := range []float64{
+		0.05,            // bucket 0
+		0.1,             // exactly on a bound: still bucket 0 (le = ≤)
+		0.1000001,       // bucket 1
+		1,               // bucket 1
+		10,              // bucket 2
+		10.5,            // +Inf
+		math.Inf(1),     // +Inf
+		math.NaN(),      // +Inf by convention
+		-5,              // negative: bucket 0
+		math.MaxFloat64, // +Inf
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{3, 2, 1, 4}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d count %d, want %d", i, got, want[i])
+		}
+	}
+	if h.Count() != 10 {
+		t.Errorf("total count %d, want 10", h.Count())
+	}
+	// The sum includes the NaN observation, so it is NaN — Prometheus
+	// exposes exactly what was observed.
+	if !math.IsNaN(h.Sum()) {
+		t.Errorf("sum %g, want NaN (a NaN was observed)", h.Sum())
+	}
+}
+
+func TestHistogramEmptyBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("nobuckets", "h", nil)
+	h.Observe(3)
+	h.Observe(4)
+	if h.Count() != 2 || h.Sum() != 7 {
+		t.Fatalf("count %d sum %g, want 2 and 7", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramNonAscendingBoundsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("non-ascending bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", "h", []float64{1, 1})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 2, 3)
+	if lin[0] != 0 || lin[1] != 2 || lin[2] != 4 {
+		t.Fatalf("LinearBuckets: %v", lin)
+	}
+	exp := ExpBuckets(1, 4, 3)
+	if exp[0] != 1 || exp[1] != 4 || exp[2] != 16 {
+		t.Fatalf("ExpBuckets: %v", exp)
+	}
+}
+
+// TestConcurrentUpdates drives every instrument from many goroutines at once
+// — the shape of the fleet's shard workers — and checks the totals. Run under
+// -race in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	g := r.Gauge("conc_gauge", "h")
+	h := r.Histogram("conc_hist", "h", []float64{10, 100})
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != workers*per {
+		t.Errorf("gauge %g, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("histogram count %d, want %d", got, workers*per)
+	}
+	var wantSum float64
+	for i := 0; i < per; i++ {
+		wantSum += float64(i % 200)
+	}
+	if got := h.Sum(); got != wantSum*workers {
+		t.Errorf("histogram sum %g, want %g", got, wantSum*workers)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte: HELP
+// and TYPE headers per name, sorted series, cumulative histogram buckets with
+// the +Inf catch-all, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_requests_total", "Requests served.", Label{"class", "web"}).Add(3)
+	r.Counter("app_requests_total", "Requests served.", Label{"class", "db"}).Add(2)
+	r.Gauge("app_temperature", "Current temperature.").Set(36.5)
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(99)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 99.55
+app_latency_seconds_count 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{class="db"} 2
+app_requests_total{class="web"} 3
+# HELP app_temperature Current temperature.
+# TYPE app_temperature gauge
+app_temperature 36.5
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusHistogramLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lab_hist", "h", []float64{1}, Label{"class", "x"})
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`lab_hist_bucket{class="x",le="1"} 1`,
+		`lab_hist_bucket{class="x",le="+Inf"} 1`,
+		`lab_hist_sum{class="x"} 0.5`,
+		`lab_hist_count{class="x"} 1`,
+	} {
+		if !strings.Contains(b.String(), want+"\n") {
+			t.Errorf("exposition lacks %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestSnapshotAndValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "h").Add(7)
+	r.Gauge("snap_gauge", "h", Label{"class", "a"}).Set(2.5)
+	h := r.Histogram("snap_hist", "h", []float64{1})
+	h.Observe(0.25)
+	snap := r.Snapshot()
+	want := map[string]float64{
+		"snap_total":            7,
+		`snap_gauge{class="a"}`: 2.5,
+		"snap_hist_sum":         0.25,
+		"snap_hist_count":       1,
+	}
+	for k, v := range want {
+		if snap[k] != v {
+			t.Errorf("snapshot[%q] = %g, want %g", k, snap[k], v)
+		}
+	}
+	if v, ok := r.Value("snap_total"); !ok || v != 7 {
+		t.Errorf("Value(snap_total) = %g, %v", v, ok)
+	}
+	if v, ok := r.Value(`snap_gauge{class="a"}`); !ok || v != 2.5 {
+		t.Errorf("Value(snap_gauge{class=a}) = %g, %v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Errorf("Value(missing) reported existence")
+	}
+	if _, ok := r.Value("snap_hist"); ok {
+		t.Errorf("histograms must not be addressable through Value")
+	}
+}
+
+// TestSetEnabled pins the global gate: disabled instruments drop updates
+// entirely but still read and expose.
+func TestSetEnabled(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gate_total", "h")
+	g := r.Gauge("gate_gauge", "h")
+	h := r.Histogram("gate_hist", "h", []float64{1})
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if Enabled() {
+		t.Fatalf("Enabled() true after SetEnabled(false)")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(9)
+	g.Add(9)
+	h.Observe(0.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled instruments recorded updates: %d %g %d", c.Value(), g.Value(), h.Count())
+	}
+	SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter did not record")
+	}
+}
+
+// TestHotPathZeroAlloc is the acceptance gate for "observability is free
+// where it matters": no hot-path update may allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	g := r.Gauge("alloc_gauge", "h")
+	h := r.Histogram("alloc_hist", "h", ExpBuckets(1e-6, 4, 10))
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.25) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.003) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "h", ExpBuckets(1e-6, 2, 20))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i, name := range []string{"a_total", "b_total", "c_total"} {
+		r.Counter(name, "h").Add(uint64(i))
+	}
+	r.Histogram("d_seconds", "h", ExpBuckets(1e-6, 2, 20)).Observe(0.01)
+	b.ReportAllocs()
+	var sink strings.Builder
+	for i := 0; i < b.N; i++ {
+		sink.Reset()
+		if err := r.WritePrometheus(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -3,6 +3,30 @@ package rejuv
 import (
 	"fmt"
 	"sort"
+
+	"agingpred/internal/obs"
+)
+
+// The controller's metric series. Counters aggregate across every Controller
+// in the process (one per fleet run); the in-flight gauge tracks the most
+// recent update, which in practice is the single live fleet's. Metrics are
+// observation-only — the controller never reads them back — so the
+// deterministic fleet runs are unaffected.
+var (
+	mAlerts = obs.Default.Counter("agingpred_rejuv_alerts_total",
+		"TTF alerts raised to the fleet rejuvenation controller.")
+	mDispatched = obs.Default.Counter("agingpred_rejuv_dispatched_total",
+		"Controlled rejuvenation restarts started within the budget.")
+	mDenied = obs.Default.Counter("agingpred_rejuv_denied_total",
+		"Alerts deferred because the concurrent-rejuvenation budget was exhausted.")
+	mCompleted = obs.Default.Counter("agingpred_rejuv_completed_total",
+		"Controlled rejuvenation restarts that finished their downtime.")
+	mCrashes = obs.Default.Counter("agingpred_rejuv_crashes_total",
+		"Instance crashes recorded by the controller (recoveries are not budgeted).")
+	mInFlight = obs.Default.Gauge("agingpred_rejuv_in_flight",
+		"Controlled rejuvenations currently in progress.")
+	mDown = obs.Default.Gauge("agingpred_rejuv_instances_down",
+		"Instances currently down for any reason (rejuvenating or crash-recovering).")
 )
 
 // InstanceState is the lifecycle state of one server instance as seen by the
@@ -106,10 +130,12 @@ func (c *Controller) State(id int) InstanceState {
 // is exhausted; a denied alert may simply be raised again on a later
 // checkpoint. On success the instance stays down for downtimeSec.
 func (c *Controller) Alert(id int, nowSec, downtimeSec float64) bool {
+	mAlerts.Inc()
 	if _, isDown := c.down[id]; isDown {
 		return false
 	}
 	if c.inFlight >= c.budget {
+		mDenied.Inc()
 		return false
 	}
 	if downtimeSec < 0 {
@@ -120,6 +146,9 @@ func (c *Controller) Alert(id int, nowSec, downtimeSec float64) bool {
 	if c.inFlight > c.maxInFlight {
 		c.maxInFlight = c.inFlight
 	}
+	mDispatched.Inc()
+	mInFlight.Set(float64(c.inFlight))
+	mDown.Set(float64(len(c.down)))
 	return true
 }
 
@@ -135,25 +164,51 @@ func (c *Controller) Crash(id int, nowSec, recoverySec float64) bool {
 		recoverySec = 0
 	}
 	c.down[id] = downEntry{state: StateCrashed, endSec: nowSec + recoverySec}
+	mCrashes.Inc()
+	mDown.Set(float64(len(c.down)))
 	return true
+}
+
+// Completion records one instance that finished its downtime in an Advance
+// pass, with the state it was down in (StateRejuvenating or StateCrashed).
+type Completion struct {
+	ID  int
+	Was InstanceState
 }
 
 // Advance completes every rejuvenation and crash recovery whose downtime has
 // elapsed by nowSec and returns the IDs of the instances that came back up,
 // in ascending order (so callers iterating the result stay deterministic).
 func (c *Controller) Advance(nowSec float64) []int {
-	var up []int
+	comps := c.AdvanceDetailed(nowSec)
+	up := make([]int, len(comps))
+	for i, comp := range comps {
+		up[i] = comp.ID
+	}
+	return up
+}
+
+// AdvanceDetailed is Advance with the cause attached: each completion says
+// whether the instance was rejuvenating or crash-recovering, so observers can
+// journal the two outcomes distinctly. IDs come back in ascending order.
+func (c *Controller) AdvanceDetailed(nowSec float64) []Completion {
+	var up []Completion
 	for id, e := range c.down {
 		if e.endSec <= nowSec {
-			up = append(up, id)
+			up = append(up, Completion{ID: id, Was: e.state})
 		}
 	}
-	sort.Ints(up)
-	for _, id := range up {
-		if c.down[id].state == StateRejuvenating {
+	sort.Slice(up, func(i, j int) bool { return up[i].ID < up[j].ID })
+	for _, comp := range up {
+		if comp.Was == StateRejuvenating {
 			c.inFlight--
+			mCompleted.Inc()
 		}
-		delete(c.down, id)
+		delete(c.down, comp.ID)
+	}
+	if len(up) > 0 {
+		mInFlight.Set(float64(c.inFlight))
+		mDown.Set(float64(len(c.down)))
 	}
 	return up
 }

@@ -1,0 +1,70 @@
+package agingpred
+
+// This file exports the observability surface backed by internal/obs: the
+// process-wide metrics registry the instrumented subsystems (serving core,
+// fleet, adaptive supervisor, rejuvenation controller) register into, its
+// Prometheus text-format exposition, and the structured JSONL event journal.
+// Like the rest of the root package these are aliases, not wrappers — an
+// *agingpred.EventJournal IS an *obs.Journal.
+
+import (
+	"io"
+
+	"agingpred/internal/obs"
+)
+
+// The observability types.
+type (
+	// MetricsRegistry is a named collection of metric series. Registration is
+	// idempotent — the same (name, labels) pair always yields the same handle
+	// — and the returned instruments update lock- and allocation-free.
+	MetricsRegistry = obs.Registry
+	// MetricCounter is a monotonically increasing counter series.
+	MetricCounter = obs.Counter
+	// MetricGauge is a float series that can go up and down.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket histogram series (Prometheus `le`
+	// upper-bound semantics, implicit +Inf overflow bucket).
+	MetricHistogram = obs.Histogram
+	// MetricLabel is one constant key/value label of a metric series.
+	MetricLabel = obs.Label
+	// EventJournal is an append-only JSONL log of the serving stack's discrete
+	// lifecycle events. All methods are safe on a nil journal (= journaling
+	// off).
+	EventJournal = obs.Journal
+	// Event is one journal record; EventType names its kind (drift_trip,
+	// retrain_publish, epoch_swap, rejuv_dispatch, instance_crash, ...).
+	Event     = obs.Event
+	EventType = obs.EventType
+)
+
+// Metrics returns the process-wide metrics registry: every series the
+// library's subsystems register (prediction counts, drift state, retrain
+// durations, fleet tick latencies, rejuvenation outcomes) lives here, and
+// `agingfleet -listen` serves it at /metrics. Callers may register their own
+// series into it alongside the built-in ones.
+func Metrics() *MetricsRegistry { return obs.Default }
+
+// WriteMetrics renders every series of the process-wide registry in the
+// Prometheus text exposition format (version 0.0.4).
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// SetMetricsEnabled turns the global instrumentation gate on (the default) or
+// off. Exposition and registration always work; only updates are gated — the
+// gate exists so the instrumentation overhead itself can be measured.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// MetricsEnabled reports whether instrumentation updates are being recorded.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// NewEventJournal starts an event journal writing JSONL records to w; pass it
+// to the fleet engine (or emit into it directly) to capture the run's
+// lifecycle events. Close flushes it.
+func NewEventJournal(w io.Writer) *EventJournal { return obs.NewJournal(w) }
+
+// CreateEventJournal creates (or truncates) the file at path and journals
+// into it; Close flushes and closes the file.
+func CreateEventJournal(path string) (*EventJournal, error) { return obs.CreateJournal(path) }
+
+// EventTypes returns the journal's full event vocabulary, in a stable order.
+func EventTypes() []EventType { return obs.EventTypes() }
