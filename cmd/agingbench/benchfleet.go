@@ -128,6 +128,7 @@ func runBenchJSON(path string, seed uint64, stamp string) error {
 			"icp_per_sec":       icps,
 			"ns_per_checkpoint": 1e9 / icps,
 			"checkpoints":       float64(rep.Checkpoints),
+			"shards":            float64(shards),
 		})
 		fmt.Printf("bench-json: fleet/shards-%d %.0f instance-checkpoints/sec\n", shards, icps)
 	}
@@ -160,6 +161,7 @@ func runBenchJSON(path string, seed uint64, stamp string) error {
 			"icp_per_sec":       icps,
 			"ns_per_checkpoint": 1e9 / icps,
 			"checkpoints":       float64(rep.Checkpoints),
+			"shards":            4,
 		})
 		fmt.Printf("bench-json: %s %.0f instance-checkpoints/sec\n", label, icps)
 	}

@@ -51,6 +51,7 @@ import (
 	"agingpred/internal/evalx"
 	"agingpred/internal/experiments"
 	"agingpred/internal/features"
+	"agingpred/internal/prof"
 )
 
 func main() {
@@ -76,10 +77,17 @@ func run(args []string) error {
 		list       = fs.Bool("list", false, "list the registered scenarios and exit")
 		benchJSON  = fs.String("bench-json", "", "measure the fleet serving stack (end-to-end icp/sec per shard count, scalar vs batch ns/checkpoint) and append the datapoints to this trajectory file (e.g. BENCH_fleet.json), then exit")
 		benchStamp = fs.String("bench-stamp", "", "stamp recorded with -bench-json datapoints (default: today's date)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *benchJSON != "" {
 		stamp := *benchStamp
 		if stamp == "" {

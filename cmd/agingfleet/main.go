@@ -74,6 +74,7 @@ import (
 	"agingpred/internal/adapt"
 	"agingpred/internal/features"
 	"agingpred/internal/fleet"
+	"agingpred/internal/prof"
 )
 
 func main() {
@@ -102,10 +103,17 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "emit the machine-readable JSON report on stdout (with a final metrics snapshot under \"metrics\")")
 		listen     = fs.String("listen", "", "serve /metrics (Prometheus text format), /healthz and /debug/pprof on this address while the fleet runs (e.g. :9090)")
 		events     = fs.String("events", "", "write the run's lifecycle events (crashes, rejuvenations, drift trips, retrains, epoch swaps) as JSONL to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memProfile = fs.String("memprofile", "", "write an end-of-run heap profile to this file (inspect with go tool pprof)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	// Resolve schema flags before any training starts; unknown names fail
 	// fast with the list of valid ones.

@@ -21,15 +21,20 @@ type Env struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler's worker cap at measurement time — on a
+	// throttled or containerised host it can be lower than NumCPU, and fleet
+	// shard scaling numbers are meaningless without it.
+	GoMaxProcs int `json:"gomaxprocs"`
 }
 
 // CurrentEnv captures the running process's environment.
 func CurrentEnv() Env {
 	return Env{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -48,6 +48,17 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCurrentEnvPopulated(t *testing.T) {
+	env := CurrentEnv()
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" {
+		t.Fatalf("CurrentEnv left identification fields empty: %+v", env)
+	}
+	if env.NumCPU <= 0 || env.GoMaxProcs <= 0 {
+		t.Fatalf("CurrentEnv should record positive CPU counts, got num_cpu=%d gomaxprocs=%d",
+			env.NumCPU, env.GoMaxProcs)
+	}
+}
+
 func TestMergeAppendsRuns(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_test.json")
 	if err := Merge(path, sample()); err != nil { // creates

@@ -40,6 +40,9 @@ type Model struct {
 	// regressor can read. Sessions project their feature extraction onto
 	// this set.
 	boundCols []int
+	// infiniteSec caches cfg.InfiniteTTF.Seconds(): clamp runs once per
+	// prediction and the Duration division is measurable at fleet rates.
+	infiniteSec float64
 	// fallbackMu serialises the name-resolving fallback: the regressors'
 	// Predict caches attribute resolutions lazily, so without the lock
 	// concurrent sessions of an unbound model would race on that shared
@@ -141,6 +144,7 @@ func fitEffective(cfg Config, ds *dataset.Dataset) (*Model, error) {
 func (m *Model) bind() {
 	m.bound = nil
 	m.boundCols = nil
+	m.infiniteSec = m.cfg.InfiniteTTF.Seconds()
 	switch r := m.reg.(type) {
 	case *m5p.Tree:
 		if bt, err := r.Bind(m.attrs); err == nil {
@@ -180,7 +184,7 @@ func (m *Model) Report() TrainReport { return m.report }
 // clamp post-processes a raw regressor output: predictions are clamped to
 // [0, InfiniteTTF] and stamped with the checkpoint time they were issued at.
 func (m *Model) clamp(timeSec, raw float64) Prediction {
-	infinite := m.cfg.InfiniteTTF.Seconds()
+	infinite := m.infiniteSec
 	ttf := raw
 	if ttf < 0 {
 		ttf = 0

@@ -43,34 +43,37 @@ func (b *RowBatch) Len() int { return len(b.buf) / b.width }
 // Reset empties the batch, keeping the backing storage.
 func (b *RowBatch) Reset() {
 	b.buf = b.buf[:0]
+	b.rows = b.rows[:0]
 }
 
-// Next appends one zeroed row and returns it for the caller to fill. The
-// returned slice is valid for writing until the next call to Next or Reset
-// (growing the backing array may move it); use Rows to read the batch back
-// after staging is complete.
+// Next appends one zeroed row and returns it for the caller to fill. The row
+// views are maintained incrementally (growing the backing array re-points
+// them), so Rows is a plain accessor instead of an O(rows) rebuild every
+// tick; use Rows to read the batch back after staging is complete.
 func (b *RowBatch) Next() []float64 {
 	n := len(b.buf)
 	if cap(b.buf)-n < b.width {
 		grown := make([]float64, n, 2*n+b.width)
 		copy(grown, b.buf)
 		b.buf = grown
+		// The backing array moved: re-point the staged row views at it.
+		for i := range b.rows {
+			off := i * b.width
+			b.rows[i] = grown[off : off+b.width : off+b.width]
+		}
 	}
 	b.buf = b.buf[: n+b.width : cap(b.buf)]
-	row := b.buf[n : n+b.width]
+	row := b.buf[n : n+b.width : n+b.width]
 	for i := range row {
 		row[i] = 0
 	}
+	b.rows = append(b.rows, row)
 	return row
 }
 
 // Rows returns one view per staged row into the contiguous backing array.
-// The views are valid until the next call to Next or Reset and share the
-// batch's storage.
+// The returned slice and its views are valid until the next call to Next or
+// Reset and share the batch's storage.
 func (b *RowBatch) Rows() [][]float64 {
-	b.rows = b.rows[:0]
-	for n := 0; n < len(b.buf); n += b.width {
-		b.rows = append(b.rows, b.buf[n:n+b.width:n+b.width])
-	}
 	return b.rows
 }

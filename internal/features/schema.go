@@ -2,6 +2,7 @@ package features
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -115,8 +116,11 @@ type column struct {
 	// res indexes Schema.resources for the speed-derived ops, and
 	// Schema.smoothed for opSmoothedLevel. Unused (-1) for opRaw.
 	res int
-	// level is the checkpoint accessor for opRaw columns.
+	// level is the checkpoint accessor for opRaw columns; idx is its
+	// compiled checkpoint field index (-1 = not a plain field read, keep the
+	// indirect call), fingerprinted once at schema build time.
 	level LevelFunc
+	idx   int32
 	// owner is the Key of the resource this column belongs to ("" = none);
 	// WithoutResources drops columns by owner.
 	owner string
@@ -145,6 +149,12 @@ type Schema struct {
 	smoothed  []smoothedSpec
 	cols      []column
 	attrs     []string
+	// resIdx/smoothIdx are the compiled checkpoint field indices of the
+	// resource and smoothed-level accessors (-1 = not a plain field read),
+	// fingerprinted once at build time and shared read-only by every
+	// extractor of the schema.
+	resIdx    []int32
+	smoothIdx []int32
 }
 
 // Name returns the schema's registry name.
@@ -228,6 +238,7 @@ func (s *Schema) WithoutResources(name string, keys ...string) (*Schema, error) 
 		}
 		resMap[i] = len(out.resources)
 		out.resources = append(out.resources, r)
+		out.resIdx = append(out.resIdx, s.resIdx[i])
 	}
 	smoothMap := make([]int, len(s.smoothed))
 	for i, sp := range s.smoothed {
@@ -237,6 +248,7 @@ func (s *Schema) WithoutResources(name string, keys ...string) (*Schema, error) 
 		}
 		smoothMap[i] = len(out.smoothed)
 		out.smoothed = append(out.smoothed, sp)
+		out.smoothIdx = append(out.smoothIdx, s.smoothIdx[i])
 	}
 	for _, c := range s.cols {
 		if drop[c.owner] {
@@ -353,12 +365,24 @@ type RowExtractor struct {
 	cp    monitor.Checkpoint
 	level []float64 // per-resource level of the current checkpoint
 	swa   []float64 // per-resource SWA speed after observing it
-	row   []float64 // reusable output buffer
+	// inv and los hold the per-resource Inverse(swa) and SafeDiv(level, swa)
+	// shared by the derived families that read them (the plain column and its
+	// per-throughput variant), computed at most once per resource per
+	// checkpoint instead of once per column. needInv/needLos say which
+	// resources any selected column actually reads them for.
+	inv, los         []float64
+	needInv, needLos []bool
+	row              []float64 // reusable output buffer
 
 	// Projection state: the resources and smoothed levels Step actually
 	// updates (all of them for a full extractor).
 	resOn    []int
 	smoothOn []int
+	// resIdx/smoothIdx are the schema's compiled checkpoint field indices of
+	// the resource and smoothed-level accessors (-1 = not a plain field
+	// read, keep the indirect call), shared read-only across extractors.
+	resIdx    []int32
+	smoothIdx []int32
 
 	// The compiled column program for the selected columns, split by kind so
 	// the per-checkpoint loops iterate compact 16/12-byte steps instead of
@@ -369,10 +393,11 @@ type RowExtractor struct {
 	derivedProg []derivedStep
 }
 
-// rawStep copies one raw checkpoint metric into its output column.
+// rawStep copies one raw checkpoint metric into its output column. idx is
+// the compiled checkpoint field index (-1 = call level instead).
 type rawStep struct {
-	dst   int32
-	level LevelFunc
+	dst, idx int32
+	level    LevelFunc
 }
 
 // derivedStep computes one derived column from the per-resource speed/level
@@ -383,16 +408,45 @@ type derivedStep struct {
 }
 
 // compile builds the split column program for the selected schema columns,
-// in schema order within each kind.
+// in schema order within each kind, and records which resources need the
+// shared inv/los intermediates.
 func (x *RowExtractor) compile(cols []int) {
 	for _, ci := range cols {
 		c := &x.s.cols[ci]
 		if c.op == opRaw {
-			x.rawProg = append(x.rawProg, rawStep{dst: int32(ci), level: c.level})
+			x.rawProg = append(x.rawProg, rawStep{dst: int32(ci), idx: c.idx, level: c.level})
 			continue
+		}
+		switch c.op {
+		case opInvSpeed, opInvSpeedPerTH:
+			x.needInv[c.res] = true
+		case opLevelOverSpeed, opLevelOverSpeedPerTH:
+			x.needLos[c.res] = true
 		}
 		x.derivedProg = append(x.derivedProg, derivedStep{dst: int32(ci), res: int32(c.res), op: c.op})
 	}
+}
+
+// fieldIndexOf compiles a level accessor down to the checkpoint field it
+// reads, or -1 when it is not a plain field read. Accessors are opaque
+// functions, so the compilation is behavioural: the accessor is evaluated on
+// two probe checkpoints whose fields hold distinct irrational-spread values;
+// only a plain read of field k returns exactly probe.Vec()[k] on both. Any
+// accessor that computes keeps the indirect call — slower, still correct.
+func fieldIndexOf(f LevelFunc) int32 {
+	var p1, p2 monitor.Checkpoint
+	v1, v2 := p1.Vec(), p2.Vec()
+	for i := range v1 {
+		v1[i] = 1e3 + 13.7*math.Sqrt(float64(i)+2)
+		v2[i] = -5e2 - 7.3*math.Cbrt(float64(i)+3)
+	}
+	a, b := f(&p1), f(&p2)
+	for i := range v1 {
+		if a == v1[i] && b == v2[i] {
+			return int32(i)
+		}
+	}
+	return -1
 }
 
 // Stream returns a fresh extraction state for one checkpoint stream,
@@ -409,12 +463,18 @@ func (s *Schema) Stream() *RowExtractor {
 // error.
 func (s *Schema) StreamFor(cols []int) (*RowExtractor, error) {
 	x := &RowExtractor{
-		s:        s,
-		trackers: make([]*sliding.SpeedTracker, len(s.resources)),
-		windows:  make([]*sliding.Window, len(s.smoothed)),
-		level:    make([]float64, len(s.resources)),
-		swa:      make([]float64, len(s.resources)),
-		row:      make([]float64, len(s.cols)),
+		s:         s,
+		trackers:  make([]*sliding.SpeedTracker, len(s.resources)),
+		windows:   make([]*sliding.Window, len(s.smoothed)),
+		level:     make([]float64, len(s.resources)),
+		swa:       make([]float64, len(s.resources)),
+		inv:       make([]float64, len(s.resources)),
+		los:       make([]float64, len(s.resources)),
+		needInv:   make([]bool, len(s.resources)),
+		needLos:   make([]bool, len(s.resources)),
+		resIdx:    s.resIdx,
+		smoothIdx: s.smoothIdx,
+		row:       make([]float64, len(s.cols)),
 	}
 	for i := range s.resources {
 		x.trackers[i] = sliding.NewSpeedTracker(s.resourceWindow(i))
@@ -498,24 +558,48 @@ func (x *RowExtractor) Step(cp monitor.Checkpoint) []float64 {
 // extractor's column set are left untouched.
 func (x *RowExtractor) StepInto(cp *monitor.Checkpoint, dst []float64) []float64 {
 	s := x.s
+	vec := cp.Vec()
 	for _, i := range x.resOn {
-		lvl := s.resources[i].Level(cp)
+		var lvl float64
+		if idx := x.resIdx[i]; idx >= 0 {
+			lvl = vec[idx]
+		} else {
+			lvl = s.resources[i].Level(cp)
+		}
 		// Errors can only come from non-finite values or time going
 		// backwards; checkpoints are produced by the monitor in time order
 		// with finite values, and a defensive drop of one speed sample is
 		// preferable to aborting an on-line prediction loop.
 		_ = x.trackers[i].Observe(cp.TimeSec, lvl)
 		x.level[i] = lvl
-		x.swa[i] = x.trackers[i].SWA()
+		swa := x.trackers[i].SWA()
+		x.swa[i] = swa
+		// The shared intermediates of the derived families, computed once per
+		// resource. Pure functions of (lvl, swa), so hoisting them out of the
+		// column loop is bit-identical to computing them per column.
+		if x.needInv[i] {
+			x.inv[i] = sliding.Inverse(swa)
+		}
+		if x.needLos[i] {
+			x.los[i] = sliding.SafeDiv(lvl, swa)
+		}
 	}
 	for _, i := range x.smoothOn {
-		x.windows[i].Push(s.smoothed[i].level(cp))
+		if idx := x.smoothIdx[i]; idx >= 0 {
+			x.windows[i].Push(vec[idx])
+		} else {
+			x.windows[i].Push(s.smoothed[i].level(cp))
+		}
 	}
 	th := cp.Throughput
 	dst = dst[:len(s.cols)]
 	for i := range x.rawProg {
 		r := &x.rawProg[i]
-		dst[r.dst] = r.level(cp)
+		if r.idx >= 0 {
+			dst[r.dst] = vec[r.idx]
+		} else {
+			dst[r.dst] = r.level(cp)
+		}
 	}
 	for i := range x.derivedProg {
 		d := &x.derivedProg[i]
@@ -526,13 +610,13 @@ func (x *RowExtractor) StepInto(cp *monitor.Checkpoint, dst []float64) []float64
 		case opSpeedPerTH:
 			v = sliding.SafeDiv(x.swa[d.res], th)
 		case opInvSpeed:
-			v = sliding.Inverse(x.swa[d.res])
+			v = x.inv[d.res]
 		case opLevelOverSpeed:
-			v = sliding.SafeDiv(x.level[d.res], x.swa[d.res])
+			v = x.los[d.res]
 		case opInvSpeedPerTH:
-			v = sliding.SafeDiv(sliding.Inverse(x.swa[d.res]), th)
+			v = sliding.SafeDiv(x.inv[d.res], th)
 		case opLevelOverSpeedPerTH:
-			v = sliding.SafeDiv(sliding.SafeDiv(x.level[d.res], x.swa[d.res]), th)
+			v = sliding.SafeDiv(x.los[d.res], th)
 		case opSmoothedLevel:
 			v = x.windows[d.res].Mean()
 		}
@@ -591,6 +675,9 @@ func (b *SchemaBuilder) addCol(c column) *SchemaBuilder {
 		return b.fail("duplicate column %q", c.name)
 	}
 	b.seen[c.name] = true
+	if c.op == opRaw {
+		c.idx = fieldIndexOf(c.level)
+	}
 	b.s.cols = append(b.s.cols, c)
 	b.s.attrs = append(b.s.attrs, c.name)
 	return b
@@ -612,6 +699,7 @@ func (b *SchemaBuilder) Resource(d ResourceDescriptor) *SchemaBuilder {
 		return b.fail("duplicate resource %q", d.Key)
 	}
 	b.s.resources = append(b.s.resources, d)
+	b.s.resIdx = append(b.s.resIdx, fieldIndexOf(d.Level))
 	return b
 }
 
@@ -722,6 +810,7 @@ func (b *SchemaBuilder) SmoothedLevelFor(owner, name string, level LevelFunc) *S
 	}
 	idx := len(b.s.smoothed)
 	b.s.smoothed = append(b.s.smoothed, smoothedSpec{name: name, owner: owner, level: level})
+	b.s.smoothIdx = append(b.s.smoothIdx, fieldIndexOf(level))
 	return b.addCol(column{name: name, op: opSmoothedLevel, res: idx, owner: owner})
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"agingpred/internal/adapt"
 	"agingpred/internal/features"
+	"agingpred/internal/obs"
 )
 
 // adaptiveTestConfig builds a small fleet whose drift detector is pinned so
@@ -124,6 +125,46 @@ func TestAdaptiveFleetDeterministicAcrossShardCounts(t *testing.T) {
 	}
 	if !bytes.Equal(one, four) {
 		t.Fatalf("1-shard and 4-shard adaptive runs differ:\n%s\nvs\n%s", one, four)
+	}
+}
+
+// TestAdaptiveSerialParallelEquivalence diffs adaptive serving across the
+// parallel one-barrier engine and the serial-stepping reference path,
+// report and journal both: epoch swaps land at reset boundaries inside the
+// shard workers' tick, and the split must not move a single event. Under
+// -race this doubles as the step-in-worker epoch-swap concurrency guard —
+// shard workers step and predict while the background worker retrains and
+// the driver swaps the epoch pointer.
+func TestAdaptiveSerialParallelEquivalence(t *testing.T) {
+	run := func(serial bool) (report, journal []byte) {
+		var buf bytes.Buffer
+		jnl := obs.NewJournal(&buf)
+		cfg := adaptiveTestConfig(t, 3)
+		cfg.Journal = jnl
+		cfg.serialStep = serial
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("Run (serial=%v): %v", serial, err)
+		}
+		if err := jnl.Close(); err != nil {
+			t.Fatalf("journal close: %v", err)
+		}
+		if rep.Retrains == 0 {
+			t.Fatalf("no epoch swaps; the equivalence check would be vacuous")
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return js, buf.Bytes()
+	}
+	parRep, parJnl := run(false)
+	serRep, serJnl := run(true)
+	if !bytes.Equal(parRep, serRep) {
+		t.Errorf("adaptive parallel and serial reports differ:\n%s\nvs\n%s", parRep, serRep)
+	}
+	if !bytes.Equal(parJnl, serJnl) {
+		t.Errorf("adaptive parallel and serial journals differ:\n%s\nvs\n%s", parJnl, serJnl)
 	}
 }
 

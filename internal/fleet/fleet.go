@@ -11,24 +11,30 @@
 // predictor into an online prediction service over thousands of concurrent
 // instances. The architecture:
 //
-//	          ┌──────────── driver (one tick = one checkpoint interval) ───────────┐
-//	instances │ step instance model, stage Table 2 checkpoints (ID order)          │
-//	          └──┬───────────────────────────────────────────────────────────┬─────┘
-//	             │ consistent instance→shard hash, one wake-up per shard      │
-//	        ┌────▼────┐   ┌─────────┐        ┌─────────┐  batch extraction +  │
-//	        │ shard 0 │   │ shard 1 │  ...   │ shard S │  PredictBatch sweep  │
-//	        └────┬────┘   └────┬────┘        └────┬────┘  per shard tick      │
-//	             └─────────────┴── tick barrier ──┴───────────────────────────┘
-//	          controller: per-instance predictive policies → budgeted
-//	          rejuvenations, crash handling, fleet aggregates
+//	  ┌── driver (one tick = one checkpoint interval) ──────────────┐
+//	  │ publish tick clock, one wake-up per shard                   │
+//	  └──┬──────────────────────────────────────────────────────────┘
+//	     │ consistent instance→shard hash (static ownership)
+//	┌────▼────┐   ┌─────────┐        ┌─────────┐  step owned instances,
+//	│ shard 0 │   │ shard 1 │  ...   │ shard S │  batch extraction +
+//	└────┬────┘   └────┬────┘        └────┬────┘  PredictBatch sweep,
+//	     └─────────────┴── tick barrier ──┘       per-instance results
+//	  driver merge (instance-ID order): report/journal fold, then
+//	  controller: per-instance predictive policies → budgeted
+//	  rejuvenations, crash handling, fleet aggregates
 //
 // Every instance owns a Session of one shared immutable core.Model (train —
-// or load — once, fan out per-stream sessions), and each session is touched
-// only by its instance's shard. Decisions happen on the driver goroutine in
-// instance-ID order after the tick barrier, so the whole run — including the
-// -json summary — is a pure function of (seed, instances, duration):
-// byte-identical across repetitions, and identical across shard counts apart
-// from the echoed "shards" field of the report.
+// or load — once, fan out per-stream sessions), and each instance's
+// simulator state and session are touched only by its instance's shard: a
+// tick is one barrier — the shard workers step their own instances, extract
+// features, predict in batch and record, then the driver folds the
+// per-instance outcomes. Each instance draws from its own named RNG stream,
+// so its trajectory is independent of which shard steps it; all
+// cross-instance accounting happens on the driver goroutine in instance-ID
+// order after the tick barrier. The whole run — including the -json summary
+// and the event journal — is therefore a pure function of (seed, instances,
+// duration): byte-identical across repetitions and shard counts apart from
+// the echoed "shards" field of the report.
 package fleet
 
 import (
@@ -127,6 +133,14 @@ type Config struct {
 	Journal *obs.Journal
 	// Ctx optionally cancels the run between ticks.
 	Ctx context.Context
+
+	// serialStep selects the retained serial-stepping reference path: the
+	// pool starts no workers and the driver runs every shard tick inline on
+	// its own goroutine, in shard order. Identical results to the parallel
+	// engine by construction (per-instance RNG streams, post-barrier
+	// ID-order merge); the in-package determinism tests diff the two. A
+	// test hook, deliberately unexported.
+	serialStep bool
 }
 
 func (c Config) withDefaults() Config {
@@ -395,12 +409,14 @@ func (s *classStats) report(class Class, schema string) ClassReport {
 
 // Run executes one fleet serving run to completion and returns its report.
 //
-// The run proceeds in checkpoint-interval ticks. Every tick the driver steps
-// each live instance (emitting its checkpoint), dispatches the checkpoints
-// to the sharded predictor workers, waits for the tick's predictions, and
-// then — sequentially, in instance-ID order — feeds each prediction to the
-// instance's predictive policy and arbitrates the resulting alerts through
-// the budgeted rejuvenation controller. Crashed instances recover after
+// The run proceeds in checkpoint-interval ticks, one barrier per tick: the
+// shard workers step the instances they own (emitting each checkpoint into
+// its pool slot), predict the live ones in batch, and report per-instance
+// outcomes; after the barrier the driver — sequentially, in instance-ID
+// order — folds the outcomes into the report and journal, feeds each
+// prediction to the instance's predictive policy, and arbitrates the
+// resulting alerts through the budgeted rejuvenation controller. Crashed
+// instances recover after
 // Config.CrashDowntime, rejuvenated ones after Config.RejuvenationDowntime;
 // both come back with fresh aging state and a reset predictor window.
 func Run(cfg Config) (*Report, error) {
@@ -514,7 +530,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := newPool(cfg.Shards, observers)
+	p := newPool(cfg.Shards, observers, instances, cfg.serialStep)
 	defer p.close()
 
 	dt := cfg.CheckpointInterval.Seconds()
@@ -540,7 +556,8 @@ func Run(cfg Config) (*Report, error) {
 		stats[spec.Class].instances++
 	}
 	horizon := monitor.InfiniteTTFSec * 0.999
-	dispatched := make([]int, 0, cfg.Instances)
+	crashSec := cfg.CrashDowntime.Seconds()
+	rejuvSec := cfg.RejuvenationDowntime.Seconds()
 
 	// Adaptive bookkeeping: per-epoch accuracy aggregates (indexed by epoch
 	// sequence − 1; entries appended as epochs publish) and the deterministic
@@ -610,21 +627,36 @@ func Run(cfg Config) (*Report, error) {
 			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
 		}
 
-		// Step the live instances and stage their checkpoints for the
-		// shards. Down instances emit nothing and keep losing the traffic
-		// their users offer.
-		dispatched = dispatched[:0]
-		p.begin()
+		// One-barrier tick: publish the tick's clock and wake each shard
+		// once. The workers step their own instances (down instances are
+		// charged their lost traffic in the same pass), stage the live
+		// checkpoints into per-model batches, predict, record, and report
+		// per-instance outcomes into the result slots. A cancellation
+		// mid-flush is reported right after the barrier.
+		p.tSec, p.dtSec = t, dt
+		p.flush(cfg.Ctx)
+		p.wait()
+		if err := cancelled(); err != nil {
+			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
+		}
+
+		// Merge pass, in instance-ID order: fold the workers' outcomes into
+		// the report, the controller and the journal. Walking IDs 0..N-1
+		// keeps every float accumulation and every journal record in exactly
+		// the serial driver's order whatever shard produced it, and crash
+		// bookkeeping only ever touches the crashing instance's own state,
+		// so deferring it past the barrier changes no bits. The tick's crash
+		// events must all precede its rejuvenation-alert events (as they did
+		// when the serial driver crashed instances while stepping), which is
+		// why the control pass below is a second walk.
 		for i, in := range instances {
-			if ctrl.State(i) != rejuv.StateHealthy {
+			switch res := &p.results[i]; res.kind {
+			case resDown:
 				rep.DowntimeSec += dt
-				rep.LostRequests += in.expectedThroughput(t) * dt
-				continue
-			}
-			// Step straight into the instance's pool slot: the 160-byte
-			// checkpoint is written once and never copied again.
-			if in.step(t, dt, &p.cps[i]) {
-				ctrl.Crash(i, t, cfg.CrashDowntime.Seconds())
+				rep.LostRequests += res.flow
+			case resCrashed:
+				ctrl.Crash(i, t, crashSec)
+				p.down[i] = true
 				rep.CrashesSuffered++
 				stats[in.spec.Class].crashes++
 				mClassCrashes[in.spec.Class].Inc()
@@ -640,32 +672,25 @@ func Run(cfg Config) (*Report, error) {
 				// traffic is lost and its time is downtime, on top of the
 				// recovery the controller just scheduled.
 				rep.DowntimeSec += dt
-				rep.LostRequests += in.expectedThroughput(t) * dt
-				continue
+				rep.LostRequests += res.flow
+			default: // resServed
+				rep.ServedRequests += res.flow
+				rep.Checkpoints++
+				stats[in.spec.Class].checkpoints++
 			}
-			rep.ServedRequests += p.cps[i].Throughput * dt
-			rep.Checkpoints++
-			stats[in.spec.Class].checkpoints++
-			p.stage(i)
-			dispatched = append(dispatched, i)
-		}
-		// One wake-up per shard evaluates the whole tick in batch; a
-		// cancellation mid-flush is reported right after the barrier.
-		p.flush(cfg.Ctx)
-		p.wait()
-		if err := cancelled(); err != nil {
-			return nil, fmt.Errorf("fleet: run cancelled at simulated %s: %w", evalx.FormatDuration(t), err)
 		}
 
 		// Control pass, in instance-ID order: accuracy accounting, then the
 		// per-instance policy, then the fleet-level budget arbitration.
-		for _, i := range dispatched {
-			res := p.results[i]
+		for i, in := range instances {
+			res := &p.results[i]
+			if res.kind != resServed {
+				continue
+			}
 			if res.err != nil {
 				return nil, fmt.Errorf("fleet: predicting instance %d at simulated %s: %w",
 					i, evalx.FormatDuration(t), res.err)
 			}
-			in := instances[i]
 			st := &stats[in.spec.Class]
 			st.observe(in.refTTFSec, res.ttfSec)
 			if streams != nil {
@@ -682,7 +707,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 			jnl.Emit(obs.Event{Type: obs.EventRejuvAlert, TimeSec: t,
 				Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
-			if !ctrl.Alert(i, t, cfg.RejuvenationDowntime.Seconds()) {
+			if !ctrl.Alert(i, t, rejuvSec) {
 				// The instance is healthy (we just stepped it), so a denial
 				// is the budget: the policy stays primed and will re-raise.
 				rep.BudgetDenied++
@@ -691,6 +716,7 @@ func Run(cfg Config) (*Report, error) {
 					Instance: i, Class: in.spec.Class.String(), Epoch: epochOf(i)})
 				continue
 			}
+			p.down[i] = true
 			rep.Rejuvenations++
 			st.rejuvenations++
 			mClassRejuvs[in.spec.Class].Inc()
@@ -711,6 +737,7 @@ func Run(cfg Config) (*Report, error) {
 		// is where a hot-swapped model reaches live serving.
 		for _, comp := range ctrl.AdvanceDetailed(t) {
 			id := comp.ID
+			p.down[id] = false
 			instances[id].reset()
 			prevEpoch := 0
 			if streams != nil {
@@ -776,9 +803,13 @@ func Run(cfg Config) (*Report, error) {
 		// Tick bookkeeping for the exposition layer: everything here reflects
 		// the simulated run (and is never read back), except the tick-latency
 		// histogram, which is the one place wall-clock time flows into.
+		staged := 0
+		for _, n := range p.staged {
+			staged += n
+		}
 		mTicks.Inc()
-		mCheckpoints.Add(uint64(len(dispatched)))
-		mQueueDepth.Set(float64(len(dispatched)))
+		mCheckpoints.Add(uint64(staged))
+		mQueueDepth.Set(float64(staged))
 		mSimTime.Set(t)
 		mInstancesDown.Set(float64(ctrl.Down()))
 		mTickLatency.Observe(time.Since(tickStart).Seconds())

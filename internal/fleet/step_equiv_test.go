@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"testing"
+
+	"agingpred/internal/monitor"
+)
+
+// forceGeneric returns a twin of spec's instance pinned to the generic
+// reference stepper, regardless of the fault mix the kind selection would
+// pick. Both twins are built from the same (seed, spec), so they share the
+// same named RNG stream position and hoisted constants.
+func forceGeneric(seed uint64, spec InstanceSpec) *instance {
+	in := newInstance(seed, spec)
+	in.kind = stepKindGeneric
+	return in
+}
+
+// stepBoth advances both twins one tick and fails on the first divergence —
+// crash decision, any checkpoint field, or any piece of internal state the
+// following ticks depend on. Bit equality, not tolerance: the specialised
+// steppers claim to run the very float operations the generic stepper runs.
+func stepBoth(t *testing.T, label string, tick int, fast, ref *instance, tSec, dtSec float64) (crashed bool) {
+	t.Helper()
+	var cpFast, cpRef monitor.Checkpoint
+	crashedFast := fast.step(tSec, dtSec, &cpFast)
+	crashedRef := ref.step(tSec, dtSec, &cpRef)
+	if crashedFast != crashedRef {
+		t.Fatalf("%s tick %d: specialised crashed=%v, generic crashed=%v", label, tick, crashedFast, crashedRef)
+	}
+	if !crashedFast && cpFast != cpRef {
+		vf, vr := cpFast.Vec(), cpRef.Vec()
+		for i := range vf {
+			if vf[i] != vr[i] {
+				t.Fatalf("%s tick %d: checkpoint field %d differs: %v (specialised) vs %v (generic)",
+					label, tick, i, vf[i], vr[i])
+			}
+		}
+	}
+	if fast.refTTFSec != ref.refTTFSec || fast.thr != ref.thr {
+		t.Fatalf("%s tick %d: refTTFSec/thr diverged: %v/%v vs %v/%v",
+			label, tick, fast.refTTFSec, fast.thr, ref.refTTFSec, ref.thr)
+	}
+	if fast.oldUsedMB != ref.oldUsedMB || fast.leakThreads != ref.leakThreads ||
+		fast.leakConns != ref.leakConns || fast.diskMB != ref.diskMB {
+		t.Fatalf("%s tick %d: aging state diverged: old %v/%v threads %v/%v conns %v/%v disk %v/%v",
+			label, tick, fast.oldUsedMB, ref.oldUsedMB, fast.leakThreads, ref.leakThreads,
+			fast.leakConns, ref.leakConns, fast.diskMB, ref.diskMB)
+	}
+	return crashedFast
+}
+
+// runTwins drives a specialised/generic twin pair through ticks of simulated
+// time, resetting both on a crash (as the fleet controller does) so the suite
+// also covers the post-reset trajectory on the same RNG stream.
+func runTwins(t *testing.T, label string, seed uint64, spec InstanceSpec, ticks int) {
+	t.Helper()
+	fast := newInstance(seed, spec)
+	ref := forceGeneric(seed, spec)
+	if fast.kind == stepKindGeneric {
+		// The mix has no specialised stepper; the twins are the same path and
+		// the run would be vacuous, but keep it as a smoke test of the kind
+		// selection fallback.
+		t.Logf("%s: generic fallback (rates mem=%v thr=%v conn=%v)", label, fast.memPerHit, fast.thrRate, fast.connRate)
+	}
+	dt := monitor.DefaultInterval.Seconds()
+	for tick := 1; tick <= ticks; tick++ {
+		if stepBoth(t, label, tick, fast, ref, float64(tick)*dt, dt) {
+			fast.reset()
+			ref.reset()
+		}
+	}
+}
+
+// TestStepEquivalenceFleetPopulation pins the tentpole's bit-identity claim
+// over a full heterogeneous fleet population: every specialised stepper must
+// reproduce the generic reference stepper bit for bit — checkpoints, crash
+// decisions and carried state — across several hours of simulated time,
+// crashes and resets included.
+func TestStepEquivalenceFleetPopulation(t *testing.T) {
+	const ticks = 6 * 240 // 6 simulated hours at 15 s
+	for _, seed := range []uint64{1, 5, 42} {
+		specs := Specs(seed, 200)
+		kinds := map[stepKind]int{}
+		for _, spec := range specs {
+			kinds[newInstance(seed, spec).kind]++
+		}
+		for k := stepKindHealthy; k <= stepKindMemThread; k++ {
+			if kinds[k] == 0 {
+				t.Fatalf("seed %d: no instance selected specialised stepper %d; population not representative", seed, k)
+			}
+		}
+		for _, spec := range specs {
+			runTwins(t, spec.Class.String(), seed, spec, ticks)
+		}
+	}
+}
+
+// TestStepEquivalenceTrainingSpecs runs the twin suite over the fixed
+// training population too — the executions the shared model is fitted on must
+// be exactly as bit-stable as the served fleet.
+func TestStepEquivalenceTrainingSpecs(t *testing.T) {
+	const ticks = 8 * 240
+	for _, seed := range []uint64{1, 9} {
+		for _, spec := range trainingSpecs() {
+			runTwins(t, "train/"+spec.Class.String(), seed+1e6, spec, ticks)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package monitor
+
+import "unsafe"
+
+// NumFields is the number of float64 fields of a Checkpoint, in declaration
+// order. Vec relies on the struct being exactly this many contiguous
+// float64s; the compile-time guard below and TestCheckpointVecLayout keep the
+// constant honest when fields are added.
+const NumFields = 20
+
+// Compile-time guard: a Checkpoint is exactly NumFields packed float64s. If a
+// field of another type (or padding) ever appears, this constant goes
+// negative and the package stops compiling.
+const _ = uint64(NumFields*8 - unsafe.Sizeof(Checkpoint{}))
+const _ = uint64(unsafe.Sizeof(Checkpoint{}) - NumFields*8)
+
+// Vec views the checkpoint as its flat field vector, in declaration order.
+// The checkpoint schema is a plain record of float64 metrics, so the feature
+// pipeline can compile its column accessors down to field indices and read
+// them as array loads instead of one indirect call per column per checkpoint
+// — the dominant cost of a feature-extraction step at fleet rates. The
+// returned array aliases the checkpoint and is valid for its lifetime.
+func (cp *Checkpoint) Vec() *[NumFields]float64 {
+	return (*[NumFields]float64)(unsafe.Pointer(cp))
+}

@@ -1,0 +1,37 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCheckpointVecLayout pins the assumption Vec builds on: a Checkpoint is
+// exactly NumFields float64 fields with no padding, and Vec's array order is
+// the declaration order.
+func TestCheckpointVecLayout(t *testing.T) {
+	typ := reflect.TypeOf(Checkpoint{})
+	if typ.NumField() != NumFields {
+		t.Fatalf("Checkpoint has %d fields, NumFields is %d", typ.NumField(), NumFields)
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() != reflect.Float64 {
+			t.Fatalf("Checkpoint field %s is %v, not float64", f.Name, f.Type)
+		}
+		if f.Offset != uintptr(i)*8 {
+			t.Fatalf("Checkpoint field %s at offset %d, want %d", f.Name, f.Offset, i*8)
+		}
+	}
+
+	var cp Checkpoint
+	v := cp.Vec()
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	rv := reflect.ValueOf(cp)
+	for i := 0; i < rv.NumField(); i++ {
+		if got := rv.Field(i).Float(); got != float64(i+1) {
+			t.Fatalf("Vec index %d wrote %v into field %s", i, got, typ.Field(i).Name)
+		}
+	}
+}

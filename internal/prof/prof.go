@@ -1,0 +1,63 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the command-line
+// tools to runtime/pprof, so a slow fleet run or benchmark campaign can be
+// profiled in place (agingbench -cpuprofile cpu.out ... ; go tool pprof
+// cpu.out) without rebuilding anything as a test binary.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath and arranges an end-of-run heap
+// profile into memPath; either path may be empty to skip that profile. It
+// returns a stop function that finishes the CPU profile and writes the heap
+// snapshot — defer it right after the flags are parsed. Errors from the
+// deferred writes are reported on stderr (the run's real error takes
+// precedence over a failed profile dump).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: creating %s: %w", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: closing %s: %v\n", cpuPath, err)
+			}
+		}
+		if memPath != "" {
+			if err := writeHeapProfile(memPath); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+			}
+		}
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap after a GC (so the profile shows live
+// retained memory, not garbage awaiting collection) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: creating %s: %w", path, err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("prof: writing heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prof: closing %s: %w", path, err)
+	}
+	return nil
+}

@@ -2,7 +2,6 @@ package rejuv
 
 import (
 	"fmt"
-	"sort"
 
 	"agingpred/internal/obs"
 )
@@ -86,6 +85,10 @@ type Controller struct {
 
 	inFlight    int
 	maxInFlight int
+
+	// comps is AdvanceDetailed's reused completion buffer; the returned
+	// slice aliases it and is valid until the next Advance/AdvanceDetailed.
+	comps []Completion
 }
 
 // downEntry records why an instance is down and when it comes back.
@@ -190,15 +193,30 @@ func (c *Controller) Advance(nowSec float64) []int {
 
 // AdvanceDetailed is Advance with the cause attached: each completion says
 // whether the instance was rejuvenating or crash-recovering, so observers can
-// journal the two outcomes distinctly. IDs come back in ascending order.
+// journal the two outcomes distinctly. IDs come back in ascending order. The
+// returned slice is reused by the next Advance/AdvanceDetailed call; callers
+// that keep completions across calls must copy them (Advance does).
 func (c *Controller) AdvanceDetailed(nowSec float64) []Completion {
-	var up []Completion
+	up := c.comps[:0]
 	for id, e := range c.down {
 		if e.endSec <= nowSec {
 			up = append(up, Completion{ID: id, Was: e.state})
 		}
 	}
-	sort.Slice(up, func(i, j int) bool { return up[i].ID < up[j].ID })
+	if len(up) == 0 {
+		return nil
+	}
+	c.comps = up
+	// Map iteration order is random: restore ascending IDs. Completions per
+	// advance are few, so an insertion sort on the reused buffer beats
+	// sort.Slice, whose comparator closure and interface conversion escape
+	// to the heap on every call — even the no-completion calls a fleet
+	// driver makes every tick.
+	for i := 1; i < len(up); i++ {
+		for j := i; j > 0 && up[j-1].ID > up[j].ID; j-- {
+			up[j-1], up[j] = up[j], up[j-1]
+		}
+	}
 	for _, comp := range up {
 		if comp.Was == StateRejuvenating {
 			c.inFlight--
@@ -206,9 +224,7 @@ func (c *Controller) AdvanceDetailed(nowSec float64) []Completion {
 		}
 		delete(c.down, comp.ID)
 	}
-	if len(up) > 0 {
-		mInFlight.Set(float64(c.inFlight))
-		mDown.Set(float64(len(c.down)))
-	}
+	mInFlight.Set(float64(c.inFlight))
+	mDown.Set(float64(len(c.down)))
 	return up
 }

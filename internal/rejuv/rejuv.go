@@ -67,6 +67,11 @@ type Predictive struct {
 	Confirmations int
 
 	consecutive int
+	// thresholdSec caches Threshold.Seconds() (invalidated when Threshold
+	// changes): Decide runs once per instance per tick in a fleet, and the
+	// Duration division shows up at that rate.
+	cachedThreshold time.Duration
+	thresholdSec    float64
 }
 
 // Name implements Policy.
@@ -78,7 +83,11 @@ func (p *Predictive) Decide(_, predictedTTFSec float64) bool {
 	if needed <= 0 {
 		needed = 1
 	}
-	if predictedTTFSec < p.Threshold.Seconds() {
+	if p.Threshold != p.cachedThreshold {
+		p.cachedThreshold = p.Threshold
+		p.thresholdSec = p.Threshold.Seconds()
+	}
+	if predictedTTFSec < p.thresholdSec {
 		p.consecutive++
 	} else {
 		p.consecutive = 0
