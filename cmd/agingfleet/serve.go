@@ -1,65 +1,24 @@
 package main
 
 import (
-	"encoding/json"
-	"net"
 	"net/http"
-	"net/http/pprof"
 	"time"
 
-	"agingpred"
+	"agingpred/internal/serve/admin"
 )
 
-// obsMux builds the observability endpoints served under -listen:
-//
-//	/metrics  — the process-wide registry in Prometheus text format
-//	/healthz  — JSON liveness: uptime plus the serving epoch and fleet
-//	            progress, read straight from the registry
-//	/debug/pprof/... — the standard runtime profiles
-//
-// Everything is read-only and observation-only: scraping never touches the
-// deterministic run. Split from startObsServer so the handlers are testable
-// without a listener.
+// The observability endpoints served under -listen (/metrics, /healthz,
+// /debug/pprof) live in internal/serve/admin, shared with agingserve so every
+// daemon exposes the same surface. The thin aliases below keep this command's
+// tests pinning the behavior where the flag is.
+
+// obsMux builds the observability endpoints served under -listen.
 func obsMux(start time.Time) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		agingpred.WriteMetrics(w)
-	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		epoch := 1.0
-		if v, ok := agingpred.Metrics().Value("agingpred_current_epoch"); ok && v >= 1 {
-			epoch = v
-		}
-		simTime, _ := agingpred.Metrics().Value("agingpred_fleet_sim_time_seconds")
-		ckpts, _ := agingpred.Metrics().Value("agingpred_fleet_checkpoints_total")
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":       "ok",
-			"uptime_sec":   time.Since(start).Seconds(),
-			"epoch":        int(epoch),
-			"sim_time_sec": simTime,
-			"checkpoints":  int64(ckpts),
-		})
-	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return admin.Mux(start)
 }
 
 // startObsServer binds addr and serves the observability mux in the
 // background, returning the bound address (useful with ":0") and a stopper.
-// The serving fleet never blocks on a scrape; slow clients only delay their
-// own responses.
 func startObsServer(addr string) (string, func(), error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	srv := &http.Server{Handler: obsMux(time.Now())}
-	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	return admin.Start(addr)
 }

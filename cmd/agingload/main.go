@@ -1,0 +1,374 @@
+// Command agingload drives a running agingserve daemon over real sockets: it
+// replays a fleet.Specs-drawn heterogeneous instance population — the same
+// deterministic simulated servers the fleet subsystem schedules in-process —
+// as prediction streams over the network, and reports end-to-end throughput
+// and latency.
+//
+//	agingload -addr 127.0.0.1:7070 -instances 64 -conns 4 -duration 2m
+//
+// Each connection serves its share of the population sequentially: one
+// instance is one stream (checkpoints in order, RESOLVE at its crash or
+// censoring, RESET between instances), with up to -window checkpoints
+// pipelined ahead so both directions of the socket stay busy. -transport
+// picks the binary frame protocol (the hot path) or NDJSON over HTTP — the
+// same conversation, so the two are directly A/B-comparable.
+//
+// Correctness rides along, not just throughput: with -load pointing at the
+// artifact the server serves, every -verify-every'th instance also runs a
+// local reference session on the same checkpoints, and each returned
+// prediction must match the local one bit for bit (time, TTF and the crash
+// flag). Any mismatch fails the run. Verification needs a frozen server — a
+// hot-swapped epoch changes the answers by design — so it turns itself off
+// for predictions from a later epoch than the handshake's.
+//
+// -duration is simulated stream time per instance (15 s checkpoints), not
+// wall time: the generator sends as fast as the server answers. -bench-json
+// appends the run to a benchjson trajectory file (BENCH_serve.json).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"agingpred/internal/benchjson"
+	"agingpred/internal/core"
+	"agingpred/internal/fleet"
+	"agingpred/internal/monitor"
+	"agingpred/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "agingload:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr        string
+	transport   string
+	schema      string
+	seed        uint64
+	instances   int
+	conns       int
+	window      int
+	ticks       int
+	verifyEvery int
+	model       *core.Model
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("agingload", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:7070", "server address: host:port of the -transport listener")
+		transport   = fs.String("transport", "binary", "transport to drive: binary (frame protocol) or http (NDJSON)")
+		schema      = fs.String("schema", "", "feature schema to request at the handshake (\"\" = accept the server's)")
+		instances   = fs.Int("instances", 64, "replayed instances (fleet.Specs population size)")
+		conns       = fs.Int("conns", 4, "concurrent connections; each serves its share of the instances sequentially")
+		duration    = fs.Duration("duration", 2*time.Minute, "simulated stream time per instance (15s checkpoints), not wall time")
+		seed        = fs.Uint64("seed", 1, "population seed (same seed = same instances as agingfleet)")
+		window      = fs.Int("window", 32, "checkpoints pipelined ahead per connection")
+		loadPath    = fs.String("load", "", "model artifact for local reference verification (must be what the server serves)")
+		verifyEvery = fs.Int("verify-every", 8, "verify every Nth instance bit-for-bit against the local reference (0 = none; needs -load)")
+		benchPath   = fs.String("bench-json", "", "append the run to this benchjson trajectory file")
+		label       = fs.String("label", "", "benchjson run label (default serve/<transport>)")
+		stamp       = fs.String("stamp", "", "benchjson run stamp (a date or PR tag)")
+		note        = fs.String("note", "", "benchjson run note")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *transport != "binary" && *transport != "http" {
+		return fmt.Errorf("unknown -transport %q (binary or http)", *transport)
+	}
+	if *instances <= 0 || *conns <= 0 || *window <= 0 {
+		return fmt.Errorf("-instances, -conns and -window must be positive")
+	}
+	if *conns > *instances {
+		*conns = *instances
+	}
+	ticks := int(*duration / monitor.DefaultInterval)
+	if ticks < 1 {
+		return fmt.Errorf("-duration %v is shorter than one %v checkpoint interval", *duration, monitor.DefaultInterval)
+	}
+	opts := options{
+		addr:        *addr,
+		transport:   *transport,
+		schema:      *schema,
+		seed:        *seed,
+		instances:   *instances,
+		conns:       *conns,
+		window:      *window,
+		ticks:       ticks,
+		verifyEvery: *verifyEvery,
+	}
+	if *loadPath != "" && *verifyEvery > 0 {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			return fmt.Errorf("loading reference model: %w", err)
+		}
+		m, err := core.DecodeModel(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("loading reference model: %w", err)
+		}
+		opts.model = m
+	}
+
+	res, elapsed, err := drive(opts)
+	if err != nil {
+		return err
+	}
+	cps := float64(res.predictions) / elapsed.Seconds()
+	p50 := percentile(res.latencies, 0.50)
+	p99 := percentile(res.latencies, 0.99)
+	fmt.Fprintf(os.Stderr,
+		"agingload: %s: %d instances over %d conns: %d checkpoints in %.2fs = %.0f cps, latency p50 %s p99 %s, %d crashes\n",
+		opts.transport, opts.instances, opts.conns, res.predictions, elapsed.Seconds(), cps,
+		time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+		time.Duration(p99*float64(time.Second)).Round(time.Microsecond),
+		res.crashes)
+	if opts.model != nil {
+		fmt.Fprintf(os.Stderr, "agingload: verified %d sampled predictions bit-for-bit: %d mismatches (%d skipped after epoch swap)\n",
+			res.verified, res.mismatches, res.skipped)
+	}
+	if *benchPath != "" {
+		l := *label
+		if l == "" {
+			l = "serve/" + opts.transport
+		}
+		f := &benchjson.File{
+			Bench:   "serve",
+			Command: fmt.Sprintf("agingload -transport %s -instances %d -conns %d -duration %v -seed %d", opts.transport, opts.instances, opts.conns, *duration, opts.seed),
+			Env:     benchjson.CurrentEnv(),
+			Runs: []benchjson.Run{{
+				Label: l,
+				Stamp: *stamp,
+				Note:  *note,
+				Metrics: map[string]float64{
+					"checkpoints_per_sec": math.Round(cps),
+					"latency_p50_us":      math.Round(p50*1e6*10) / 10,
+					"latency_p99_us":      math.Round(p99*1e6*10) / 10,
+				},
+			}},
+		}
+		if err := benchjson.Merge(*benchPath, f); err != nil {
+			return err
+		}
+	}
+	if res.mismatches > 0 {
+		return fmt.Errorf("%d sampled predictions did not match the local reference", res.mismatches)
+	}
+	return nil
+}
+
+// result aggregates one run's counters across connections.
+type result struct {
+	predictions int
+	crashes     int
+	verified    int
+	mismatches  int
+	skipped     int
+	latencies   []float64 // send→recv seconds, one per prediction
+}
+
+func (r *result) merge(o result) {
+	r.predictions += o.predictions
+	r.crashes += o.crashes
+	r.verified += o.verified
+	r.mismatches += o.mismatches
+	r.skipped += o.skipped
+	r.latencies = append(r.latencies, o.latencies...)
+}
+
+// drive replays the population over opts.conns concurrent connections and
+// aggregates the results.
+func drive(opts options) (result, time.Duration, error) {
+	specs := fleet.Specs(opts.seed, opts.instances)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   result
+		firstEr error
+	)
+	start := time.Now()
+	for c := 0; c < opts.conns; c++ {
+		// Round-robin instance→connection assignment, like the fleet's
+		// instance→shard assignment.
+		var mine []fleet.InstanceSpec
+		for i := c; i < len(specs); i += opts.conns {
+			mine = append(mine, specs[i])
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := runConn(opts, mine)
+			mu.Lock()
+			defer mu.Unlock()
+			total.merge(res)
+			if err != nil && firstEr == nil {
+				firstEr = err
+			}
+		}()
+	}
+	wg.Wait()
+	return total, time.Since(start), firstEr
+}
+
+// pending is one pipelined checkpoint awaiting its prediction.
+type pending struct {
+	seq  uint32
+	sent time.Time
+	// check carries the local reference prediction when this instance is
+	// sampled for verification.
+	check bool
+	want  core.Prediction
+}
+
+// runConn drives one connection: its instances in sequence, each as one
+// pipelined stream ending in RESOLVE + RESET.
+func runConn(opts options, specs []fleet.InstanceSpec) (result, error) {
+	var (
+		conn serve.Conn
+		err  error
+	)
+	if opts.transport == "http" {
+		conn, err = serve.DialHTTP("http://"+opts.addr, opts.schema)
+	} else {
+		conn, err = serve.Dial(opts.addr, opts.schema)
+	}
+	if err != nil {
+		return result{}, err
+	}
+	defer conn.Close()
+
+	var (
+		res     result
+		seq     uint32
+		queue   = make([]pending, 0, opts.window)
+		baseEp  uint32 // pinned at the first prediction (the HTTP handshake completes lazily)
+		swapped = false
+	)
+	// recvOne collects the oldest outstanding prediction and scores it.
+	recvOne := func() error {
+		p := queue[0]
+		queue = queue[:copy(queue, queue[1:])]
+		got, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		res.latencies = append(res.latencies, time.Since(p.sent).Seconds())
+		res.predictions++
+		if got.Seq != p.seq {
+			return fmt.Errorf("prediction out of order: got seq %d, want %d", got.Seq, p.seq)
+		}
+		if baseEp == 0 {
+			baseEp = got.Epoch
+		}
+		if got.Epoch != baseEp {
+			swapped = true // adaptive server swapped epochs; answers legitimately diverge
+		}
+		if p.check {
+			if swapped {
+				res.skipped++
+				return nil
+			}
+			res.verified++
+			g, w := got.Pred(), p.want
+			if math.Float64bits(g.TimeSec) != math.Float64bits(w.TimeSec) ||
+				math.Float64bits(g.TTFSec) != math.Float64bits(w.TTFSec) ||
+				g.CrashExpected != w.CrashExpected {
+				res.mismatches++
+				if res.mismatches == 1 {
+					fmt.Fprintf(os.Stderr, "agingload: seq %d mismatch: got (t=%v ttf=%v crash=%v), want (t=%v ttf=%v crash=%v)\n",
+						got.Seq, g.TimeSec, g.TTFSec, g.CrashExpected, w.TimeSec, w.TTFSec, w.CrashExpected)
+				}
+			}
+		}
+		return nil
+	}
+	drain := func() error {
+		for len(queue) > 0 {
+			if err := recvOne(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var cp monitor.Checkpoint
+	for _, spec := range specs {
+		replay := fleet.NewReplay(opts.seed, spec)
+		var ref *core.Session
+		if opts.model != nil && opts.verifyEvery > 0 && spec.ID%opts.verifyEvery == 0 {
+			ref = opts.model.NewSession()
+		}
+		for tick := 0; tick < opts.ticks; tick++ {
+			if replay.Step(&cp) {
+				// The instance crashed this interval: resolve the stream's
+				// labels, reset server and reference to a fresh stream, and
+				// keep replaying the recovered instance.
+				if err := drain(); err != nil {
+					return res, err
+				}
+				res.crashes++
+				if err := conn.Resolve(serve.ResolveCrash, replay.TimeSec()); err != nil {
+					return res, err
+				}
+				if err := conn.Reset(); err != nil {
+					return res, err
+				}
+				replay.Restart()
+				if ref != nil {
+					ref = opts.model.NewSession()
+				}
+				continue
+			}
+			seq++
+			p := pending{seq: seq, sent: time.Now()}
+			if ref != nil {
+				want, err := ref.Observe(cp)
+				if err != nil {
+					return res, fmt.Errorf("local reference session: %w", err)
+				}
+				p.check, p.want = true, want
+			}
+			if err := conn.Send(seq, &cp); err != nil {
+				return res, err
+			}
+			queue = append(queue, p)
+			if len(queue) >= opts.window {
+				if err := recvOne(); err != nil {
+					return res, err
+				}
+			}
+		}
+		// Stream over without a crash: censored, like a rejuvenation.
+		if err := drain(); err != nil {
+			return res, err
+		}
+		if err := conn.Resolve(serve.ResolveCensored, 0); err != nil {
+			return res, err
+		}
+		if err := conn.Reset(); err != nil {
+			return res, err
+		}
+	}
+	return res, drain()
+}
+
+// percentile returns the p-quantile (0..1) of the samples, 0 when empty.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}

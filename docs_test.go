@@ -17,6 +17,11 @@ import (
 
 	"agingpred"
 
+	// serve is imported directly so the wire-vocabulary gate can enumerate
+	// its frame types and error codes (its metric series register through the
+	// root package's own import of it).
+	"agingpred/internal/serve"
+
 	// The blank imports pull in every instrumented subsystem so their metric
 	// series are registered before the metrics docs gate reads the registry
 	// (fleet transitively registers core, adapt and rejuv).
@@ -153,6 +158,29 @@ func TestDocsGateMetricsSeriesDocumented(t *testing.T) {
 	for _, et := range agingpred.EventTypes() {
 		if !strings.Contains(readme, string(et)) {
 			t.Errorf("README.md does not document journal event type %q", et)
+		}
+	}
+}
+
+// TestDocsGateWireVocabularyDocumented requires README.md's wire-format
+// section to name every frame type and typed error code the protocol speaks
+// (backticked, so common words like "idle" cannot satisfy the gate by
+// accident): third-party clients are written against that table, and a new
+// frame or code must not ship undocumented.
+func TestDocsGateWireVocabularyDocumented(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	readme := string(raw)
+	for ft := serve.FrameHello; ft <= serve.FrameError; ft++ {
+		if !strings.Contains(readme, "`"+ft.String()+"`") {
+			t.Errorf("README.md does not document wire frame type `%s`", ft)
+		}
+	}
+	for ec := serve.ErrCodeMalformed; ec <= serve.ErrCodeInternal; ec++ {
+		if !strings.Contains(readme, "`"+ec.String()+"`") {
+			t.Errorf("README.md does not document wire error code `%s`", ec)
 		}
 	}
 }

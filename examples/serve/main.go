@@ -1,0 +1,153 @@
+// Network serving: the whole prediction service over real sockets in one
+// process — a server, a streaming client, and a hot model reload — using only
+// the root agingpred API.
+//
+// The walkthrough:
+//
+//  1. train a model and start an agingpred server on loopback (both
+//     transports: the binary frame protocol and NDJSON over HTTP);
+//  2. stream a leaking execution's checkpoints through the binary transport
+//     with DialServer, printing the predicted time to failure as it shrinks —
+//     exactly what an operator's rejuvenation policy would consume;
+//  3. hot-swap the serving model with Server.SwapModel and watch the next
+//     stream (after RESET) answer from the new epoch;
+//  4. run the same conversation over HTTP with DialServerHTTP — one chunked
+//     POST, line-delimited JSON, the transport you can also drive with curl;
+//  5. drain: in-flight work completes, new streams are refused with a typed
+//     ServerError.
+//
+// Run it with:
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"agingpred"
+	"agingpred/internal/fleet"
+	"agingpred/internal/monitor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Train the fleet's shared model and put it behind listeners. Port 0
+	// lets the OS pick; a real deployment uses agingserve with fixed ports.
+	model, err := fleet.TrainModel(1)
+	if err != nil {
+		return err
+	}
+	srv, err := agingpred.Serve(agingpred.ServeConfig{
+		Model:    model,
+		TCPAddr:  "127.0.0.1:0",
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("serving %s (schema %s) on tcp %s and http %s\n\n",
+		model.Kind(), model.Schema().Name(), srv.TCPAddr(), srv.HTTPAddr())
+
+	// 2. Stream a leaking instance over the binary transport. The replayed
+	// instance is one of the fleet simulator's aging servers; a production
+	// client would read the same 20-variable checkpoints from its monitors.
+	conn, err := agingpred.DialServer(srv.TCPAddr(), "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("binary transport, epoch", conn.Epoch(), "— TTF as the leak progresses:")
+	if err := streamOnce(conn, 40); err != nil {
+		return err
+	}
+
+	// 3. Hot model reload: publish a new epoch; the live connection adopts
+	// it at its next Reset — stream boundaries, never mid-stream.
+	model2, err := fleet.TrainModel(2)
+	if err != nil {
+		return err
+	}
+	epoch, err := srv.SwapModel(model2)
+	if err != nil {
+		return err
+	}
+	if err := conn.Reset(); err != nil {
+		return err
+	}
+	fmt.Printf("\nhot-swapped to epoch %d; the next stream answers from it:\n", epoch)
+	if err := streamOnce(conn, 8); err != nil {
+		return err
+	}
+	conn.Close()
+
+	// 4. The same conversation over HTTP: one chunked POST of NDJSON lines.
+	hconn, err := agingpred.DialServerHTTP("http://"+srv.HTTPAddr(), "")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nhttp transport, same session semantics:")
+	if err := streamOnce(hconn, 8); err != nil {
+		return err
+	}
+	hconn.Close()
+
+	// 5. Drain: the listener closes and new work is refused with a typed
+	// error, which is what a load balancer sees during a rolling restart.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	_, err = agingpred.DialServer(srv.TCPAddr(), "")
+	var se *agingpred.ServerError
+	if errors.As(err, &se) {
+		fmt.Printf("\nafter drain, a new dial is refused: %s\n", se.Code)
+	} else if err != nil {
+		fmt.Printf("\nafter drain, a new dial fails: connection refused\n")
+	}
+	return nil
+}
+
+// streamOnce replays the start of one leaking instance through an open
+// connection, printing every 8th prediction, then resolves it censored.
+func streamOnce(conn agingpred.ServeConn, ticks int) error {
+	specs := fleet.Specs(7, 8)
+	spec := specs[0]
+	for _, s := range specs { // pick an aging instance, so the TTF moves
+		if s.Class != fleet.ClassHealthy {
+			spec = s
+			break
+		}
+	}
+	replay := fleet.NewReplay(7, spec)
+	var cp monitor.Checkpoint
+	for i := 1; i <= ticks; i++ {
+		if replay.Step(&cp) {
+			break
+		}
+		if err := conn.Send(uint32(i), &cp); err != nil {
+			return err
+		}
+		pred, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		if i%8 == 0 {
+			fmt.Printf("  t=%5.0fs  epoch %d  predicted TTF %8.0fs  crash expected: %v\n",
+				pred.TimeSec, pred.Epoch, pred.TTFSec, pred.CrashExpected)
+		}
+	}
+	if err := conn.Resolve(agingpred.ResolveCensored, 0); err != nil {
+		return err
+	}
+	return conn.Reset()
+}

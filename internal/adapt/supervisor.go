@@ -300,6 +300,27 @@ func (s *Supervisor) publishLocked() bool {
 	return true
 }
 
+// PublishModel installs an externally trained model (typically a
+// freshly-loaded artifact — the serving daemon's hot reload path) as a new
+// epoch, bypassing the retraining pipeline. Live streams adopt it at their
+// next Reset like any retrained epoch; the drift detector re-baselines so the
+// new model calibrates its own healthy error level. It returns the new epoch
+// sequence number.
+func (s *Supervisor) PublishModel(m *core.Model) (int, error) {
+	if m == nil || m.Schema() == nil {
+		return 0, errors.New("adapt: PublishModel needs a trained model")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.cur.Load()
+	next := &Epoch{Seq: prev.Seq + 1, Model: m}
+	s.cur.Store(next)
+	s.det.Rebaseline()
+	mCurrentEpoch.Set(float64(next.Seq))
+	s.syncDetectorMetrics()
+	return next.Seq, nil
+}
+
 // Discard waits for any in-flight background retrain to finish and drops
 // its result without publishing. Drivers that shut down mid-round use it so
 // no training goroutine outlives them; with nothing in flight it is a

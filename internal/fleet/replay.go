@@ -1,0 +1,44 @@
+package fleet
+
+import "agingpred/internal/monitor"
+
+// Replay steps one simulated instance's monitored checkpoint stream outside
+// the fleet engine — the checkpoint source of the network load generator
+// (cmd/agingload), which replays a Specs-drawn population over real sockets
+// instead of in-process shards. The trajectory is the same pure function of
+// (seed, spec, step sequence) the fleet computes: independent of siblings,
+// reproducible from the seed.
+type Replay struct {
+	in   *instance
+	dt   float64
+	tick int
+}
+
+// NewReplay creates the replayed instance for a spec, on the same seeded
+// per-instance random stream the fleet would use.
+func NewReplay(seed uint64, spec InstanceSpec) *Replay {
+	return &Replay{in: newInstance(seed, spec), dt: monitor.DefaultInterval.Seconds()}
+}
+
+// Spec returns the replayed instance's static description.
+func (r *Replay) Spec() InstanceSpec { return r.in.spec }
+
+// IntervalSec is the checkpoint interval, seconds of simulated time.
+func (r *Replay) IntervalSec() float64 { return r.dt }
+
+// TimeSec is the simulated time of the latest Step.
+func (r *Replay) TimeSec() float64 { return float64(r.tick) * r.dt }
+
+// Step advances one checkpoint interval and writes the monitored checkpoint
+// into *cp, or reports that the instance crashed during the interval (*cp is
+// left untouched). After a crash, Restart begins the recovered instance's
+// next run.
+func (r *Replay) Step(cp *monitor.Checkpoint) (crashed bool) {
+	r.tick++
+	return r.in.step(float64(r.tick)*r.dt, r.dt, cp)
+}
+
+// Restart clears the aging state, as the fleet's crash recovery (or a
+// rejuvenation) does. The random stream keeps its position, exactly like a
+// fleet instance's.
+func (r *Replay) Restart() { r.in.reset() }

@@ -1,0 +1,90 @@
+// Package admin is the shared HTTP observability endpoint of the serving
+// binaries (agingfleet -listen, agingserve): the process-wide metrics registry
+// in Prometheus text format, a JSON liveness probe, and the standard runtime
+// profiles. It was factored out of cmd/agingfleet so every daemon exposes the
+// same surface:
+//
+//	/metrics         — obs.Default in Prometheus text format (version 0.0.4)
+//	/healthz         — JSON liveness: uptime plus the serving epoch and fleet
+//	                   progress, read straight from the registry
+//	/debug/pprof/... — the standard runtime profiles
+//
+// Everything is read-only and observation-only: scraping never touches a
+// deterministic run or a live session. Register is split from Start so the
+// handlers are testable without a listener, and so a daemon that already owns
+// an HTTP mux (agingserve's NDJSON listener) can graft the endpoints onto it.
+package admin
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"agingpred/internal/obs"
+)
+
+// Register installs the observability endpoints on mux. start anchors the
+// /healthz uptime.
+func Register(mux *http.ServeMux, start time.Time) {
+	mux.HandleFunc("/metrics", Metrics)
+	mux.HandleFunc("/healthz", healthz(start))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Mux builds a mux carrying only the observability endpoints.
+func Mux(start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	Register(mux, start)
+	return mux
+}
+
+// Metrics serves the process-wide registry in the Prometheus text format.
+func Metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// healthz answers a JSON liveness probe. The epoch and progress fields are
+// read from the registry by series name, so the probe works identically for a
+// fleet simulation and a network server without either linking the other.
+func healthz(start time.Time) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		reg := obs.Default
+		epoch := 1.0
+		if v, ok := reg.Value("agingpred_current_epoch"); ok && v >= 1 {
+			epoch = v
+		}
+		simTime, _ := reg.Value("agingpred_fleet_sim_time_seconds")
+		ckpts, _ := reg.Value("agingpred_fleet_checkpoints_total")
+		sessions, _ := reg.Value("agingpred_serve_sessions_active")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":       "ok",
+			"uptime_sec":   time.Since(start).Seconds(),
+			"epoch":        int(epoch),
+			"sim_time_sec": simTime,
+			"checkpoints":  int64(ckpts),
+			"sessions":     int(sessions),
+		})
+	}
+}
+
+// Start binds addr and serves the observability mux in the background,
+// returning the bound address (useful with ":0") and a stopper. A serving
+// fleet never blocks on a scrape; slow clients only delay their own
+// responses.
+func Start(addr string) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Mux(time.Now())}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,347 @@
+package serve
+
+// Client side of both transports, shared by agingload, the examples and the
+// end-to-end tests. A Conn is one prediction stream; the two dialers return
+// the same interface so a load generator A/Bs transports by swapping one
+// constructor.
+//
+// The binary client pipelines: Send queues a checkpoint without waiting for
+// its prediction, Recv collects the next prediction in order, and a bounded
+// outstanding window (the caller alternates Send and Recv batches) keeps both
+// directions of the socket busy — that is where the ≥100k checkpoints/sec
+// loopback numbers come from, not from any server-side trick.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"agingpred/internal/core"
+	"agingpred/internal/monitor"
+)
+
+// Conn is one client-side prediction stream over either transport. Not safe
+// for concurrent use; connections are the unit of concurrency, exactly like
+// the sessions they own server-side.
+type Conn interface {
+	// Send queues one checkpoint for prediction under the given sequence
+	// number. It may buffer; predictions are collected with Recv, in send
+	// order.
+	Send(seq uint32, cp *monitor.Checkpoint) error
+	// Recv returns the next prediction. A typed server refusal comes back as
+	// a *ServerError.
+	Recv() (Prediction, error)
+	// Resolve reports the stream outcome (adaptive serving's label feedback).
+	Resolve(kind ResolveKind, crashTimeSec float64) error
+	// Reset starts a fresh stream on the same connection, adopting the
+	// server's current model epoch.
+	Reset() error
+	// Epoch returns the server's model epoch as of the handshake.
+	Epoch() uint32
+	// Close ends the conversation and releases the connection.
+	Close() error
+}
+
+// Prediction is one server answer, with the epoch that produced it.
+type Prediction struct {
+	Seq           uint32
+	Epoch         uint32
+	TimeSec       float64
+	TTFSec        float64
+	CrashExpected bool
+}
+
+// Pred converts to the library's core.Prediction, for bit-for-bit comparison
+// against a local reference session.
+func (p Prediction) Pred() core.Prediction {
+	return core.Prediction{
+		TimeSec:       p.TimeSec,
+		TTF:           time.Duration(p.TTFSec * float64(time.Second)),
+		TTFSec:        p.TTFSec,
+		CrashExpected: p.CrashExpected,
+	}
+}
+
+// ServerError is a typed refusal from the server (an ERROR frame, or its
+// NDJSON line equivalent).
+type ServerError struct {
+	Code    ErrorCode
+	Message string
+}
+
+// Error formats the refusal.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("serve: server refused: %s: %s", e.Code, e.Message)
+}
+
+// binaryConn speaks the frame protocol.
+type binaryConn struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
+	fr    *frameReader
+	out   []byte
+	f     Frame
+	epoch uint32
+}
+
+// Dial opens a binary-transport prediction stream: TCP connect, HELLO with
+// the schema name ("" accepts whatever the server serves), WELCOME back.
+func Dial(addr, schema string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &binaryConn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+	c.fr = newFrameReader(c.br, DefaultMaxFrameBytes)
+	c.out, _ = AppendFrame(c.out[:0], &Frame{Type: FrameHello, Version: ProtocolVersion, Schema: schema})
+	if _, err := c.bw.Write(c.out); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.fr.Next(&c.f); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("serve: reading WELCOME: %w", err)
+	}
+	switch c.f.Type {
+	case FrameWelcome:
+		c.epoch = c.f.Epoch
+		return c, nil
+	case FrameError:
+		err := &ServerError{Code: c.f.Code, Message: c.f.Message}
+		nc.Close()
+		return nil, err
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("serve: expected WELCOME, got %s", c.f.Type)
+	}
+}
+
+func (c *binaryConn) Send(seq uint32, cp *monitor.Checkpoint) error {
+	c.f = Frame{Type: FrameCheckpoint, Seq: seq, Vec: *cp.Vec()}
+	var err error
+	if c.out, err = AppendFrame(c.out[:0], &c.f); err != nil {
+		return err
+	}
+	_, err = c.bw.Write(c.out)
+	return err
+}
+
+func (c *binaryConn) Recv() (Prediction, error) {
+	// Everything queued must be on the wire before blocking for the answer.
+	if err := c.bw.Flush(); err != nil {
+		return Prediction{}, err
+	}
+	if err := c.fr.Next(&c.f); err != nil {
+		return Prediction{}, err
+	}
+	switch c.f.Type {
+	case FramePredict:
+		return Prediction{
+			Seq:           c.f.Seq,
+			Epoch:         c.f.Epoch,
+			TimeSec:       c.f.TimeSec,
+			TTFSec:        c.f.TTFSec,
+			CrashExpected: c.f.CrashExpected,
+		}, nil
+	case FrameError:
+		return Prediction{}, &ServerError{Code: c.f.Code, Message: c.f.Message}
+	case FrameClose:
+		return Prediction{}, io.EOF
+	default:
+		return Prediction{}, fmt.Errorf("serve: expected PREDICT, got %s", c.f.Type)
+	}
+}
+
+func (c *binaryConn) control(f Frame) error {
+	var err error
+	if c.out, err = AppendFrame(c.out[:0], &f); err != nil {
+		return err
+	}
+	if _, err = c.bw.Write(c.out); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *binaryConn) Resolve(kind ResolveKind, crashTimeSec float64) error {
+	return c.control(Frame{Type: FrameResolve, Kind: kind, CrashTimeSec: crashTimeSec})
+}
+
+func (c *binaryConn) Reset() error { return c.control(Frame{Type: FrameReset}) }
+
+func (c *binaryConn) Epoch() uint32 { return c.epoch }
+
+func (c *binaryConn) Close() error {
+	c.control(Frame{Type: FrameClose})
+	return c.nc.Close()
+}
+
+// httpConn speaks NDJSON over one chunked POST. The POST round-trip runs on
+// its own goroutine: net/http does not put the request headers on the wire
+// until the first body chunk, and the server cannot answer until it sees
+// them, so a dial that blocked for the response before allowing a Send would
+// deadlock against its own transport. Instead Sends flow immediately and the
+// first Recv (or Epoch) rendezvouses with the response.
+type httpConn struct {
+	enc    *json.Encoder
+	pw     *io.PipeWriter
+	respCh chan *http.Response
+	errCh  chan error
+
+	dec   *json.Decoder
+	resp  *http.Response
+	ready bool
+	epoch uint32
+}
+
+// DialHTTP opens an NDJSON prediction stream: one chunked POST to
+// baseURL/v1/stream, request lines up, prediction lines down.
+func DialHTTP(baseURL, schema string) (Conn, error) {
+	url := baseURL + "/v1/stream"
+	if schema != "" {
+		url += "?schema=" + schema
+	}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url, pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	c := &httpConn{
+		enc:    json.NewEncoder(pw),
+		pw:     pw,
+		respCh: make(chan *http.Response, 1),
+		errCh:  make(chan error, 1),
+	}
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			pw.CloseWithError(err)
+			c.errCh <- err
+			return
+		}
+		c.respCh <- resp
+	}()
+	return c, nil
+}
+
+// await collects the POST's response the first time something needs it.
+func (c *httpConn) await() error {
+	if c.ready {
+		if c.resp == nil {
+			return errors.New("serve: stream failed to open")
+		}
+		return nil
+	}
+	c.ready = true
+	var resp *http.Response
+	select {
+	case resp = <-c.respCh:
+	case err := <-c.errCh:
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		code := ErrCodeInternal
+		if name := resp.Header.Get("Agingpred-Error-Code"); name != "" {
+			code = parseErrorCode(name)
+		}
+		err := &ServerError{Code: code, Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg)}
+		// Unblock any in-flight or future Sends: nothing will read the pipe.
+		c.pw.CloseWithError(err)
+		return err
+	}
+	c.resp = resp
+	c.dec = json.NewDecoder(resp.Body)
+	epoch, _ := strconv.ParseUint(resp.Header.Get("Agingpred-Epoch"), 10, 32)
+	c.epoch = uint32(epoch)
+	return nil
+}
+
+func (c *httpConn) Send(seq uint32, cp *monitor.Checkpoint) error {
+	return c.enc.Encode(StreamRequest{Seq: seq, Checkpoint: cp})
+}
+
+func (c *httpConn) Recv() (Prediction, error) {
+	if err := c.await(); err != nil {
+		return Prediction{}, err
+	}
+	var rep StreamReply
+	if err := c.dec.Decode(&rep); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.EOF
+		}
+		return Prediction{}, err
+	}
+	if rep.Error != nil {
+		return Prediction{}, &ServerError{Code: parseErrorCode(rep.Error.Code), Message: rep.Error.Message}
+	}
+	if rep.Predict == nil {
+		return Prediction{}, errors.New("serve: reply line carries no prediction")
+	}
+	return Prediction{
+		Seq:           rep.Seq,
+		Epoch:         rep.Predict.Epoch,
+		TimeSec:       rep.Predict.TimeSec,
+		TTFSec:        rep.Predict.TTFSec,
+		CrashExpected: rep.Predict.CrashExpected,
+	}, nil
+}
+
+func (c *httpConn) Resolve(kind ResolveKind, crashTimeSec float64) error {
+	res := &StreamResolve{Kind: "censored"}
+	if kind == ResolveCrash {
+		res.Kind = "crash"
+		res.CrashTimeSec = crashTimeSec
+	}
+	return c.enc.Encode(StreamRequest{Resolve: res})
+}
+
+func (c *httpConn) Reset() error {
+	return c.enc.Encode(StreamRequest{Reset: true})
+}
+
+// Epoch returns the server's model epoch from the response headers; it
+// blocks until the stream opens (send at least one line first, or the
+// request may still be unsent).
+func (c *httpConn) Epoch() uint32 {
+	c.await()
+	return c.epoch
+}
+
+func (c *httpConn) Close() error {
+	c.enc.Encode(StreamRequest{Close: true})
+	c.pw.Close()
+	if err := c.await(); err != nil {
+		return nil // refused streams have nothing left to drain
+	}
+	io.Copy(io.Discard, c.resp.Body)
+	return c.resp.Body.Close()
+}
+
+// parseErrorCode maps an NDJSON error-code name back to its ErrorCode.
+func parseErrorCode(name string) ErrorCode {
+	for c := ErrCodeMalformed; c <= ErrCodeInternal; c++ {
+		if c.String() == name {
+			return c
+		}
+	}
+	return ErrCodeInternal
+}

@@ -1,0 +1,440 @@
+// The binary wire protocol of the prediction service: compact length-prefixed
+// frames over raw TCP, in the same defensive style as the AGPM model-artifact
+// format — versioned, CRC-checked, bounded allocations, and fuzz-hardened
+// (FuzzDecodeFrame pins no-panic plus decode(encode(f)) == f on every frame
+// that survives decoding).
+//
+// One frame on the wire:
+//
+//	offset  size  field
+//	0       4     body length N in bytes, big-endian uint32 (type + payload)
+//	4       1     frame type
+//	5       N-1   payload (layout per type, below)
+//	4+N     4     CRC-32 (IEEE) of the body, big-endian uint32
+//
+// A conversation: the client opens with HELLO (wire magic, protocol version,
+// feature-schema name); the server answers WELCOME (serving epoch, model kind,
+// schema) or a typed ERROR. Then checkpoints stream in and predictions stream
+// out, pipelined — the client does not wait for each PREDICT before sending
+// the next CHECKPOINT. RESOLVE reports the stream's outcome (crash or
+// censored) for adaptive label resolution, RESET starts a fresh stream on the
+// same connection (adopting the server's current model epoch), and CLOSE ends
+// the conversation. All integers are big-endian; floats are IEEE-754 bits.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"agingpred/internal/monitor"
+)
+
+// ProtocolVersion is the wire-protocol version this build speaks. HELLO
+// carries the client's version and the server refuses a mismatch with
+// ErrCodeVersion, so incompatible ends fail fast instead of misparsing.
+const ProtocolVersion = 1
+
+// wireMagic opens every HELLO payload: a connection that does not start with
+// it is not an agingpred client (a browser, a port scanner, a stray curl) and
+// is refused before anything else is parsed.
+const wireMagic = "AGPW"
+
+// DefaultMaxFrameBytes bounds the body length DecodeFrame will accept. Every
+// legitimate frame is under 200 bytes (a CHECKPOINT is 4+1+20·8 = 165 body
+// bytes); the bound exists so a corrupt or hostile length prefix cannot ask
+// the server to allocate gigabytes.
+const DefaultMaxFrameBytes = 4096
+
+// frameOverheadBytes is the fixed per-frame envelope cost: the 4-byte length
+// prefix plus the trailing 4-byte CRC.
+const frameOverheadBytes = 8
+
+// FrameType identifies one frame kind.
+type FrameType uint8
+
+// The frame vocabulary.
+const (
+	// FrameHello opens a conversation (client → server): wire magic,
+	// protocol version, flags, requested feature-schema name ("" = accept
+	// the server's).
+	FrameHello FrameType = 1
+	// FrameWelcome accepts it (server → client): negotiated version, the
+	// serving model epoch, model kind and schema name.
+	FrameWelcome FrameType = 2
+	// FrameCheckpoint carries one 15-second monitor vector (client → server).
+	FrameCheckpoint FrameType = 3
+	// FramePredict answers one checkpoint (server → client): sequence echo,
+	// serving epoch, checkpoint time, predicted TTF.
+	FramePredict FrameType = 4
+	// FrameResolve reports the stream's outcome for adaptive label
+	// resolution (client → server): crash at CrashTimeSec, or censored.
+	FrameResolve FrameType = 5
+	// FrameReset starts a fresh stream on the same connection; the session
+	// adopts the server's current model epoch (client → server).
+	FrameReset FrameType = 6
+	// FrameClose ends the conversation gracefully (either direction).
+	FrameClose FrameType = 7
+	// FrameError refuses something, with a typed code (server → client).
+	FrameError FrameType = 8
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameWelcome:
+		return "WELCOME"
+	case FrameCheckpoint:
+		return "CHECKPOINT"
+	case FramePredict:
+		return "PREDICT"
+	case FrameResolve:
+		return "RESOLVE"
+	case FrameReset:
+		return "RESET"
+	case FrameClose:
+		return "CLOSE"
+	case FrameError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("FrameType(%d)", uint8(t))
+	}
+}
+
+// ErrorCode types an ERROR frame, so clients can react programmatically
+// instead of parsing prose.
+type ErrorCode uint16
+
+// The error vocabulary.
+const (
+	// ErrCodeMalformed: the frame could not be parsed (bad magic, bad
+	// lengths, unknown type).
+	ErrCodeMalformed ErrorCode = 1
+	// ErrCodeVersion: the client's protocol version is not this build's.
+	ErrCodeVersion ErrorCode = 2
+	// ErrCodeSchema: the client asked for a feature schema the serving model
+	// was not trained on.
+	ErrCodeSchema ErrorCode = 3
+	// ErrCodeTooManySessions: the session table is full (max-sessions).
+	ErrCodeTooManySessions ErrorCode = 4
+	// ErrCodeIdle: the connection sent nothing for longer than the idle
+	// timeout and was evicted.
+	ErrCodeIdle ErrorCode = 5
+	// ErrCodeDraining: the server is draining for shutdown; in-flight
+	// predictions were completed, new frames are refused.
+	ErrCodeDraining ErrorCode = 6
+	// ErrCodeProtocol: a frame arrived out of order (CHECKPOINT before
+	// HELLO, a second HELLO, ...).
+	ErrCodeProtocol ErrorCode = 7
+	// ErrCodeInternal: the server failed to serve a well-formed frame.
+	ErrCodeInternal ErrorCode = 8
+)
+
+// String names the error code.
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrCodeMalformed:
+		return "malformed"
+	case ErrCodeVersion:
+		return "version"
+	case ErrCodeSchema:
+		return "schema"
+	case ErrCodeTooManySessions:
+		return "too-many-sessions"
+	case ErrCodeIdle:
+		return "idle"
+	case ErrCodeDraining:
+		return "draining"
+	case ErrCodeProtocol:
+		return "protocol"
+	case ErrCodeInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("ErrorCode(%d)", uint16(c))
+	}
+}
+
+// ResolveKind says how a stream's outcome resolved its pending labels.
+type ResolveKind uint8
+
+// The resolve vocabulary.
+const (
+	// ResolveCrash: the monitored server crashed at Frame.CrashTimeSec; the
+	// pending predictions become scored labels.
+	ResolveCrash ResolveKind = 1
+	// ResolveCensored: the server was rejuvenated (or the stream re-pointed),
+	// so no crash was observed and the labels never resolve.
+	ResolveCensored ResolveKind = 2
+)
+
+// Frame is one decoded protocol frame: the type plus the union of every
+// type's fields (only the fields of the frame's own type are meaningful —
+// encoding writes exactly those, decoding fills exactly those, which is what
+// makes decode(encode(f)) == f hold frame-wide).
+type Frame struct {
+	Type FrameType
+
+	// HELLO / WELCOME.
+	Version uint16
+	Flags   uint16
+	Schema  string
+	// WELCOME only.
+	Epoch     uint32
+	ModelKind string
+
+	// CHECKPOINT: the flat monitor vector (monitor.Checkpoint.Vec order) and
+	// the client's sequence number, echoed back on the PREDICT.
+	Seq uint32
+	Vec [monitor.NumFields]float64
+
+	// PREDICT.
+	TimeSec       float64
+	TTFSec        float64
+	CrashExpected bool
+
+	// RESOLVE.
+	Kind         ResolveKind
+	CrashTimeSec float64
+
+	// ERROR.
+	Code    ErrorCode
+	Message string
+}
+
+// Wire-level parse errors (server maps them to ErrCodeMalformed).
+var (
+	errFrameTooBig  = errors.New("serve: frame exceeds the size limit")
+	errFrameCRC     = errors.New("serve: frame checksum mismatch")
+	errFrameTrunc   = errors.New("serve: truncated frame payload")
+	errFrameType    = errors.New("serve: unknown frame type")
+	errFrameMagic   = errors.New("serve: not an agingpred client (bad wire magic)")
+	errFrameField   = errors.New("serve: malformed frame field")
+	errFrameVecSize = errors.New("serve: checkpoint vector length mismatch")
+)
+
+// appendString appends a uint16 length prefix and the string bytes.
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// takeString consumes a uint16-prefixed string, returning the rest.
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errFrameField
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errFrameField
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// AppendFrame encodes f into the wire format, appending to dst (which may be
+// nil or a reused buffer). Strings longer than a uint16 length are truncated
+// by the caller's validation, not here; the encoder is total on well-formed
+// Frames.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.Schema) > math.MaxUint16 || len(f.ModelKind) > math.MaxUint16 || len(f.Message) > math.MaxUint16 {
+		return nil, errFrameField
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length prefix, patched below
+	body := len(dst)
+	dst = append(dst, byte(f.Type))
+	switch f.Type {
+	case FrameHello:
+		dst = append(dst, wireMagic...)
+		dst = binary.BigEndian.AppendUint16(dst, f.Version)
+		dst = binary.BigEndian.AppendUint16(dst, f.Flags)
+		dst = appendString(dst, f.Schema)
+	case FrameWelcome:
+		dst = binary.BigEndian.AppendUint16(dst, f.Version)
+		dst = binary.BigEndian.AppendUint32(dst, f.Epoch)
+		dst = appendString(dst, f.ModelKind)
+		dst = appendString(dst, f.Schema)
+	case FrameCheckpoint:
+		dst = binary.BigEndian.AppendUint32(dst, f.Seq)
+		dst = append(dst, byte(monitor.NumFields))
+		for _, v := range f.Vec {
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	case FramePredict:
+		dst = binary.BigEndian.AppendUint32(dst, f.Seq)
+		dst = binary.BigEndian.AppendUint32(dst, f.Epoch)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.TimeSec))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.TTFSec))
+		flag := byte(0)
+		if f.CrashExpected {
+			flag = 1
+		}
+		dst = append(dst, flag)
+	case FrameResolve:
+		dst = append(dst, byte(f.Kind))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(f.CrashTimeSec))
+	case FrameReset, FrameClose:
+		// No payload.
+	case FrameError:
+		dst = binary.BigEndian.AppendUint16(dst, uint16(f.Code))
+		dst = appendString(dst, f.Message)
+	default:
+		return nil, errFrameType
+	}
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(dst)-body))
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[body:])), nil
+}
+
+// DecodeFrameBody parses one frame body (the type byte plus payload, i.e. the
+// bytes the length prefix counts, CRC already verified) into f. It never
+// panics on any input and rejects trailing garbage, so every accepted body
+// re-encodes to exactly the bytes that produced it.
+func DecodeFrameBody(body []byte, f *Frame) error {
+	if len(body) < 1 {
+		return errFrameTrunc
+	}
+	*f = Frame{Type: FrameType(body[0])}
+	b := body[1:]
+	fixed := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, errFrameTrunc
+		}
+		chunk := b[:n]
+		b = b[n:]
+		return chunk, nil
+	}
+	var err error
+	switch f.Type {
+	case FrameHello:
+		var chunk []byte
+		if chunk, err = fixed(len(wireMagic) + 4); err != nil {
+			return err
+		}
+		if string(chunk[:len(wireMagic)]) != wireMagic {
+			return errFrameMagic
+		}
+		f.Version = binary.BigEndian.Uint16(chunk[4:])
+		f.Flags = binary.BigEndian.Uint16(chunk[6:])
+		if f.Schema, b, err = takeString(b); err != nil {
+			return err
+		}
+	case FrameWelcome:
+		var chunk []byte
+		if chunk, err = fixed(6); err != nil {
+			return err
+		}
+		f.Version = binary.BigEndian.Uint16(chunk)
+		f.Epoch = binary.BigEndian.Uint32(chunk[2:])
+		if f.ModelKind, b, err = takeString(b); err != nil {
+			return err
+		}
+		if f.Schema, b, err = takeString(b); err != nil {
+			return err
+		}
+	case FrameCheckpoint:
+		chunk, err := fixed(5 + 8*monitor.NumFields)
+		if err != nil {
+			return err
+		}
+		f.Seq = binary.BigEndian.Uint32(chunk)
+		if int(chunk[4]) != monitor.NumFields {
+			return errFrameVecSize
+		}
+		for i := range f.Vec {
+			f.Vec[i] = math.Float64frombits(binary.BigEndian.Uint64(chunk[5+8*i:]))
+		}
+	case FramePredict:
+		chunk, err := fixed(25)
+		if err != nil {
+			return err
+		}
+		f.Seq = binary.BigEndian.Uint32(chunk)
+		f.Epoch = binary.BigEndian.Uint32(chunk[4:])
+		f.TimeSec = math.Float64frombits(binary.BigEndian.Uint64(chunk[8:]))
+		f.TTFSec = math.Float64frombits(binary.BigEndian.Uint64(chunk[16:]))
+		switch chunk[24] {
+		case 0:
+		case 1:
+			f.CrashExpected = true
+		default:
+			return errFrameField
+		}
+	case FrameResolve:
+		chunk, err := fixed(9)
+		if err != nil {
+			return err
+		}
+		f.Kind = ResolveKind(chunk[0])
+		if f.Kind != ResolveCrash && f.Kind != ResolveCensored {
+			return errFrameField
+		}
+		f.CrashTimeSec = math.Float64frombits(binary.BigEndian.Uint64(chunk[1:]))
+	case FrameReset, FrameClose:
+		// No payload.
+	case FrameError:
+		chunk, err := fixed(2)
+		if err != nil {
+			return err
+		}
+		f.Code = ErrorCode(binary.BigEndian.Uint16(chunk))
+		if f.Message, b, err = takeString(b); err != nil {
+			return err
+		}
+	default:
+		return errFrameType
+	}
+	if len(b) != 0 {
+		return errFrameField // trailing garbage: the frame lies about its length
+	}
+	return nil
+}
+
+// frameReader reads frames off one connection with a reusable buffer: steady
+// state allocates nothing (the buffer grows to the largest frame seen, which
+// the maxFrame bound caps).
+type frameReader struct {
+	r        io.Reader
+	maxFrame int
+	buf      []byte
+}
+
+func newFrameReader(r io.Reader, maxFrame int) *frameReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	return &frameReader{r: r, maxFrame: maxFrame, buf: make([]byte, 256)}
+}
+
+// Next reads and verifies one frame into f. Errors are either io errors from
+// the underlying reader (timeouts included) or the wire-level parse errors
+// above.
+func (fr *frameReader) Next(f *Frame) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > fr.maxFrame {
+		return errFrameTooBig
+	}
+	if n < 1 {
+		return errFrameTrunc
+	}
+	if cap(fr.buf) < n+4 {
+		fr.buf = make([]byte, n+4)
+	}
+	buf := fr.buf[:n+4]
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return err
+	}
+	body := buf[:n]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(buf[n:]) {
+		return errFrameCRC
+	}
+	return DecodeFrameBody(body, f)
+}

@@ -1,0 +1,64 @@
+package agingpred
+
+// This file exports the network serving surface backed by internal/serve: a
+// prediction service any monitored application server can stream its
+// 15-second checkpoints to over a socket — the binary frame protocol on raw
+// TCP for the hot path, NDJSON over HTTP for debuggability — plus the
+// matching client. Like the rest of the root package these are aliases, not
+// wrappers.
+
+import "agingpred/internal/serve"
+
+// The network serving types.
+type (
+	// ServeConfig describes one prediction server: the model (frozen
+	// serving) or Supervisor (adaptive serving), the two transport listen
+	// addresses, and the session-table limits (max sessions, max frame
+	// size, idle timeout).
+	ServeConfig = serve.Config
+	// Server is one running prediction service: a session table over both
+	// transports, with graceful draining (Drain) and hot model reload
+	// (SwapModel) through the epoch machinery live streams adopt at their
+	// next RESET.
+	Server = serve.Server
+	// ServeConn is one client-side prediction stream over either transport,
+	// as returned by DialServer / DialServerHTTP.
+	ServeConn = serve.Conn
+	// ServePrediction is one server answer, carrying the epoch sequence
+	// number of the model that produced it.
+	ServePrediction = serve.Prediction
+	// ServerError is a typed refusal from the server (session table full,
+	// draining, schema mismatch, ...).
+	ServerError = serve.ServerError
+	// ResolveKind says how a stream's outcome resolves its pending labels
+	// (ResolveCrash scores them, ResolveCensored discards them).
+	ResolveKind = serve.ResolveKind
+)
+
+// The stream-outcome vocabulary for ServeConn.Resolve.
+const (
+	// ResolveCrash reports the monitored server crashed at the given time;
+	// an adaptive server scores the stream's pending predictions against it.
+	ResolveCrash = serve.ResolveCrash
+	// ResolveCensored reports the stream ended without an observed crash
+	// (rejuvenation, re-pointing); pending predictions are discarded.
+	ResolveCensored = serve.ResolveCensored
+)
+
+// Serve starts a prediction server and serves in the background until Drain
+// or Close.
+func Serve(cfg ServeConfig) (*Server, error) {
+	return serve.Start(cfg)
+}
+
+// DialServer opens a binary-transport prediction stream to a running server.
+// schema "" accepts whatever feature schema the server serves.
+func DialServer(addr, schema string) (ServeConn, error) {
+	return serve.Dial(addr, schema)
+}
+
+// DialServerHTTP opens an NDJSON-over-HTTP prediction stream (one chunked
+// POST) to a running server's HTTP listener.
+func DialServerHTTP(baseURL, schema string) (ServeConn, error) {
+	return serve.DialHTTP(baseURL, schema)
+}
