@@ -23,7 +23,10 @@
 //
 // -duration is simulated stream time per instance (15 s checkpoints), not
 // wall time: the generator sends as fast as the server answers. -bench-json
-// appends the run to a benchjson trajectory file (BENCH_serve.json).
+// appends the run to a benchjson trajectory file (BENCH_serve.json), and
+// -sweep 1,2,4,8 replays the whole run at each connection count in turn — a
+// concurrency sweep, one benchjson run per point — which is how the batched
+// server's cross-connection wins are measured against the scalar baseline.
 package main
 
 import (
@@ -32,6 +35,8 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -73,6 +78,7 @@ func run(args []string) error {
 		duration    = fs.Duration("duration", 2*time.Minute, "simulated stream time per instance (15s checkpoints), not wall time")
 		seed        = fs.Uint64("seed", 1, "population seed (same seed = same instances as agingfleet)")
 		window      = fs.Int("window", 32, "checkpoints pipelined ahead per connection")
+		sweep       = fs.String("sweep", "", "comma-separated connection counts to sweep (e.g. 1,4,16); overrides -conns, one result line and benchjson run per point")
 		loadPath    = fs.String("load", "", "model artifact for local reference verification (must be what the server serves)")
 		verifyEvery = fs.Int("verify-every", 8, "verify every Nth instance bit-for-bit against the local reference (0 = none; needs -load)")
 		benchPath   = fs.String("bench-json", "", "append the run to this benchjson trajectory file")
@@ -120,51 +126,97 @@ func run(args []string) error {
 		opts.model = m
 	}
 
-	res, elapsed, err := drive(opts)
-	if err != nil {
-		return err
+	points := []int{opts.conns}
+	if *sweep != "" {
+		pts, err := parseSweep(*sweep)
+		if err != nil {
+			return err
+		}
+		points = pts
 	}
-	cps := float64(res.predictions) / elapsed.Seconds()
-	p50 := percentile(res.latencies, 0.50)
-	p99 := percentile(res.latencies, 0.99)
-	fmt.Fprintf(os.Stderr,
-		"agingload: %s: %d instances over %d conns: %d checkpoints in %.2fs = %.0f cps, latency p50 %s p99 %s, %d crashes\n",
-		opts.transport, opts.instances, opts.conns, res.predictions, elapsed.Seconds(), cps,
-		time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
-		time.Duration(p99*float64(time.Second)).Round(time.Microsecond),
-		res.crashes)
-	if opts.model != nil {
-		fmt.Fprintf(os.Stderr, "agingload: verified %d sampled predictions bit-for-bit: %d mismatches (%d skipped after epoch swap)\n",
-			res.verified, res.mismatches, res.skipped)
-	}
-	if *benchPath != "" {
+
+	var (
+		runs       []benchjson.Run
+		mismatches int
+	)
+	for _, c := range points {
+		o := opts
+		o.conns = c
+		if o.conns > o.instances {
+			o.conns = o.instances
+		}
+		res, elapsed, err := drive(o)
+		if err != nil {
+			return err
+		}
+		cps := float64(res.predictions) / elapsed.Seconds()
+		p50 := percentile(res.latencies, 0.50)
+		p99 := percentile(res.latencies, 0.99)
+		fmt.Fprintf(os.Stderr,
+			"agingload: %s: %d instances over %d conns: %d checkpoints in %.2fs = %.0f cps, latency p50 %s p99 %s, %d crashes\n",
+			o.transport, o.instances, o.conns, res.predictions, elapsed.Seconds(), cps,
+			time.Duration(p50*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(p99*float64(time.Second)).Round(time.Microsecond),
+			res.crashes)
+		if o.model != nil {
+			fmt.Fprintf(os.Stderr, "agingload: verified %d sampled predictions bit-for-bit: %d mismatches (%d skipped after epoch swap)\n",
+				res.verified, res.mismatches, res.skipped)
+		}
+		mismatches += res.mismatches
 		l := *label
 		if l == "" {
-			l = "serve/" + opts.transport
+			l = "serve/" + o.transport
 		}
+		if len(points) > 1 {
+			l = fmt.Sprintf("%s/c%d", l, o.conns)
+		}
+		runs = append(runs, benchjson.Run{
+			Label: l,
+			Stamp: *stamp,
+			Note:  *note,
+			Metrics: map[string]float64{
+				"checkpoints_per_sec": math.Round(cps),
+				"latency_p50_us":      math.Round(p50*1e6*10) / 10,
+				"latency_p99_us":      math.Round(p99*1e6*10) / 10,
+			},
+		})
+	}
+	if *benchPath != "" {
 		f := &benchjson.File{
 			Bench:   "serve",
-			Command: fmt.Sprintf("agingload -transport %s -instances %d -conns %d -duration %v -seed %d", opts.transport, opts.instances, opts.conns, *duration, opts.seed),
+			Command: fmt.Sprintf("agingload -transport %s -instances %d -conns %s -duration %v -seed %d", opts.transport, opts.instances, sweepString(points), *duration, opts.seed),
 			Env:     benchjson.CurrentEnv(),
-			Runs: []benchjson.Run{{
-				Label: l,
-				Stamp: *stamp,
-				Note:  *note,
-				Metrics: map[string]float64{
-					"checkpoints_per_sec": math.Round(cps),
-					"latency_p50_us":      math.Round(p50*1e6*10) / 10,
-					"latency_p99_us":      math.Round(p99*1e6*10) / 10,
-				},
-			}},
+			Runs:    runs,
 		}
 		if err := benchjson.Merge(*benchPath, f); err != nil {
 			return err
 		}
 	}
-	if res.mismatches > 0 {
-		return fmt.Errorf("%d sampled predictions did not match the local reference", res.mismatches)
+	if mismatches > 0 {
+		return fmt.Errorf("%d sampled predictions did not match the local reference", mismatches)
 	}
 	return nil
+}
+
+// parseSweep turns "1,4,16" into connection counts for a concurrency sweep.
+func parseSweep(s string) ([]int, error) {
+	var points []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -sweep point %q (want positive connection counts, comma-separated)", part)
+		}
+		points = append(points, n)
+	}
+	return points, nil
+}
+
+func sweepString(points []int) string {
+	parts := make([]string, len(points))
+	for i, p := range points {
+		parts[i] = strconv.Itoa(p)
+	}
+	return strings.Join(parts, ",")
 }
 
 // result aggregates one run's counters across connections.
@@ -230,6 +282,31 @@ type pending struct {
 	want  core.Prediction
 }
 
+// pendingRing is a fixed-capacity FIFO of in-flight checkpoints. A ring
+// instead of a slice because the hot loop pops one entry per prediction —
+// a slice would memmove the whole window each time.
+type pendingRing struct {
+	buf  []pending
+	head int
+	size int
+}
+
+func newPendingRing(capacity int) *pendingRing {
+	return &pendingRing{buf: make([]pending, capacity)}
+}
+
+func (r *pendingRing) push(p pending) {
+	r.buf[(r.head+r.size)%len(r.buf)] = p
+	r.size++
+}
+
+func (r *pendingRing) pop() pending {
+	p := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return p
+}
+
 // runConn drives one connection: its instances in sequence, each as one
 // pipelined stream ending in RESOLVE + RESET.
 func runConn(opts options, specs []fleet.InstanceSpec) (result, error) {
@@ -250,14 +327,13 @@ func runConn(opts options, specs []fleet.InstanceSpec) (result, error) {
 	var (
 		res     result
 		seq     uint32
-		queue   = make([]pending, 0, opts.window)
+		queue   = newPendingRing(opts.window)
 		baseEp  uint32 // pinned at the first prediction (the HTTP handshake completes lazily)
 		swapped = false
 	)
 	// recvOne collects the oldest outstanding prediction and scores it.
 	recvOne := func() error {
-		p := queue[0]
-		queue = queue[:copy(queue, queue[1:])]
+		p := queue.pop()
 		got, err := conn.Recv()
 		if err != nil {
 			return err
@@ -293,7 +369,7 @@ func runConn(opts options, specs []fleet.InstanceSpec) (result, error) {
 		return nil
 	}
 	drain := func() error {
-		for len(queue) > 0 {
+		for queue.size > 0 {
 			if err := recvOne(); err != nil {
 				return err
 			}
@@ -341,10 +417,16 @@ func runConn(opts options, specs []fleet.InstanceSpec) (result, error) {
 			if err := conn.Send(seq, &cp); err != nil {
 				return res, err
 			}
-			queue = append(queue, p)
-			if len(queue) >= opts.window {
-				if err := recvOne(); err != nil {
-					return res, err
+			queue.push(p)
+			// Burst drain: once the window fills, pull half of it back in one
+			// go. Recv flushes the outbound buffer first, so draining in
+			// bursts amortizes one syscall-heavy flush over window/2 replies
+			// instead of paying it on every send/recv pair.
+			if queue.size >= opts.window {
+				for queue.size > opts.window/2 {
+					if err := recvOne(); err != nil {
+						return res, err
+					}
 				}
 			}
 		}

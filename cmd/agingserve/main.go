@@ -13,6 +13,13 @@
 // curl — and also carries the shared admin endpoints: /metrics (Prometheus
 // text format), /healthz (JSON liveness) and /debug/pprof.
 //
+// With -batch N the TCP transport switches to the cross-connection batching
+// backend: checkpoint frames from all live connections are hash-partitioned
+// into worker shards and grouped into micro-batches of up to N rows, each
+// evaluated with one batched model call and fanned back out — a partial batch
+// flushes after -batch-window. Replies stay bit-identical to scalar mode; the
+// NDJSON transport always serves scalar.
+//
 // The served model comes from -load (a versioned artifact from `agingpredict
 // -save` or `agingfleet -save`), or is trained at startup from the fleet
 // training executions of -seed when -load is absent. Each connection owns its
@@ -61,6 +68,9 @@ func run(args []string) error {
 		maxFrame     = fs.Int("max-frame", serve.DefaultMaxFrameBytes, "max binary frame body size in bytes")
 		idle         = fs.Duration("idle", serve.DefaultIdleTimeout, "evict sessions that send nothing for this long (negative = never)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for the session table to empty before force-closing")
+		batch        = fs.Int("batch", 0, "cross-connection micro-batching: collect up to this many checkpoints across TCP connections per model evaluation (0 = scalar, one evaluation per frame)")
+		batchWindow  = fs.Duration("batch-window", serve.DefaultBatchWindow, "micro-batch flush deadline: a partial batch waits at most this long for more rows")
+		batchShards  = fs.Int("batch-shards", 0, "batching worker shards; sessions are hash-partitioned across them (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +86,9 @@ func run(args []string) error {
 		MaxSessions:   *maxSessions,
 		MaxFrameBytes: *maxFrame,
 		IdleTimeout:   *idle,
+		Batch:         *batch,
+		BatchWindow:   *batchWindow,
+		BatchShards:   *batchShards,
 	}
 	if *adaptive {
 		sup, err := agingpred.NewSupervisor(agingpred.AdaptConfig{}, model)
@@ -96,6 +109,9 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "agingserve: serving %s model %s (schema %s, %s)",
 		mode, model.Kind(), model.Schema().Name(), sourceDesc(*loadPath, *seed))
+	if *batch > 0 {
+		fmt.Fprintf(os.Stderr, " batch=%d/%s", *batch, *batchWindow)
+	}
 	if a := srv.TCPAddr(); a != "" {
 		fmt.Fprintf(os.Stderr, " tcp=%s", a)
 	}

@@ -7,8 +7,11 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"net"
 	"testing"
+	"time"
 
+	"agingpred/internal/fleet"
 	"agingpred/internal/monitor"
 )
 
@@ -213,6 +216,83 @@ func TestAppendFrameRejectsOversizedStrings(t *testing.T) {
 	}
 }
 
+// batchedTranscriptBodies replays a short live conversation against a batched
+// server — HELLO through checkpoint streaming, crash→RESOLVE→RESET, a censored
+// resolve and a CLOSE echo — and returns the body bytes of every frame that
+// crossed the wire in either direction. Seeding the fuzz corpus with a real
+// batched transcript covers the value shapes the batched path actually emits
+// (replay-driven vectors, deadline-flushed predictions, epoch fields), not
+// just the hand-built samples above.
+func batchedTranscriptBodies(f *testing.F) [][]byte {
+	srv, err := Start(Config{
+		Model:       goldenModel(f),
+		TCPAddr:     "127.0.0.1:0",
+		HTTPAddr:    "127.0.0.1:0",
+		Batch:       4,
+		BatchWindow: 100 * time.Microsecond,
+		BatchShards: 1,
+	})
+	if err != nil {
+		f.Fatalf("Start: %v", err)
+	}
+	defer srv.Close()
+	nc, err := net.Dial("tcp", srv.TCPAddr())
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer nc.Close()
+	fr := newFrameReader(nc, DefaultMaxFrameBytes)
+
+	var bodies [][]byte
+	send := func(fm *Frame) {
+		wire, err := AppendFrame(nil, fm)
+		if err != nil {
+			f.Fatalf("encoding %d for the transcript: %v", fm.Type, err)
+		}
+		bodies = append(bodies, wire[4:len(wire)-4])
+		if _, err := nc.Write(wire); err != nil {
+			f.Fatalf("writing frame type %d: %v", fm.Type, err)
+		}
+	}
+	recv := func(want FrameType) {
+		var got Frame
+		if err := fr.Next(&got); err != nil {
+			f.Fatalf("reading reply (want type %d): %v", want, err)
+		}
+		if got.Type != want {
+			f.Fatalf("reply type %d, want %d", got.Type, want)
+		}
+		// Re-encoding recovers the exact body bytes: TestFrameRoundTrip and
+		// the bijection property below pin encode∘decode as the identity.
+		wire, err := AppendFrame(nil, &got)
+		if err != nil {
+			f.Fatalf("re-encoding reply type %d: %v", got.Type, err)
+		}
+		bodies = append(bodies, wire[4:len(wire)-4])
+	}
+
+	send(&Frame{Type: FrameHello, Version: ProtocolVersion})
+	recv(FrameWelcome)
+	replay := fleet.NewReplay(1, fleet.Specs(1, 1)[0])
+	var seq uint32
+	for n := 0; n < 40; n++ {
+		var cp monitor.Checkpoint
+		if replay.Step(&cp) {
+			send(&Frame{Type: FrameResolve, Kind: ResolveCrash, CrashTimeSec: replay.TimeSec()})
+			send(&Frame{Type: FrameReset})
+			replay.Restart()
+			continue
+		}
+		seq++
+		send(&Frame{Type: FrameCheckpoint, Seq: seq, Vec: *cp.Vec()})
+		recv(FramePredict)
+	}
+	send(&Frame{Type: FrameResolve, Kind: ResolveCensored})
+	send(&Frame{Type: FrameClose})
+	recv(FrameClose)
+	return bodies
+}
+
 // FuzzDecodeFrame pins the decoder's two safety properties on arbitrary
 // bodies: it never panics, and every body it accepts re-encodes to exactly
 // the bytes that produced it (decode(encode(f)) == f, frame-wide). The second
@@ -228,6 +308,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{byte(FrameCheckpoint), 0, 0, 0, 1, monitor.NumFields})
+	for _, body := range batchedTranscriptBodies(f) {
+		f.Add(body)
+	}
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var fr Frame
 		if err := DecodeFrameBody(body, &fr); err != nil {

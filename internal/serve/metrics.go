@@ -28,7 +28,29 @@ var (
 
 	tcpMetrics  = newTransportMetrics("tcp")
 	httpMetrics = newTransportMetrics("http")
+
+	// Batched-mode series (Config.Batch > 0). Batch latency is the batched
+	// counterpart of agingpred_serve_frame_latency_seconds — observing stage
+	// (checkpoint decoded) to prediction frame fanned out — so the two series
+	// are the scalar-vs-batched latency A/B.
+	mBatchSize = obs.Default.Histogram("agingpred_serve_batch_size",
+		"Rows per cross-connection micro-batch flush.",
+		obs.ExpBuckets(1, 2, 10))
+	mBatchLatency = obs.Default.Histogram("agingpred_serve_batch_latency_seconds",
+		"Batched-mode latency from checkpoint frame decoded to prediction frame fanned out.",
+		obs.ExpBuckets(1e-6, 4, 10))
+
+	mFlushSize     = flushCounter("size")
+	mFlushDeadline = flushCounter("deadline")
+	mFlushControl  = flushCounter("control")
+	mFlushShutdown = flushCounter("shutdown")
 )
+
+func flushCounter(cause string) *obs.Counter {
+	return obs.Default.Counter("agingpred_serve_batch_flushes_total",
+		"Micro-batch flushes, by cause: batch full, deadline expired, control frame, or server shutdown.",
+		obs.Label{Key: "cause", Value: cause})
+}
 
 func rejectCounter(reason string) *obs.Counter {
 	return obs.Default.Counter("agingpred_serve_rejects_total",

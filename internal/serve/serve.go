@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,22 @@ type Config struct {
 	// the Supervisor a StartRetrain/TryPublish opportunity
 	// (0 = DefaultAdaptEvery). Ignored in frozen mode.
 	AdaptEvery time.Duration
+
+	// Batch enables cross-connection micro-batched serving on the binary
+	// transport: checkpoints from all live connections are staged into
+	// per-model-epoch batch groups and evaluated with one PredictBatch sweep
+	// per flush, at most Batch rows per flush (0 = scalar serving, one inline
+	// evaluation per frame). Replies stay bit-identical to scalar mode; the
+	// NDJSON/HTTP transport is the debug path and always serves scalar.
+	Batch int
+	// BatchWindow bounds how long a staged checkpoint may wait for its batch
+	// to fill before a deadline flush evaluates it anyway
+	// (0 = DefaultBatchWindow). Ignored when Batch is 0.
+	BatchWindow time.Duration
+	// BatchShards is the number of independent batching shards; sessions are
+	// assigned by FNV-1a hash of their session ID, the fleet's shard
+	// discipline (0 = GOMAXPROCS). Ignored when Batch is 0.
+	BatchShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdaptEvery <= 0 {
 		c.AdaptEvery = DefaultAdaptEvery
+	}
+	if c.Batch < 0 {
+		c.Batch = 0
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = DefaultBatchWindow
+	}
+	if c.BatchShards <= 0 {
+		c.BatchShards = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -128,6 +154,7 @@ type Server struct {
 	active int
 	closed bool
 
+	batcher  *batcher // batched binary serving, nil in scalar mode
 	stopPump chan struct{}
 	wg       sync.WaitGroup
 }
@@ -150,6 +177,9 @@ func Start(cfg Config) (*Server, error) {
 	s.cond = sync.NewCond(&s.mu)
 	if s.sup == nil {
 		s.epoch.Store(&modelEpoch{seq: 1, model: cfg.Model})
+	}
+	if cfg.Batch > 0 && cfg.TCPAddr != "" {
+		s.batcher = newBatcher(s, cfg.Batch, cfg.BatchShards, cfg.BatchWindow)
 	}
 	if cfg.TCPAddr != "" {
 		ln, err := net.Listen("tcp", cfg.TCPAddr)
@@ -348,6 +378,11 @@ func (s *Server) Close() error {
 		close(s.stopPump)
 	}
 	s.wg.Wait()
+	if s.batcher != nil {
+		// Every connection goroutine has returned, so every session's terminal
+		// op is already queued (or processed); the workers drain and exit.
+		s.batcher.stop()
+	}
 	if s.sup != nil {
 		s.sup.Discard()
 	}
@@ -460,6 +495,24 @@ func (ss *session) resolve(kind ResolveKind, crashTimeSec float64) {
 		ss.stream.ResolveCrash(crashTimeSec)
 	} else {
 		ss.stream.ResolveCensored()
+	}
+}
+
+// coreSession returns the underlying core.Session a batch stages — the
+// extraction half of observe; Predict on the batch is the other half.
+func (ss *session) coreSession() *core.Session {
+	if ss.stream != nil {
+		return ss.stream.Session()
+	}
+	return ss.sess
+}
+
+// record applies the bookkeeping half of an adaptive observe after a batch
+// evaluated the session's staged row (frozen sessions have none): staging +
+// batch Predict + record is exactly adapt.Stream.Observe, piecewise.
+func (ss *session) record(cp *monitor.Checkpoint, pred core.Prediction) {
+	if ss.stream != nil {
+		ss.stream.Record(cp, pred)
 	}
 }
 
@@ -576,6 +629,14 @@ func (s *Server) handleConn(nc net.Conn) {
 	})
 	bw.Write(out)
 	bw.Flush()
+
+	if s.batcher != nil {
+		// Batched mode: from here on the connection is split between a reader
+		// (this goroutine), its shard's worker, and a writer goroutine; the
+		// deferred close runs only after the writer has delivered everything.
+		s.batcher.serveConn(nc, br, bw, fr, sess)
+		return
+	}
 
 	m := tcpMetrics
 	var cp monitor.Checkpoint

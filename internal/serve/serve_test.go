@@ -29,7 +29,7 @@ import (
 
 // goldenModel loads the committed deterministic seed-1 artifact — the same
 // model the CI smoke test serves — so tests need no training pass.
-func goldenModel(t *testing.T) *core.Model {
+func goldenModel(t testing.TB) *core.Model {
 	t.Helper()
 	f, err := os.Open(filepath.Join("..", "core", "testdata", "model_m5p_seed1.golden"))
 	if err != nil {
